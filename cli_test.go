@@ -1,0 +1,151 @@
+package repro_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one command into a temp dir and returns its path.
+func buildTool(t *testing.T, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), filepath.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", bin, "./"+pkg)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+func TestCfixCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "cmd/cfix")
+
+	src := `
+void work(void) {
+    char buf[8];
+    strcpy(buf, "a string that is clearly too long");
+    printf("%s\n", buf);
+}
+int main(void) {
+    work();
+    return 0;
+}
+`
+	dir := t.TempDir()
+	in := filepath.Join(dir, "vuln.c")
+	if err := os.WriteFile(in, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "fixed.c")
+
+	cmd := exec.Command(bin, "-verify", "main", "-support", "-o", out, in)
+	combined, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("cfix: %v\n%s", err, combined)
+	}
+	text := string(combined)
+	if !strings.Contains(text, "before: ") || !strings.Contains(text, "after:  0 violation(s)") {
+		t.Fatalf("verify output unexpected:\n%s", text)
+	}
+	fixed, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fixed), "g_strlcpy") {
+		t.Fatalf("fixed source missing rewrite:\n%s", fixed)
+	}
+
+	// Usage error path.
+	if err := exec.Command(bin).Run(); err == nil {
+		t.Fatal("no-args invocation must fail")
+	}
+
+	// Diff mode.
+	diffOut, err := exec.Command(bin, "-summary=false", "-diff", in).Output()
+	if err != nil {
+		t.Fatalf("cfix -diff: %v", err)
+	}
+	if !strings.Contains(string(diffOut), "-    strcpy(buf") ||
+		!strings.Contains(string(diffOut), "+    g_strlcpy(buf") {
+		t.Fatalf("diff output unexpected:\n%s", diffOut)
+	}
+}
+
+func TestSamategenCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "cmd/samategen")
+	dir := t.TempDir()
+	cmd := exec.Command(bin, "-out", dir, "-cwe", "242", "-n", "5")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("samategen: %v\n%s", err, out)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "CWE242"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 5 {
+		t.Fatalf("files: %d, want 5", len(entries))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "CWE242", entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "gets(") {
+		t.Fatalf("CWE-242 program missing gets:\n%s", data)
+	}
+}
+
+func TestExperimentsCLISampled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "cmd/experiments")
+	cmd := exec.Command(bin, "-table", "6")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("experiments: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "296") || !strings.Contains(string(out), "237") {
+		t.Fatalf("Table VI output unexpected:\n%s", out)
+	}
+}
+
+func TestCfixCLIBatchDirectory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "cmd/cfix")
+	src := t.TempDir()
+	for i, body := range []string{
+		"void a(void){ char b[4]; strcpy(b, \"toolongxxxx\"); }\n",
+		"void c(void){ char d[4]; strcat(d, \"alsolong\"); }\n",
+	} {
+		name := filepath.Join(src, []string{"one.c", "two.c"}[i])
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	outdir := t.TempDir()
+	out, err := exec.Command(bin, "-summary=false", "-outdir", outdir, src).CombinedOutput()
+	if err != nil {
+		t.Fatalf("batch: %v\n%s", err, out)
+	}
+	for _, name := range []string{"one.c", "two.c"} {
+		data, err := os.ReadFile(filepath.Join(outdir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), "g_strl") {
+			t.Fatalf("%s not transformed:\n%s", name, data)
+		}
+	}
+}

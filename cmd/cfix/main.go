@@ -1,0 +1,200 @@
+// Command cfix applies the paper's two buffer-overflow-fixing
+// transformations to preprocessed C files.
+//
+// Usage:
+//
+//	cfix [flags] file.c [more.c ...]
+//
+//	-o out.c        write the transformed source here (single input only;
+//	                default: stdout)
+//	-outdir dir     write each transformed file to dir (batch mode)
+//	-slr=false      disable SAFE LIBRARY REPLACEMENT
+//	-str=false      disable SAFE TYPE REPLACEMENT
+//	-at offset      apply SLR only to the call expression at this byte offset
+//	-support        prepend the stralloc library and glib prototypes
+//	-verify entry   additionally run <entry> under the checked interpreter
+//	                before and after, reporting violations
+//	-summary        print the per-site/per-variable change log to stderr
+//	-diff           print a unified diff of the changes (the didactic view)
+//
+// A directory argument expands to every .c file directly inside it — the
+// paper's maintenance scenario of batch-hardening a legacy tree.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/textdiff"
+	"repro/pkg/cfix"
+)
+
+func main() { os.Exit(run()) }
+
+// options collects the parsed flags.
+type options struct {
+	out     string
+	outdir  string
+	doSLR   bool
+	doSTR   bool
+	at      int
+	support bool
+	verify  string
+	summary bool
+	diff    bool
+}
+
+func run() int {
+	var opts options
+	flag.StringVar(&opts.out, "o", "", "output file (single input; default stdout)")
+	flag.StringVar(&opts.outdir, "outdir", "", "output directory (batch mode)")
+	flag.BoolVar(&opts.doSLR, "slr", true, "apply SAFE LIBRARY REPLACEMENT")
+	flag.BoolVar(&opts.doSTR, "str", true, "apply SAFE TYPE REPLACEMENT")
+	flag.IntVar(&opts.at, "at", -1, "apply SLR only at this byte offset")
+	flag.BoolVar(&opts.support, "support", false, "prepend stralloc/glib support code")
+	flag.StringVar(&opts.verify, "verify", "", "entry function to execute pre/post")
+	flag.BoolVar(&opts.summary, "summary", true, "print change summary to stderr")
+	flag.BoolVar(&opts.diff, "diff", false, "print a unified diff instead of the full source")
+	flag.Parse()
+
+	paths, err := expandArgs(flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cfix: %v\n", err)
+		return 1
+	}
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: cfix [flags] file.c [more.c ...]")
+		flag.PrintDefaults()
+		return 2
+	}
+	if len(paths) > 1 && opts.out != "" {
+		fmt.Fprintln(os.Stderr, "cfix: -o needs a single input; use -outdir for batches")
+		return 2
+	}
+	if len(paths) > 1 && opts.at >= 0 {
+		fmt.Fprintln(os.Stderr, "cfix: -at needs a single input")
+		return 2
+	}
+	for _, path := range paths {
+		if code := fixOne(path, opts, len(paths) > 1); code != 0 {
+			return code
+		}
+	}
+	return 0
+}
+
+// expandArgs resolves directory arguments to the .c files inside them.
+func expandArgs(args []string) ([]string, error) {
+	var out []string
+	for _, a := range args {
+		info, err := os.Stat(a)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			out = append(out, a)
+			continue
+		}
+		entries, err := os.ReadDir(a)
+		if err != nil {
+			return nil, err
+		}
+		var files []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".c") {
+				files = append(files, filepath.Join(a, e.Name()))
+			}
+		}
+		sort.Strings(files)
+		out = append(out, files...)
+	}
+	return out, nil
+}
+
+// fixOne processes a single file.
+func fixOne(path string, opts options, batch bool) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cfix: %v\n", err)
+		return 1
+	}
+	source := string(data)
+
+	if opts.verify != "" {
+		res, err := cfix.Run(path, source, opts.verify, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cfix: pre-run: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "%s before: %d violation(s)\n", path, len(res.Violations))
+		for _, v := range res.Violations {
+			fmt.Fprintf(os.Stderr, "  %s\n", v)
+		}
+	}
+
+	rep, err := cfix.Fix(path, source, cfix.Options{
+		DisableSLR:   !opts.doSLR,
+		DisableSTR:   !opts.doSTR,
+		SelectOffset: opts.at,
+		SelectAll:    opts.at < 0,
+		EmitSupport:  opts.support,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cfix: %s: %v\n", path, err)
+		return 1
+	}
+	if opts.summary {
+		if batch {
+			fmt.Fprintf(os.Stderr, "== %s ==\n", path)
+		}
+		fmt.Fprint(os.Stderr, rep.Summary())
+	}
+
+	if opts.verify != "" {
+		res, err := cfix.Run(path, rep.Source, opts.verify, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cfix: post-run: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "%s after:  %d violation(s)\n", path, len(res.Violations))
+		for _, v := range res.Violations {
+			fmt.Fprintf(os.Stderr, "  %s\n", v)
+		}
+	}
+
+	if opts.diff {
+		// The didactic view (Section I): show exactly what changed.
+		d := textdiff.Unified(path, path+" (fixed)", source, rep.Source)
+		if d == "" {
+			fmt.Fprintf(os.Stderr, "%s: no changes\n", path)
+		}
+		os.Stdout.WriteString(d)
+		if opts.out == "" && opts.outdir == "" {
+			return 0
+		}
+	}
+	switch {
+	case opts.outdir != "":
+		if err := os.MkdirAll(opts.outdir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "cfix: %v\n", err)
+			return 1
+		}
+		dst := filepath.Join(opts.outdir, filepath.Base(path))
+		if err := os.WriteFile(dst, []byte(rep.Source), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "cfix: %v\n", err)
+			return 1
+		}
+	case opts.out != "":
+		if err := os.WriteFile(opts.out, []byte(rep.Source), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "cfix: %v\n", err)
+			return 1
+		}
+	default:
+		os.Stdout.WriteString(rep.Source)
+	}
+	return 0
+}

@@ -1,0 +1,55 @@
+// Command samategen emits the synthetic Juliet-style benchmark corpus
+// (Section IV-A / Table III) to a directory tree, one .c file per program:
+//
+//	samategen -out ./juliet [-cwe 121] [-n 50]
+//
+// With no -cwe, all six CWEs are generated with their Table III counts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/samate"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		out = flag.String("out", "juliet", "output directory")
+		cwe = flag.Int("cwe", 0, "generate only this CWE (0 = all)")
+		n   = flag.Int("n", 0, "programs per CWE (0 = Table III counts)")
+	)
+	flag.Parse()
+
+	cwes := samate.CWEs
+	if *cwe != 0 {
+		cwes = []int{*cwe}
+	}
+	total := 0
+	for _, c := range cwes {
+		count := samate.TableIIICounts[c]
+		if *n > 0 {
+			count = *n
+		}
+		dir := filepath.Join(*out, fmt.Sprintf("CWE%d", c))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "samategen: %v\n", err)
+			return 1
+		}
+		for _, p := range samate.Generate(c, count) {
+			path := filepath.Join(dir, p.ID+".c")
+			if err := os.WriteFile(path, []byte(p.Source), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "samategen: %v\n", err)
+				return 1
+			}
+			total++
+		}
+		fmt.Printf("CWE-%d: %d programs -> %s\n", c, count, dir)
+	}
+	fmt.Printf("total: %d programs\n", total)
+	return 0
+}

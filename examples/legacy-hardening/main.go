@@ -1,0 +1,74 @@
+// Legacy hardening: batch-apply the transformations across a project.
+//
+// The paper's maintenance scenario (Section I): a maintainer points the
+// tool at a legacy codebase and fixes the root causes behind buffer
+// overflows wholesale — SLR on every unsafe library call, STR on every
+// eligible local char pointer. This example runs the batch over the
+// synthetic zlib-like project and prints the per-file change log,
+// including which sites were refused and why (the paper's conservative
+// precondition behavior).
+//
+//	go run ./examples/legacy-hardening
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/corpus"
+	"repro/pkg/cfix"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	project, ok := corpus.ProjectByName("zlib", 0)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "project not found")
+		return 1
+	}
+	var (
+		slrSites, slrApplied int
+		strVars, strApplied  int
+		refusals             []string
+	)
+	for _, file := range project.Files {
+		rep, err := cfix.Fix(file.Name, file.Source, cfix.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", file.Name, err)
+			return 1
+		}
+		if rep.SLR != nil {
+			slrSites += rep.SLR.Candidates()
+			slrApplied += rep.SLR.AppliedCount()
+			for _, s := range rep.SLR.Sites {
+				if !s.Applied {
+					refusals = append(refusals,
+						fmt.Sprintf("%s: SLR left %s in place: %v", s.Pos, s.Function, s.Failure))
+				}
+			}
+		}
+		if rep.STR != nil {
+			for _, v := range rep.STR.Vars {
+				if !v.IsPointer {
+					continue
+				}
+				strVars++
+				if v.Applied {
+					strApplied++
+				} else {
+					refusals = append(refusals,
+						fmt.Sprintf("%s: STR left %s in place: %s (%s)", v.Pos, v.Name, v.Reason, v.Detail))
+				}
+			}
+		}
+	}
+	fmt.Printf("project %s: %d files\n", project.Name, len(project.Files))
+	fmt.Printf("SLR: %d/%d unsafe calls replaced\n", slrApplied, slrSites)
+	fmt.Printf("STR: %d/%d local char pointers replaced\n", strApplied, strVars)
+	fmt.Println("\nconservative refusals (left for manual review):")
+	for _, r := range refusals {
+		fmt.Println("  " + r)
+	}
+	return 0
+}

@@ -1,0 +1,138 @@
+// Package callgraph builds the static call graph of a translation unit —
+// one of the base analyses OpenRefactory/C provides (Section III-A).
+// Calls through function pointers are recorded as unresolved edges;
+// clients that need soundness (internal/interproc) treat unresolved calls
+// conservatively.
+package callgraph
+
+import (
+	"sort"
+
+	"repro/internal/cast"
+)
+
+// Edge is one call site.
+type Edge struct {
+	// Caller is the enclosing function definition.
+	Caller *cast.FuncDef
+	// Call is the call expression.
+	Call *cast.CallExpr
+	// Callee is the called function definition when it is defined in this
+	// unit; nil for external or unresolved calls.
+	Callee *cast.FuncDef
+	// CalleeName is the spelled name of the callee ("" for calls through
+	// expressions).
+	CalleeName string
+}
+
+// Graph is the static call graph.
+type Graph struct {
+	unit  *cast.TranslationUnit
+	edges []Edge
+	// out indexes edges by caller name.
+	out map[string][]int
+	// in indexes edges by callee name.
+	in map[string][]int
+}
+
+// Build constructs the call graph for the unit.
+func Build(unit *cast.TranslationUnit) *Graph {
+	g := &Graph{
+		unit: unit,
+		out:  make(map[string][]int),
+		in:   make(map[string][]int),
+	}
+	defs := make(map[string]*cast.FuncDef, len(unit.Funcs))
+	for _, f := range unit.Funcs {
+		defs[f.Name] = f
+	}
+	for _, f := range unit.Funcs {
+		cast.Inspect(f.Body, func(n cast.Node) bool {
+			call, ok := n.(*cast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := call.Callee()
+			e := Edge{
+				Caller:     f,
+				Call:       call,
+				CalleeName: name,
+				Callee:     defs[name],
+			}
+			idx := len(g.edges)
+			g.edges = append(g.edges, e)
+			g.out[f.Name] = append(g.out[f.Name], idx)
+			if name != "" {
+				g.in[name] = append(g.in[name], idx)
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// Edges returns all call edges in source order.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// CallsFrom returns the call edges out of the named function.
+func (g *Graph) CallsFrom(caller string) []Edge {
+	return g.gather(g.out[caller])
+}
+
+// CallsTo returns the call edges targeting the named function.
+func (g *Graph) CallsTo(callee string) []Edge {
+	return g.gather(g.in[callee])
+}
+
+func (g *Graph) gather(idx []int) []Edge {
+	out := make([]Edge, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, g.edges[i])
+	}
+	return out
+}
+
+// Callees returns the unique callee names reachable from caller in one
+// step, sorted.
+func (g *Graph) Callees(caller string) []string {
+	seen := make(map[string]struct{})
+	for _, e := range g.CallsFrom(caller) {
+		if e.CalleeName != "" {
+			seen[e.CalleeName] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TransitiveCallees returns every function name reachable from the given
+// root, excluding the root itself unless it is recursive.
+func (g *Graph) TransitiveCallees(root string) []string {
+	seen := make(map[string]struct{})
+	var walk func(name string)
+	walk = func(name string) {
+		for _, e := range g.CallsFrom(name) {
+			if e.CalleeName == "" {
+				continue
+			}
+			if _, ok := seen[e.CalleeName]; ok {
+				continue
+			}
+			seen[e.CalleeName] = struct{}{}
+			if e.Callee != nil {
+				walk(e.CalleeName)
+			}
+		}
+	}
+	walk(root)
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,395 @@
+// Package cfg builds per-function control-flow graphs at statement
+// granularity.
+//
+// Each graph node corresponds to one source-level evaluation point: a
+// simple statement, a single declarator, a branch condition, or a loop
+// post-expression. Keeping nodes at statement granularity (rather than
+// compiler-style basic blocks over an IR) lets every dataflow fact map
+// directly back to source extents, which the paper identifies as the
+// requirement that rules out SSA-based infrastructure (Section I).
+package cfg
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cast"
+)
+
+// NodeKind classifies CFG nodes.
+type NodeKind int
+
+// Node kinds.
+const (
+	KindInvalid NodeKind = iota
+	KindEntry            // function entry
+	KindExit             // function exit
+	KindStmt             // simple statement (ExprStmt, ReturnStmt, ...)
+	KindDecl             // one declarator of a declaration
+	KindCond             // branch or loop condition expression
+	KindPost             // for-loop post expression
+)
+
+// Node is a single CFG node.
+type Node struct {
+	ID   int
+	Kind NodeKind
+	// Stmt is set for KindStmt nodes (and KindDecl points at the VarDecl's
+	// enclosing DeclStmt when available).
+	Stmt cast.Stmt
+	// Decl is set for KindDecl nodes.
+	Decl *cast.VarDecl
+	// Expr is set for KindCond and KindPost nodes.
+	Expr cast.Expr
+
+	Succs []*Node
+	Preds []*Node
+}
+
+// label renders the node for debugging.
+func (n *Node) label() string {
+	switch n.Kind {
+	case KindEntry:
+		return "entry"
+	case KindExit:
+		return "exit"
+	case KindDecl:
+		return fmt.Sprintf("decl %s", n.Decl.Name)
+	case KindCond:
+		return "cond"
+	case KindPost:
+		return "post"
+	default:
+		return fmt.Sprintf("stmt %T", n.Stmt)
+	}
+}
+
+// Graph is the CFG for one function.
+type Graph struct {
+	Func  *cast.FuncDef
+	Entry *Node
+	Exit  *Node
+	Nodes []*Node
+}
+
+// String renders the graph in a compact adjacency format for debugging.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&sb, "%d[%s] ->", n.ID, n.label())
+		for _, s := range n.Succs {
+			fmt.Fprintf(&sb, " %d", s.ID)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// builder carries loop/switch context during construction.
+type builder struct {
+	g *Graph
+	// contTgt is a stack of continue targets, one per enclosing loop.
+	contTgt []*Node
+	// pendingBreaks stacks the break statements seen inside each enclosing
+	// breakable construct (loop or switch); they become fall-out edges when
+	// the construct closes.
+	pendingBreaks [][]*Node
+	labels        map[string]*Node
+	gotoFixups    map[string][]*Node
+	// switchCtx tracks the innermost switch being built so case labels can
+	// attach themselves.
+	switchCtx []*switchFrame
+}
+
+// pushLoop opens a loop context with the given continue target.
+func (b *builder) pushLoop(cont *Node) {
+	b.contTgt = append(b.contTgt, cont)
+	b.pendingBreaks = append(b.pendingBreaks, nil)
+}
+
+// popLoop closes the innermost loop and returns its break statements.
+func (b *builder) popLoop() []*Node {
+	b.contTgt = b.contTgt[:len(b.contTgt)-1]
+	return b.popBreaks()
+}
+
+// pushSwitch opens a switch context (breakable, not continuable).
+func (b *builder) pushSwitch() {
+	b.pendingBreaks = append(b.pendingBreaks, nil)
+}
+
+// popBreaks pops and returns the innermost pending break list.
+func (b *builder) popBreaks() []*Node {
+	top := len(b.pendingBreaks) - 1
+	brks := b.pendingBreaks[top]
+	b.pendingBreaks = b.pendingBreaks[:top]
+	return brks
+}
+
+// registerBreak records a break statement against the innermost breakable
+// construct.
+func (b *builder) registerBreak(n *Node) {
+	if len(b.pendingBreaks) == 0 {
+		return // break outside loop/switch: malformed C; drop the edge
+	}
+	top := len(b.pendingBreaks) - 1
+	b.pendingBreaks[top] = append(b.pendingBreaks[top], n)
+}
+
+type switchFrame struct {
+	tag        *Node
+	hasDefault bool
+}
+
+// Build constructs the CFG for fn.
+func Build(fn *cast.FuncDef) *Graph {
+	g := &Graph{Func: fn}
+	b := &builder{
+		g:          g,
+		labels:     make(map[string]*Node),
+		gotoFixups: make(map[string][]*Node),
+	}
+	g.Entry = b.newNode(KindEntry)
+	g.Exit = b.newNode(KindExit)
+	last := b.buildStmt(fn.Body, []*Node{g.Entry})
+	b.connectAll(last, g.Exit)
+	// Resolve pending gotos (forward references).
+	for label, srcs := range b.gotoFixups {
+		if tgt, ok := b.labels[label]; ok {
+			for _, s := range srcs {
+				b.connect(s, tgt)
+			}
+		}
+		// Unresolved labels leave the goto dangling toward exit; the
+		// function is malformed C but analyses must not crash.
+	}
+	return g
+}
+
+func (b *builder) newNode(kind NodeKind) *Node {
+	n := &Node{ID: len(b.g.Nodes), Kind: kind}
+	b.g.Nodes = append(b.g.Nodes, n)
+	return n
+}
+
+func (b *builder) connect(from, to *Node) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+func (b *builder) connectAll(froms []*Node, to *Node) {
+	for _, f := range froms {
+		b.connect(f, to)
+	}
+}
+
+// buildStmt threads the statement into the graph. preds are the nodes whose
+// control falls into s; the return value is the set of nodes whose control
+// falls out of s (empty when control cannot continue, e.g. after return).
+func (b *builder) buildStmt(s cast.Stmt, preds []*Node) []*Node {
+	if s == nil {
+		return preds
+	}
+	switch x := s.(type) {
+	case *cast.CompoundStmt:
+		cur := preds
+		for _, item := range x.Items {
+			cur = b.buildStmt(item, cur)
+		}
+		return cur
+
+	case *cast.DeclStmt:
+		cur := preds
+		for _, d := range x.Decls {
+			n := b.newNode(KindDecl)
+			n.Decl = d
+			n.Stmt = x
+			b.connectAll(cur, n)
+			cur = []*Node{n}
+		}
+		return cur
+
+	case *cast.ExprStmt:
+		n := b.newNode(KindStmt)
+		n.Stmt = x
+		b.connectAll(preds, n)
+		return []*Node{n}
+
+	case *cast.NullStmt:
+		return preds
+
+	case *cast.ReturnStmt:
+		n := b.newNode(KindStmt)
+		n.Stmt = x
+		b.connectAll(preds, n)
+		b.connect(n, b.g.Exit)
+		return nil
+
+	case *cast.IfStmt:
+		cond := b.newNode(KindCond)
+		cond.Expr = x.Cond
+		b.connectAll(preds, cond)
+		thenOut := b.buildStmt(x.Then, []*Node{cond})
+		if x.Else == nil {
+			return append(thenOut, cond)
+		}
+		elseOut := b.buildStmt(x.Else, []*Node{cond})
+		return append(thenOut, elseOut...)
+
+	case *cast.WhileStmt:
+		cond := b.newNode(KindCond)
+		cond.Expr = x.Cond
+		b.connectAll(preds, cond)
+		b.pushLoop(cond)
+		bodyOut := b.buildStmt(x.Body, []*Node{cond})
+		brk := b.popLoop()
+		b.connectAll(bodyOut, cond)
+		return append(brk, cond)
+
+	case *cast.DoWhileStmt:
+		cond := b.newNode(KindCond)
+		cond.Expr = x.Cond
+		// Body executes first; continue targets the condition.
+		b.pushLoop(cond)
+		bodyHeadMark := len(b.g.Nodes)
+		bodyOut := b.buildStmt(x.Body, preds)
+		brk := b.popLoop()
+		b.connectAll(bodyOut, cond)
+		// Back edge: the body is re-entered from the condition. The body's
+		// first created node (if any) is its head.
+		for _, n := range b.g.Nodes[bodyHeadMark:] {
+			if n != cond {
+				b.connect(cond, n)
+				break
+			}
+		}
+		return append(brk, cond)
+
+	case *cast.ForStmt:
+		cur := preds
+		if x.Init != nil {
+			cur = b.buildStmt(x.Init, cur)
+		}
+		var cond *Node
+		if x.Cond != nil {
+			cond = b.newNode(KindCond)
+			cond.Expr = x.Cond
+			b.connectAll(cur, cond)
+			cur = []*Node{cond}
+		}
+		var post *Node
+		if x.Post != nil {
+			post = b.newNode(KindPost)
+			post.Expr = x.Post
+		}
+		contTarget := cond
+		if post != nil {
+			contTarget = post
+		}
+		if contTarget == nil {
+			// for(;;) with no post: continue jumps to the body head, which
+			// equals looping through a synthetic join; use the body's own
+			// first node via a placeholder cond-less node.
+			contTarget = b.newNode(KindStmt)
+			b.connectAll(cur, contTarget)
+			cur = []*Node{contTarget}
+		}
+		b.pushLoop(contTarget)
+		bodyOut := b.buildStmt(x.Body, cur)
+		brk := b.popLoop()
+		if post != nil {
+			b.connectAll(bodyOut, post)
+			if cond != nil {
+				b.connect(post, cond)
+			} else {
+				b.connect(post, contTarget)
+			}
+			bodyOut = nil
+		}
+		if cond != nil {
+			b.connectAll(bodyOut, cond)
+			return append(brk, cond)
+		}
+		b.connectAll(bodyOut, contTarget)
+		// No condition: the only way out is break.
+		return brk
+
+	case *cast.BreakStmt:
+		n := b.newNode(KindStmt)
+		n.Stmt = x
+		b.connectAll(preds, n)
+		b.registerBreak(n)
+		return nil
+
+	case *cast.ContinueStmt:
+		n := b.newNode(KindStmt)
+		n.Stmt = x
+		b.connectAll(preds, n)
+		if len(b.contTgt) > 0 && b.contTgt[len(b.contTgt)-1] != nil {
+			b.connect(n, b.contTgt[len(b.contTgt)-1])
+		}
+		return nil
+
+	case *cast.GotoStmt:
+		n := b.newNode(KindStmt)
+		n.Stmt = x
+		b.connectAll(preds, n)
+		if tgt, ok := b.labels[x.Label]; ok {
+			b.connect(n, tgt)
+		} else {
+			b.gotoFixups[x.Label] = append(b.gotoFixups[x.Label], n)
+		}
+		return nil
+
+	case *cast.LabeledStmt:
+		// A label is a join point: create a pass-through node so gotos have
+		// a stable target.
+		n := b.newNode(KindStmt)
+		n.Stmt = x
+		b.connectAll(preds, n)
+		b.labels[x.Label] = n
+		return b.buildStmt(x.Stmt, []*Node{n})
+
+	case *cast.SwitchStmt:
+		tag := b.newNode(KindCond)
+		tag.Expr = x.Tag
+		b.connectAll(preds, tag)
+		frame := &switchFrame{tag: tag}
+		b.switchCtx = append(b.switchCtx, frame)
+		b.pushSwitch()
+		out := b.buildStmt(x.Body, nil)
+		brk := b.popBreaks()
+		b.switchCtx = b.switchCtx[:len(b.switchCtx)-1]
+		out = append(out, brk...)
+		if !frame.hasDefault {
+			out = append(out, tag)
+		}
+		return out
+
+	case *cast.CaseStmt:
+		n := b.newNode(KindStmt)
+		n.Stmt = x
+		// Fallthrough from the previous case...
+		b.connectAll(preds, n)
+		// ...and dispatch edge from the switch tag.
+		if len(b.switchCtx) > 0 {
+			frame := b.switchCtx[len(b.switchCtx)-1]
+			b.connect(frame.tag, n)
+			if x.Value == nil {
+				frame.hasDefault = true
+			}
+		}
+		return b.buildStmt(x.Stmt, []*Node{n})
+
+	default:
+		n := b.newNode(KindStmt)
+		n.Stmt = s
+		b.connectAll(preds, n)
+		return []*Node{n}
+	}
+}

@@ -1,0 +1,384 @@
+package cfg
+
+import (
+	"testing"
+
+	"repro/internal/cast"
+	"repro/internal/cparse"
+)
+
+func buildFor(t *testing.T, src string) *Graph {
+	t.Helper()
+	tu, err := cparse.Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(tu.Funcs) == 0 {
+		t.Fatal("no function in source")
+	}
+	return Build(tu.Funcs[0])
+}
+
+// reachable returns the set of node IDs reachable from entry.
+func reachable(g *Graph) map[int]bool {
+	seen := make(map[int]bool, len(g.Nodes))
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if seen[n.ID] {
+			return
+		}
+		seen[n.ID] = true
+		for _, s := range n.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+func TestStraightLine(t *testing.T) {
+	g := buildFor(t, `
+void f(void) {
+    int a;
+    a = 1;
+    a = 2;
+}
+`)
+	// entry -> decl -> stmt -> stmt -> exit
+	if len(g.Nodes) != 5 {
+		t.Fatalf("nodes: got %d, want 5\n%s", len(g.Nodes), g)
+	}
+	r := reachable(g)
+	if !r[g.Exit.ID] {
+		t.Fatal("exit not reachable")
+	}
+	if len(r) != 5 {
+		t.Fatalf("reachable: got %d, want 5", len(r))
+	}
+}
+
+func TestIfElseJoins(t *testing.T) {
+	g := buildFor(t, `
+void f(int c) {
+    int a;
+    if (c) { a = 1; } else { a = 2; }
+    a = 3;
+}
+`)
+	// The join statement (a = 3) must have two predecessors.
+	var join *Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindStmt {
+			if es, ok := n.Stmt.(*cast.ExprStmt); ok {
+				if a, ok := es.X.(*cast.AssignExpr); ok {
+					if lit, ok := a.RHS.(*cast.IntLit); ok && lit.Value == 3 {
+						join = n
+					}
+				}
+			}
+		}
+	}
+	if join == nil {
+		t.Fatal("join statement not found")
+	}
+	if len(join.Preds) != 2 {
+		t.Fatalf("join preds: got %d, want 2\n%s", len(join.Preds), g)
+	}
+}
+
+func TestIfWithoutElseFallsThrough(t *testing.T) {
+	g := buildFor(t, `
+void f(int c) {
+    if (c) { c = 1; }
+    c = 2;
+}
+`)
+	var cond *Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindCond {
+			cond = n
+		}
+	}
+	if cond == nil {
+		t.Fatal("no condition node")
+	}
+	// Condition has 2 successors: then-branch and fall-through.
+	if len(cond.Succs) != 2 {
+		t.Fatalf("cond succs: got %d, want 2\n%s", len(cond.Succs), g)
+	}
+}
+
+func TestWhileLoopBackEdge(t *testing.T) {
+	g := buildFor(t, `
+void f(int n) {
+    while (n > 0) { n--; }
+    n = 5;
+}
+`)
+	var cond *Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindCond {
+			cond = n
+		}
+	}
+	// The loop body statement must loop back to the condition.
+	hasBack := false
+	for _, n := range g.Nodes {
+		if n.Kind == KindStmt {
+			for _, s := range n.Succs {
+				if s == cond {
+					hasBack = true
+				}
+			}
+		}
+	}
+	if !hasBack {
+		t.Fatalf("missing back edge to loop condition\n%s", g)
+	}
+}
+
+func TestForLoopStructure(t *testing.T) {
+	g := buildFor(t, `
+void f(void) {
+    int i;
+    int s;
+    for (i = 0; i < 10; i++) { s += i; }
+    s = 0;
+}
+`)
+	var post *Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindPost {
+			post = n
+		}
+	}
+	if post == nil {
+		t.Fatalf("no post node\n%s", g)
+	}
+	// post must flow to the condition.
+	found := false
+	for _, s := range post.Succs {
+		if s.Kind == KindCond {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("post does not reach condition\n%s", g)
+	}
+}
+
+func TestBreakLeavesLoop(t *testing.T) {
+	g := buildFor(t, `
+void f(int n) {
+    for (;;) {
+        if (n) { break; }
+        n++;
+    }
+    n = 9;
+}
+`)
+	r := reachable(g)
+	if !r[g.Exit.ID] {
+		t.Fatalf("exit unreachable despite break\n%s", g)
+	}
+	// The statement after the loop must be reachable.
+	var after *Node
+	for _, n := range g.Nodes {
+		if es, ok := n.Stmt.(*cast.ExprStmt); ok {
+			if a, ok := es.X.(*cast.AssignExpr); ok {
+				if lit, ok := a.RHS.(*cast.IntLit); ok && lit.Value == 9 {
+					after = n
+				}
+			}
+		}
+	}
+	if after == nil || !r[after.ID] {
+		t.Fatalf("statement after loop unreachable\n%s", g)
+	}
+}
+
+func TestContinueTargetsCondition(t *testing.T) {
+	g := buildFor(t, `
+void f(int n) {
+    while (n) {
+        if (n == 1) { continue; }
+        n--;
+    }
+}
+`)
+	var contNode *Node
+	for _, n := range g.Nodes {
+		if _, ok := n.Stmt.(*cast.ContinueStmt); ok {
+			contNode = n
+		}
+	}
+	if contNode == nil {
+		t.Fatal("continue node not found")
+	}
+	if len(contNode.Succs) != 1 || contNode.Succs[0].Kind != KindCond {
+		t.Fatalf("continue should target loop condition\n%s", g)
+	}
+}
+
+func TestReturnGoesToExit(t *testing.T) {
+	g := buildFor(t, `
+int f(int c) {
+    if (c) { return 1; }
+    return 0;
+}
+`)
+	nReturns := 0
+	for _, n := range g.Nodes {
+		if _, ok := n.Stmt.(*cast.ReturnStmt); ok {
+			nReturns++
+			if len(n.Succs) != 1 || n.Succs[0] != g.Exit {
+				t.Fatalf("return should flow only to exit\n%s", g)
+			}
+		}
+	}
+	if nReturns != 2 {
+		t.Fatalf("returns: got %d, want 2", nReturns)
+	}
+}
+
+func TestSwitchDispatch(t *testing.T) {
+	g := buildFor(t, `
+void f(int n) {
+    switch (n) {
+    case 0:
+        n = 1;
+        break;
+    case 1:
+        n = 2;
+        break;
+    default:
+        n = 3;
+    }
+    n = 4;
+}
+`)
+	var tag *Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindCond {
+			tag = n
+		}
+	}
+	// Tag dispatches to 3 case labels.
+	nCases := 0
+	for _, s := range tag.Succs {
+		if _, ok := s.Stmt.(*cast.CaseStmt); ok {
+			nCases++
+		}
+	}
+	if nCases != 3 {
+		t.Fatalf("case dispatch edges: got %d, want 3\n%s", nCases, g)
+	}
+	r := reachable(g)
+	if !r[g.Exit.ID] {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestSwitchWithoutDefaultFallsThrough(t *testing.T) {
+	g := buildFor(t, `
+void f(int n) {
+    switch (n) {
+    case 0:
+        n = 1;
+        break;
+    }
+    n = 4;
+}
+`)
+	// With no default, the tag must have a fall-through edge past the
+	// switch: the statement after must have >= 2 preds (break + tag path).
+	var after *Node
+	for _, n := range g.Nodes {
+		if es, ok := n.Stmt.(*cast.ExprStmt); ok {
+			if a, ok := es.X.(*cast.AssignExpr); ok {
+				if lit, ok := a.RHS.(*cast.IntLit); ok && lit.Value == 4 {
+					after = n
+				}
+			}
+		}
+	}
+	if after == nil {
+		t.Fatal("after-switch statement not found")
+	}
+	if len(after.Preds) < 2 {
+		t.Fatalf("after-switch preds: got %d, want >= 2\n%s", len(after.Preds), g)
+	}
+}
+
+func TestGotoForwardAndBackward(t *testing.T) {
+	g := buildFor(t, `
+void f(int n) {
+top:
+    n--;
+    if (n > 5) { goto top; }
+    if (n < 0) { goto end; }
+    n = 1;
+end:
+    return;
+}
+`)
+	r := reachable(g)
+	if !r[g.Exit.ID] {
+		t.Fatalf("exit unreachable\n%s", g)
+	}
+	// Both gotos must have exactly one successor (their label).
+	for _, n := range g.Nodes {
+		if _, ok := n.Stmt.(*cast.GotoStmt); ok {
+			if len(n.Succs) != 1 {
+				t.Fatalf("goto succs: got %d, want 1\n%s", len(n.Succs), g)
+			}
+		}
+	}
+}
+
+func TestDoWhile(t *testing.T) {
+	g := buildFor(t, `
+void f(int n) {
+    do { n--; } while (n > 0);
+    n = 7;
+}
+`)
+	r := reachable(g)
+	if !r[g.Exit.ID] {
+		t.Fatalf("exit unreachable\n%s", g)
+	}
+	// The condition must have a back edge into the body.
+	var cond *Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindCond {
+			cond = n
+		}
+	}
+	back := false
+	for _, s := range cond.Succs {
+		if s.Kind == KindStmt {
+			back = true
+		}
+	}
+	if !back {
+		t.Fatalf("do-while condition lacks back edge\n%s", g)
+	}
+}
+
+func TestEmptyFunction(t *testing.T) {
+	g := buildFor(t, "void f(void) {}")
+	if len(g.Nodes) != 2 {
+		t.Fatalf("nodes: got %d, want 2 (entry, exit)", len(g.Nodes))
+	}
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Fatal("entry should connect directly to exit")
+	}
+}
+
+func TestInfiniteLoopNoExit(t *testing.T) {
+	g := buildFor(t, "void f(void){ for(;;){} }")
+	r := reachable(g)
+	if r[g.Exit.ID] {
+		t.Fatalf("exit should be unreachable for for(;;) with no break\n%s", g)
+	}
+}

@@ -1,0 +1,49 @@
+package cfg
+
+import (
+	"repro/internal/cast"
+	"repro/internal/ctoken"
+)
+
+// NodeContaining returns the CFG node whose program point contains the
+// given AST node, judged by source extents. When several nodes cover the
+// target (e.g. a labeled statement wrapping an expression statement), the
+// one with the smallest extent wins. Returns nil when no node covers the
+// target.
+func (g *Graph) NodeContaining(target cast.Node) *Node {
+	te := target.Extent()
+	if !te.IsValid() {
+		return nil
+	}
+	var (
+		best     *Node
+		bestSize = int(^uint(0) >> 1) // max int
+	)
+	consider := func(n *Node, e ctoken.Extent) {
+		if !e.IsValid() || !e.Covers(te) {
+			return
+		}
+		if e.Len() < bestSize {
+			best = n
+			bestSize = e.Len()
+		}
+	}
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case KindDecl:
+			consider(n, n.Decl.Extent())
+		case KindCond, KindPost:
+			consider(n, n.Expr.Extent())
+		case KindStmt:
+			if n.Stmt != nil {
+				e := n.Stmt.Extent()
+				// Labeled statements and cases wrap inner statements that
+				// have their own nodes; restricting to the label's head
+				// extent would lose coverage, so we rely on smallest-extent
+				// selection instead.
+				consider(n, e)
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,122 @@
+package cfg
+
+import (
+	"testing"
+
+	"repro/internal/cast"
+	"repro/internal/cparse"
+)
+
+func TestNodeContainingSmallestWins(t *testing.T) {
+	tu, err := cparse.Parse("t.c", `
+void f(int n) {
+    if (n > 0) {
+        n = 1;
+    }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(tu.Funcs[0])
+	// Find the inner assignment expression.
+	var assign cast.Expr
+	cast.Inspect(tu, func(nd cast.Node) bool {
+		if a, ok := nd.(*cast.AssignExpr); ok {
+			assign = a
+		}
+		return true
+	})
+	node := g.NodeContaining(assign)
+	if node == nil {
+		t.Fatal("no node found")
+	}
+	if node.Kind != KindStmt {
+		t.Fatalf("kind: %v", node.Kind)
+	}
+	// The condition belongs to the cond node, not the statement.
+	var cond cast.Expr
+	cast.Inspect(tu, func(nd cast.Node) bool {
+		if b, ok := nd.(*cast.BinaryExpr); ok && b.Op == cast.BinaryGt {
+			cond = b
+		}
+		return true
+	})
+	cnode := g.NodeContaining(cond)
+	if cnode == nil || cnode.Kind != KindCond {
+		t.Fatalf("condition node: %+v", cnode)
+	}
+}
+
+func TestNodeContainingDeclInit(t *testing.T) {
+	tu, err := cparse.Parse("t.c", `
+void f(void) {
+    char buf[4];
+    char *p = buf;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(tu.Funcs[0])
+	var use cast.Expr
+	cast.Inspect(tu, func(nd cast.Node) bool {
+		if id, ok := nd.(*cast.Ident); ok && id.Name == "buf" {
+			use = id
+		}
+		return true
+	})
+	node := g.NodeContaining(use)
+	if node == nil || node.Kind != KindDecl {
+		t.Fatalf("decl-init use should map to the decl node, got %+v", node)
+	}
+	if node.Decl.Name != "p" {
+		t.Fatalf("wrong decl: %s", node.Decl.Name)
+	}
+}
+
+func TestNodeContainingForPost(t *testing.T) {
+	tu, err := cparse.Parse("t.c", `
+void f(void) {
+    int i;
+    for (i = 0; i < 3; i++) {}
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Build(tu.Funcs[0])
+	var post cast.Expr
+	cast.Inspect(tu, func(nd cast.Node) bool {
+		if p, ok := nd.(*cast.PostfixExpr); ok {
+			post = p
+		}
+		return true
+	})
+	node := g.NodeContaining(post)
+	if node == nil || node.Kind != KindPost {
+		t.Fatalf("post expression node: %+v", node)
+	}
+}
+
+func TestNodeContainingMissing(t *testing.T) {
+	tu, err := cparse.Parse("t.c", `
+void f(void) { int i; i = 1; }
+void g(void) { int j; j = 2; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf := Build(tu.Funcs[0])
+	// An expression from g is not inside f's graph.
+	var fromG cast.Expr
+	cast.Inspect(tu.Funcs[1], func(nd cast.Node) bool {
+		if a, ok := nd.(*cast.AssignExpr); ok {
+			fromG = a
+		}
+		return true
+	})
+	if gf.NodeContaining(fromG) != nil {
+		t.Fatal("foreign expression must not resolve")
+	}
+}

@@ -1,0 +1,343 @@
+// Package cinterp executes the C subset under a checked memory model.
+//
+// Every object (global, stack local, heap allocation, string literal)
+// carries its exact bounds; every load, store and string operation checks
+// them. A violation is recorded with the CWE class the paper's evaluation
+// uses (121 stack overflow, 122 heap overflow, 124 underwrite, 126
+// overread, 127 underread), the access is clamped, and execution
+// continues — so a run yields both the observable output and the complete
+// list of memory-safety events. This is the oracle for RQ1/RQ2: a
+// transformation "fixes" a program when the bad function's violations
+// disappear, and "preserves behavior" when the good function's output is
+// unchanged.
+package cinterp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/ctoken"
+)
+
+// ObjKind classifies memory objects.
+type ObjKind int
+
+// Object kinds.
+const (
+	ObjInvalid ObjKind = iota
+	ObjGlobal
+	ObjStack
+	ObjHeap
+	ObjString
+)
+
+func (k ObjKind) String() string {
+	switch k {
+	case ObjGlobal:
+		return "global"
+	case ObjStack:
+		return "stack"
+	case ObjHeap:
+		return "heap"
+	case ObjString:
+		return "string literal"
+	default:
+		return "invalid"
+	}
+}
+
+// Object is one allocated region.
+type Object struct {
+	ID       int
+	Name     string
+	Kind     ObjKind
+	Data     []byte
+	Dead     bool
+	ReadOnly bool
+}
+
+// Pointer is a typed address: an object plus a byte offset. Offsets may
+// run outside the object (C allows forming them); only access is checked.
+type Pointer struct {
+	Obj *Object
+	Off int64
+}
+
+// IsNull reports the null pointer.
+func (p Pointer) IsNull() bool { return p.Obj == nil }
+
+// ValueKind tags interpreter values.
+type ValueKind int
+
+// Value kinds.
+const (
+	VInvalid ValueKind = iota
+	VInt
+	VFloat
+	VPtr
+)
+
+// Value is a runtime value.
+type Value struct {
+	K ValueKind
+	I int64
+	F float64
+	P Pointer
+}
+
+// IntV makes an integer value.
+func IntV(i int64) Value { return Value{K: VInt, I: i} }
+
+// FloatV makes a float value.
+func FloatV(f float64) Value { return Value{K: VFloat, F: f} }
+
+// PtrV makes a pointer value.
+func PtrV(p Pointer) Value { return Value{K: VPtr, P: p} }
+
+// NullV is the null pointer value.
+func NullV() Value { return Value{K: VPtr} }
+
+// AsBool interprets the value as a C truth value.
+func (v Value) AsBool() bool {
+	switch v.K {
+	case VInt:
+		return v.I != 0
+	case VFloat:
+		return v.F != 0
+	case VPtr:
+		return !v.P.IsNull()
+	default:
+		return false
+	}
+}
+
+// AsInt converts to an integer (pointers convert via their handle; used
+// only for comparisons and truthiness).
+func (v Value) AsInt() int64 {
+	switch v.K {
+	case VInt:
+		return v.I
+	case VFloat:
+		return int64(v.F)
+	default:
+		return 0
+	}
+}
+
+// AsFloat converts to a float.
+func (v Value) AsFloat() float64 {
+	switch v.K {
+	case VFloat:
+		return v.F
+	case VInt:
+		return float64(v.I)
+	default:
+		return 0
+	}
+}
+
+// Violation is one detected memory-safety event.
+type Violation struct {
+	CWE   int
+	Write bool
+	Pos   ctoken.Position
+	Msg   string
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: CWE-%d: %s", v.Pos, v.CWE, v.Msg)
+}
+
+// classify maps an out-of-bounds access to the paper's CWE taxonomy.
+func classify(obj *Object, off int64, write bool) (int, string) {
+	dir := "read"
+	if write {
+		dir = "write"
+	}
+	switch {
+	case off < 0 && write:
+		return 124, fmt.Sprintf("buffer underwrite: %s at offset %d of %s %q", dir, off, obj.Kind, obj.Name)
+	case off < 0:
+		return 127, fmt.Sprintf("buffer underread: %s at offset %d of %s %q", dir, off, obj.Kind, obj.Name)
+	case write && obj.Kind == ObjHeap:
+		return 122, fmt.Sprintf("heap buffer overflow: %s at offset %d of %d-byte object %q", dir, off, len(obj.Data), obj.Name)
+	case write:
+		return 121, fmt.Sprintf("stack buffer overflow: %s at offset %d of %d-byte object %q", dir, off, len(obj.Data), obj.Name)
+	default:
+		return 126, fmt.Sprintf("buffer overread: %s at offset %d of %d-byte object %q", dir, off, len(obj.Data), obj.Name)
+	}
+}
+
+// newObject registers a fresh object.
+func (in *Interp) newObject(name string, kind ObjKind, size int) *Object {
+	if size < 1 {
+		size = 1
+	}
+	o := &Object{ID: len(in.objects), Name: name, Kind: kind, Data: make([]byte, size)}
+	in.objects = append(in.objects, o)
+	return o
+}
+
+// violate records a memory-safety event at the given source extent.
+func (in *Interp) violate(obj *Object, off int64, write bool, at ctoken.Extent) {
+	cwe, msg := classify(obj, off, write)
+	in.events = append(in.events, Violation{
+		CWE:   cwe,
+		Write: write,
+		Pos:   in.unit.File.Position(at.Pos),
+		Msg:   msg,
+	})
+}
+
+// violateUAF records a use-after-free event.
+func (in *Interp) violateUAF(obj *Object, write bool, at ctoken.Extent) {
+	in.events = append(in.events, Violation{
+		CWE:   416,
+		Write: write,
+		Pos:   in.unit.File.Position(at.Pos),
+		Msg:   fmt.Sprintf("use after free of %s %q", obj.Kind, obj.Name),
+	})
+}
+
+// checkAccess validates an n-byte access; returns false (after recording
+// the event) when out of bounds or dead.
+func (in *Interp) checkAccess(p Pointer, n int64, write bool, at ctoken.Extent) bool {
+	if p.IsNull() {
+		in.events = append(in.events, Violation{
+			CWE:   476,
+			Write: write,
+			Pos:   in.unit.File.Position(at.Pos),
+			Msg:   "null pointer dereference",
+		})
+		return false
+	}
+	if p.Obj.Dead {
+		in.violateUAF(p.Obj, write, at)
+		return false
+	}
+	if p.Off < 0 || p.Off+n > int64(len(p.Obj.Data)) {
+		in.violate(p.Obj, p.Off, write, at)
+		return false
+	}
+	if write && p.Obj.ReadOnly {
+		in.events = append(in.events, Violation{
+			CWE:   0,
+			Write: true,
+			Pos:   in.unit.File.Position(at.Pos),
+			Msg:   fmt.Sprintf("write to read-only object %q", p.Obj.Name),
+		})
+		return false
+	}
+	return true
+}
+
+// loadBytes reads n bytes, returning zeroes on violation.
+func (in *Interp) loadBytes(p Pointer, n int64, at ctoken.Extent) []byte {
+	if !in.checkAccess(p, n, false, at) {
+		return make([]byte, n)
+	}
+	return p.Obj.Data[p.Off : p.Off+n]
+}
+
+// storeBytes writes b, dropping the write on violation.
+func (in *Interp) storeBytes(p Pointer, b []byte, at ctoken.Extent) bool {
+	if !in.checkAccess(p, int64(len(b)), true, at) {
+		return false
+	}
+	copy(p.Obj.Data[p.Off:], b)
+	return true
+}
+
+// Pointer handles: pointers stored into memory are interned and encoded as
+// 8-byte little-endian handles so that byte-level copies (memcpy, struct
+// assignment) transport them faithfully.
+const _handleBase = int64(1) << 62
+
+// encodePtr interns a pointer and returns its handle (0 for null).
+func (in *Interp) encodePtr(p Pointer) int64 {
+	if p.IsNull() && p.Off == 0 {
+		return 0
+	}
+	if h, ok := in.ptrHandles[p]; ok {
+		return h
+	}
+	h := _handleBase + int64(len(in.ptrTable))
+	in.ptrHandles[p] = h
+	in.ptrTable = append(in.ptrTable, p)
+	return h
+}
+
+// decodePtr resolves a handle back to a pointer. Non-handle integers
+// (e.g. a program storing 0 or an arbitrary int into a pointer) decode to
+// null-ish pointers with the raw value preserved as offset.
+func (in *Interp) decodePtr(h int64) Pointer {
+	if h == 0 {
+		return Pointer{}
+	}
+	idx := h - _handleBase
+	if idx >= 0 && idx < int64(len(in.ptrTable)) {
+		return in.ptrTable[idx]
+	}
+	return Pointer{Off: h}
+}
+
+// storeScalar writes a scalar value of the given byte size.
+func (in *Interp) storeScalar(p Pointer, v Value, size int64, isPtr bool, at ctoken.Extent) {
+	var raw int64
+	switch {
+	case isPtr || v.K == VPtr:
+		raw = in.encodePtr(v.P)
+		if v.K != VPtr {
+			raw = v.I
+		}
+	case v.K == VFloat:
+		if size == 4 {
+			raw = int64(float32bits(float32(v.F)))
+		} else {
+			raw = int64(float64bits(v.F))
+		}
+	default:
+		raw = v.I
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(raw))
+	if size > 8 {
+		size = 8
+	}
+	in.storeBytes(p, buf[:size], at)
+}
+
+// loadScalar reads a scalar value of the given byte size, sign-extending
+// signed integer types.
+func (in *Interp) loadScalar(p Pointer, size int64, isPtr, isFloat, signed bool, at ctoken.Extent) Value {
+	if size > 8 {
+		size = 8
+	}
+	b := in.loadBytes(p, size, at)
+	var buf [8]byte
+	copy(buf[:], b)
+	raw := int64(binary.LittleEndian.Uint64(buf[:]))
+	// Mask to size.
+	if size < 8 {
+		mask := (int64(1) << (8 * size)) - 1
+		raw &= mask
+		if signed {
+			signBit := int64(1) << (8*size - 1)
+			if raw&signBit != 0 {
+				raw |= ^mask
+			}
+		}
+	}
+	switch {
+	case isPtr:
+		return PtrV(in.decodePtr(raw))
+	case isFloat:
+		if size == 4 {
+			return FloatV(float64(float32frombits(uint32(raw))))
+		}
+		return FloatV(float64frombits(uint64(raw)))
+	default:
+		return IntV(raw)
+	}
+}

@@ -1,0 +1,328 @@
+package cinterp
+
+import (
+	"repro/internal/cast"
+	"repro/internal/ctoken"
+)
+
+// Native implementations of the stralloc library (internal/stralloc).
+//
+// The interpreter executes the library's C source whenever a program links
+// it in (user-defined functions shadow builtins), which is how the
+// correctness tests exercise the real implementation. These native
+// versions carry identical semantics and serve two purposes: programs that
+// only include the header still run, and the RQ3 overhead measurements
+// compare native-against-native (libc builtins vs stralloc builtins), the
+// analog of the paper's compiled-code timings.
+//
+// Struct layout (LP64): s @0, f @8, len @16, a @20; size 24.
+const (
+	_saOffS   = 0
+	_saOffF   = 8
+	_saOffLen = 16
+	_saOffA   = 20
+)
+
+// saField reads a pointer-sized field.
+func (in *Interp) saLoadPtr(sa Pointer, off int64, at ctoken.Extent) Pointer {
+	v := in.loadScalar(Pointer{Obj: sa.Obj, Off: sa.Off + off}, 8, true, false, false, at)
+	return v.P
+}
+
+func (in *Interp) saStorePtr(sa Pointer, off int64, p Pointer, at ctoken.Extent) {
+	in.storeScalar(Pointer{Obj: sa.Obj, Off: sa.Off + off}, PtrV(p), 8, true, at)
+}
+
+func (in *Interp) saLoadU32(sa Pointer, off int64, at ctoken.Extent) int64 {
+	return in.loadScalar(Pointer{Obj: sa.Obj, Off: sa.Off + off}, 4, false, false, false, at).I
+}
+
+func (in *Interp) saStoreU32(sa Pointer, off, v int64, at ctoken.Extent) {
+	in.storeScalar(Pointer{Obj: sa.Obj, Off: sa.Off + off}, IntV(v), 4, false, at)
+}
+
+// saReady ensures capacity n, mirroring stralloc_ready.
+func (in *Interp) saReady(sa Pointer, n int64, call *cast.CallExpr) (bool, error) {
+	at := call.Extent()
+	if n == 0 {
+		n = 1
+	}
+	s := in.saLoadPtr(sa, _saOffS, at)
+	a := in.saLoadU32(sa, _saOffA, at)
+	if !s.IsNull() && a >= n {
+		return true, nil
+	}
+	obj, err := in.heapAlloc(n, call)
+	if err != nil {
+		return false, err
+	}
+	length := in.saLoadU32(sa, _saOffLen, at)
+	if !s.IsNull() && !s.Obj.Dead && length > 0 {
+		limit := length
+		if limit > n {
+			limit = n
+		}
+		data := in.loadBytes(s, limit, at)
+		copy(obj.Data, data)
+	}
+	f := in.saLoadPtr(sa, _saOffF, at)
+	if !s.IsNull() && s == f && s.Obj.Kind == ObjHeap && !s.Obj.Dead {
+		s.Obj.Dead = true // free the previous allocation
+	}
+	np := Pointer{Obj: obj}
+	in.saStorePtr(sa, _saOffS, np, at)
+	in.saStorePtr(sa, _saOffF, np, at)
+	in.saStoreU32(sa, _saOffA, n, at)
+	return true, nil
+}
+
+// saCopybuf copies n bytes from src into the stralloc.
+func (in *Interp) saCopybuf(sa, src Pointer, n int64, call *cast.CallExpr) (Value, error) {
+	at := call.Extent()
+	ok, err := in.saReady(sa, n+1, call)
+	if err != nil || !ok {
+		return IntV(0), err
+	}
+	s := in.saLoadPtr(sa, _saOffS, at)
+	data := in.loadBytes(src, n, at)
+	in.storeBytes(s, data, at)
+	in.storeBytes(Pointer{Obj: s.Obj, Off: s.Off + n}, []byte{0}, at)
+	in.saStoreU32(sa, _saOffLen, n, at)
+	return IntV(1), nil
+}
+
+// saCatbuf appends n bytes.
+func (in *Interp) saCatbuf(sa, src Pointer, n int64, call *cast.CallExpr) (Value, error) {
+	at := call.Extent()
+	length := in.saLoadU32(sa, _saOffLen, at)
+	ok, err := in.saReady(sa, length+n+1, call)
+	if err != nil || !ok {
+		return IntV(0), err
+	}
+	s := in.saLoadPtr(sa, _saOffS, at)
+	data := in.loadBytes(src, n, at)
+	in.storeBytes(Pointer{Obj: s.Obj, Off: s.Off + length}, data, at)
+	in.storeBytes(Pointer{Obj: s.Obj, Off: s.Off + length + n}, []byte{0}, at)
+	in.saStoreU32(sa, _saOffLen, length+n, at)
+	return IntV(1), nil
+}
+
+// registerStrallocBuiltins adds the native stralloc functions to the
+// dispatch table.
+func registerStrallocBuiltins(m map[string]builtin) {
+	m["stralloc_init"] = func(in *Interp, args []Value, call *cast.CallExpr) (Value, error) {
+		at := call.Extent()
+		sa := argPtr(args, 0)
+		in.saStorePtr(sa, _saOffS, Pointer{}, at)
+		in.saStorePtr(sa, _saOffF, Pointer{}, at)
+		in.saStoreU32(sa, _saOffLen, 0, at)
+		in.saStoreU32(sa, _saOffA, 0, at)
+		return IntV(0), nil
+	}
+	m["stralloc_ready"] = func(in *Interp, args []Value, call *cast.CallExpr) (Value, error) {
+		ok, err := in.saReady(argPtr(args, 0), argInt(args, 1), call)
+		if err != nil {
+			return Value{}, err
+		}
+		return boolV(ok), nil
+	}
+	m["stralloc_free"] = func(in *Interp, args []Value, call *cast.CallExpr) (Value, error) {
+		at := call.Extent()
+		sa := argPtr(args, 0)
+		s := in.saLoadPtr(sa, _saOffS, at)
+		f := in.saLoadPtr(sa, _saOffF, at)
+		if !s.IsNull() && s == f && s.Obj.Kind == ObjHeap {
+			s.Obj.Dead = true
+		}
+		in.saStorePtr(sa, _saOffS, Pointer{}, at)
+		in.saStorePtr(sa, _saOffF, Pointer{}, at)
+		in.saStoreU32(sa, _saOffLen, 0, at)
+		in.saStoreU32(sa, _saOffA, 0, at)
+		return IntV(0), nil
+	}
+	m["stralloc_copybuf"] = func(in *Interp, args []Value, call *cast.CallExpr) (Value, error) {
+		return in.saCopybuf(argPtr(args, 0), argPtr(args, 1), argInt(args, 2), call)
+	}
+	m["stralloc_copys"] = func(in *Interp, args []Value, call *cast.CallExpr) (Value, error) {
+		s := in.readCString(argPtr(args, 1), call.Extent())
+		obj := in.newObject("tmp", ObjString, len(s)+1)
+		copy(obj.Data, s)
+		return in.saCopybuf(argPtr(args, 0), Pointer{Obj: obj}, int64(len(s)), call)
+	}
+	m["stralloc_copy"] = func(in *Interp, args []Value, call *cast.CallExpr) (Value, error) {
+		at := call.Extent()
+		src := argPtr(args, 1)
+		s := in.saLoadPtr(src, _saOffS, at)
+		n := in.saLoadU32(src, _saOffLen, at)
+		return in.saCopybuf(argPtr(args, 0), s, n, call)
+	}
+	m["stralloc_catbuf"] = func(in *Interp, args []Value, call *cast.CallExpr) (Value, error) {
+		return in.saCatbuf(argPtr(args, 0), argPtr(args, 1), argInt(args, 2), call)
+	}
+	m["stralloc_cats"] = func(in *Interp, args []Value, call *cast.CallExpr) (Value, error) {
+		s := in.readCString(argPtr(args, 1), call.Extent())
+		obj := in.newObject("tmp", ObjString, len(s)+1)
+		copy(obj.Data, s)
+		return in.saCatbuf(argPtr(args, 0), Pointer{Obj: obj}, int64(len(s)), call)
+	}
+	m["stralloc_cat"] = func(in *Interp, args []Value, call *cast.CallExpr) (Value, error) {
+		at := call.Extent()
+		src := argPtr(args, 1)
+		s := in.saLoadPtr(src, _saOffS, at)
+		n := in.saLoadU32(src, _saOffLen, at)
+		return in.saCatbuf(argPtr(args, 0), s, n, call)
+	}
+	m["stralloc_append"] = func(in *Interp, args []Value, call *cast.CallExpr) (Value, error) {
+		obj := in.newObject("tmp", ObjString, 1)
+		obj.Data[0] = byte(argInt(args, 1))
+		return in.saCatbuf(argPtr(args, 0), Pointer{Obj: obj}, 1, call)
+	}
+	m["stralloc_memset"] = func(in *Interp, args []Value, call *cast.CallExpr) (Value, error) {
+		at := call.Extent()
+		sa := argPtr(args, 0)
+		c := byte(argInt(args, 1))
+		n := argInt(args, 2)
+		limit := n
+		if a := in.saLoadU32(sa, _saOffA, at); a != 0 && limit > a {
+			limit = a // clamp to the declared capacity
+		}
+		ok, err := in.saReady(sa, limit+1, call)
+		if err != nil || !ok {
+			return IntV(0), err
+		}
+		s := in.saLoadPtr(sa, _saOffS, at)
+		data := make([]byte, limit+1)
+		for i := int64(0); i < limit; i++ {
+			data[i] = c
+		}
+		in.storeBytes(s, data, at)
+		if length := in.saLoadU32(sa, _saOffLen, at); limit > length {
+			in.saStoreU32(sa, _saOffLen, limit, at)
+		}
+		return IntV(1), nil
+	}
+	m["stralloc_get_dereferenced_char_at"] = func(in *Interp, args []Value, call *cast.CallExpr) (Value, error) {
+		at := call.Extent()
+		sa := argPtr(args, 0)
+		i := argInt(args, 1)
+		if i < 0 {
+			return IntV(0), nil
+		}
+		s := in.saLoadPtr(sa, _saOffS, at)
+		a := in.saLoadU32(sa, _saOffA, at)
+		if s.IsNull() || i >= a {
+			return IntV(0), nil
+		}
+		b := in.loadBytes(Pointer{Obj: s.Obj, Off: s.Off + i}, 1, at)
+		return IntV(int64(int8(b[0]))), nil
+	}
+	m["stralloc_dereference_replace_by"] = func(in *Interp, args []Value, call *cast.CallExpr) (Value, error) {
+		at := call.Extent()
+		sa := argPtr(args, 0)
+		i := argInt(args, 1)
+		c := byte(argInt(args, 2))
+		if i < 0 {
+			return IntV(0), nil
+		}
+		ok, err := in.saReady(sa, i+1, call)
+		if err != nil || !ok {
+			return IntV(0), err
+		}
+		s := in.saLoadPtr(sa, _saOffS, at)
+		in.storeBytes(Pointer{Obj: s.Obj, Off: s.Off + i}, []byte{c}, at)
+		length := in.saLoadU32(sa, _saOffLen, at)
+		if c == 0 {
+			// NUL terminates the string: len shrinks to i.
+			if i < length {
+				in.saStoreU32(sa, _saOffLen, i, at)
+			}
+		} else if i+1 > length {
+			in.saStoreU32(sa, _saOffLen, i+1, at)
+		}
+		return IntV(1), nil
+	}
+	m["stralloc_increment_by"] = func(in *Interp, args []Value, call *cast.CallExpr) (Value, error) {
+		at := call.Extent()
+		sa := argPtr(args, 0)
+		n := argInt(args, 1)
+		s := in.saLoadPtr(sa, _saOffS, at)
+		f := in.saLoadPtr(sa, _saOffF, at)
+		a := in.saLoadU32(sa, _saOffA, at)
+		if s.IsNull() || s.Obj != f.Obj || (s.Off-f.Off)+n > a {
+			return IntV(0), nil
+		}
+		in.saStorePtr(sa, _saOffS, Pointer{Obj: s.Obj, Off: s.Off + n}, at)
+		length := in.saLoadU32(sa, _saOffLen, at)
+		if length >= n {
+			in.saStoreU32(sa, _saOffLen, length-n, at)
+		} else {
+			in.saStoreU32(sa, _saOffLen, 0, at)
+		}
+		return IntV(1), nil
+	}
+	m["stralloc_decrement_by"] = func(in *Interp, args []Value, call *cast.CallExpr) (Value, error) {
+		at := call.Extent()
+		sa := argPtr(args, 0)
+		n := argInt(args, 1)
+		s := in.saLoadPtr(sa, _saOffS, at)
+		f := in.saLoadPtr(sa, _saOffF, at)
+		if s.IsNull() || s.Obj != f.Obj || s.Off-n < f.Off {
+			return IntV(0), nil
+		}
+		in.saStorePtr(sa, _saOffS, Pointer{Obj: s.Obj, Off: s.Off - n}, at)
+		length := in.saLoadU32(sa, _saOffLen, at)
+		in.saStoreU32(sa, _saOffLen, length+n, at)
+		return IntV(1), nil
+	}
+	m["stralloc_compare"] = func(in *Interp, args []Value, call *cast.CallExpr) (Value, error) {
+		at := call.Extent()
+		a, b := argPtr(args, 0), argPtr(args, 1)
+		as := in.saLoadPtr(a, _saOffS, at)
+		bs := in.saLoadPtr(b, _saOffS, at)
+		an := in.saLoadU32(a, _saOffLen, at)
+		bn := in.saLoadU32(b, _saOffLen, at)
+		ab := in.loadBytes(as, an, at)
+		bb := in.loadBytes(bs, bn, at)
+		for i := 0; i < len(ab) && i < len(bb); i++ {
+			if ab[i] != bb[i] {
+				if ab[i] < bb[i] {
+					return IntV(-1), nil
+				}
+				return IntV(1), nil
+			}
+		}
+		switch {
+		case an < bn:
+			return IntV(-1), nil
+		case an > bn:
+			return IntV(1), nil
+		default:
+			return IntV(0), nil
+		}
+	}
+	m["stralloc_find_char"] = func(in *Interp, args []Value, call *cast.CallExpr) (Value, error) {
+		at := call.Extent()
+		sa := argPtr(args, 0)
+		c := byte(argInt(args, 1))
+		s := in.saLoadPtr(sa, _saOffS, at)
+		n := in.saLoadU32(sa, _saOffLen, at)
+		data := in.loadBytes(s, n, at)
+		for i, b := range data {
+			if b == c {
+				return IntV(int64(i)), nil
+			}
+		}
+		return IntV(-1), nil
+	}
+	m["stralloc_substring_at"] = func(in *Interp, args []Value, call *cast.CallExpr) (Value, error) {
+		at := call.Extent()
+		sa := argPtr(args, 0)
+		i := argInt(args, 1)
+		s := in.saLoadPtr(sa, _saOffS, at)
+		n := in.saLoadU32(sa, _saOffLen, at)
+		if s.IsNull() || i >= n {
+			return NullV(), nil
+		}
+		return PtrV(Pointer{Obj: s.Obj, Off: s.Off + i}), nil
+	}
+}

@@ -1,0 +1,141 @@
+// Package core is the composition root for the paper's primary
+// contribution: the two security-oriented program transformations that fix
+// C buffer overflows at source level.
+//
+// It drives the full pipeline — parse, type analysis, the program analyses
+// of Section III-A (control flow, reaching definitions, points-to, alias
+// sets, interprocedural may-modify), then SAFE LIBRARY REPLACEMENT and
+// SAFE TYPE REPLACEMENT — and returns the rewritten source together with
+// per-site and per-variable reports. pkg/cfix re-exports this API for
+// downstream users; cmd/cfix wraps it as a command-line tool.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cparse"
+	"repro/internal/ctoken"
+	"repro/internal/slr"
+	"repro/internal/str"
+	"repro/internal/stralloc"
+)
+
+// Options selects which transformations run and how.
+type Options struct {
+	// SLR / STR toggle the transformations (both default true via Fix;
+	// the zero value of Options means "run everything").
+	DisableSLR bool
+	DisableSTR bool
+	// SelectOffset, when >= 0, restricts SLR to the call expression
+	// covering that byte offset (the case-by-case workflow of Section
+	// II-A2). Negative means batch mode.
+	SelectOffset int
+	// EmitSupport prepends the stralloc header/implementation and the
+	// glib prototypes the transformed file needs to build standalone.
+	EmitSupport bool
+}
+
+// Report is the combined outcome.
+type Report struct {
+	// Source is the transformed text.
+	Source string
+	// SLR per-site outcomes (nil when SLR was disabled).
+	SLR *slr.FileResult
+	// STR per-variable outcomes (nil when STR was disabled).
+	STR *str.FileResult
+	// NeedsGlib / NeedsStralloc describe link-time requirements when
+	// EmitSupport was false.
+	NeedsGlib     bool
+	NeedsStralloc bool
+}
+
+// Changed reports whether any edit was applied.
+func (r *Report) Changed() bool {
+	return (r.SLR != nil && r.SLR.AppliedCount() > 0) ||
+		(r.STR != nil && r.STR.AppliedCount() > 0)
+}
+
+// Summary renders a human-readable change log.
+func (r *Report) Summary() string {
+	var sb strings.Builder
+	if r.SLR != nil {
+		fmt.Fprintf(&sb, "SLR: %d/%d call sites transformed\n",
+			r.SLR.AppliedCount(), r.SLR.Candidates())
+		for _, s := range r.SLR.Sites {
+			if s.Applied {
+				fmt.Fprintf(&sb, "  %s: %s -> %s (size: %s)\n",
+					s.Pos, s.Function, slr.SafeNameFor(s.Function), s.Size.CText())
+			} else {
+				fmt.Fprintf(&sb, "  %s: %s not transformed: %v\n", s.Pos, s.Function, s.Failure)
+			}
+		}
+	}
+	if r.STR != nil {
+		fmt.Fprintf(&sb, "STR: %d/%d variables replaced\n",
+			r.STR.AppliedCount(), r.STR.Candidates())
+		for _, v := range r.STR.Vars {
+			if v.Applied {
+				fmt.Fprintf(&sb, "  %s: %s replaced with stralloc\n", v.Pos, v.Name)
+			} else {
+				fmt.Fprintf(&sb, "  %s: %s not replaced: %s (%s)\n", v.Pos, v.Name, v.Reason, v.Detail)
+			}
+		}
+	}
+	return sb.String()
+}
+
+// Fix applies the transformations to one preprocessed C translation unit.
+func Fix(filename, source string, opts Options) (*Report, error) {
+	rep := &Report{Source: source}
+
+	if !opts.DisableSLR {
+		unit, err := cparse.Parse(filename, rep.Source)
+		if err != nil {
+			return nil, fmt.Errorf("core: parse for SLR: %w", err)
+		}
+		tr := slr.NewTransformer(unit)
+		var res *slr.FileResult
+		if opts.SelectOffset >= 0 {
+			res, err = tr.ApplyAt(ctoken.Pos(opts.SelectOffset))
+		} else {
+			res, err = tr.ApplyAll()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: SLR: %w", err)
+		}
+		rep.SLR = res
+		rep.Source = res.NewSource
+		rep.NeedsGlib = res.NeedsGlib
+	}
+
+	if !opts.DisableSTR && opts.SelectOffset < 0 {
+		unit, err := cparse.Parse(filename, rep.Source)
+		if err != nil {
+			return nil, fmt.Errorf("core: parse for STR: %w", err)
+		}
+		res, err := str.NewTransformer(unit).ApplyAll()
+		if err != nil {
+			return nil, fmt.Errorf("core: STR: %w", err)
+		}
+		rep.STR = res
+		rep.Source = res.NewSource
+		rep.NeedsStralloc = res.NeedsStralloc
+	}
+
+	if opts.EmitSupport {
+		var support strings.Builder
+		if rep.NeedsStralloc {
+			support.WriteString(stralloc.FullSource())
+			support.WriteString("\n")
+		}
+		if rep.NeedsGlib {
+			support.WriteString(slr.GlibPrototypes())
+			support.WriteString("\n")
+		}
+		if support.Len() > 0 {
+			rep.Source = support.String() + rep.Source
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cparse"
+)
+
+const sample = `
+void f(void) {
+    char buf[16];
+    char *p;
+    strcpy(buf, "hello");
+    p = malloc(8);
+    p[0] = 'x';
+}
+`
+
+func TestFixBoth(t *testing.T) {
+	rep, err := Fix("s.c", sample, Options{SelectOffset: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SLR == nil || rep.STR == nil {
+		t.Fatal("both transformation reports expected")
+	}
+	if !rep.Changed() {
+		t.Fatal("program should change")
+	}
+	if !rep.NeedsGlib || !rep.NeedsStralloc {
+		t.Fatalf("support requirements: glib=%v stralloc=%v", rep.NeedsGlib, rep.NeedsStralloc)
+	}
+	if !strings.Contains(rep.Summary(), "SLR: 1/1") {
+		t.Fatalf("summary:\n%s", rep.Summary())
+	}
+}
+
+func TestFixEmitSupportSelfContained(t *testing.T) {
+	rep, err := Fix("s.c", sample, Options{SelectOffset: -1, EmitSupport: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Source, "typedef struct stralloc") {
+		t.Fatal("stralloc support missing")
+	}
+	if !strings.Contains(rep.Source, "g_strlcpy") {
+		t.Fatal("glib prototypes missing")
+	}
+	// The emitted unit must parse standalone.
+	if _, err := cparse.Parse("out.c", rep.Source); err != nil {
+		t.Fatalf("self-contained output must parse: %v", err)
+	}
+}
+
+func TestFixDisableSLR(t *testing.T) {
+	rep, err := Fix("s.c", sample, Options{DisableSLR: true, SelectOffset: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SLR != nil {
+		t.Fatal("SLR report must be nil when disabled")
+	}
+	if strings.Contains(rep.Source, "g_strlcpy") {
+		t.Fatal("SLR must not have run")
+	}
+}
+
+func TestFixSelectedSiteSkipsSTR(t *testing.T) {
+	off := strings.Index(sample, "strcpy")
+	rep, err := Fix("s.c", sample, Options{SelectOffset: off})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Case-by-case mode is an SLR quick-fix; STR batch does not run.
+	if rep.STR != nil {
+		t.Fatal("STR must not run in single-site mode")
+	}
+	if !strings.Contains(rep.Source, "g_strlcpy(buf") {
+		t.Fatalf("selected site not fixed:\n%s", rep.Source)
+	}
+}
+
+func TestFixParseErrorWrapped(t *testing.T) {
+	_, err := Fix("bad.c", "void f( {", Options{SelectOffset: -1})
+	if err == nil || !strings.Contains(err.Error(), "core: parse") {
+		t.Fatalf("error: %v", err)
+	}
+}

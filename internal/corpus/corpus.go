@@ -1,0 +1,449 @@
+// Package corpus generates synthetic stand-ins for the four open-source
+// programs of Section IV-B (zlib 1.2.5, libpng 1.2.6, GMP 4.3.2, LibTIFF
+// 3.8.2).
+//
+// Substitution note (see DESIGN.md): RQ2 measures transformation
+// applicability and safety, which depend on the distribution of C idioms —
+// array vs pointer destinations, reachable heap allocations, aliased
+// structs, interprocedurally-modified buffers — not on the libraries'
+// domain logic. The generator plants those idioms in the proportions the
+// paper reports: 317 unsafe call sites of which 259 satisfy SLR's
+// preconditions (Table V, Figure 2), and 296 local char pointers of which
+// 237 pass STR's preconditions (Table VI), with the four SLR failure
+// classes of Section IV-B appearing exactly as often as the paper observed
+// (one aliased struct member, one array of buffers, one ternary
+// allocation, the rest unreachable allocations).
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Project describes one synthetic project.
+type Project struct {
+	Name  string
+	Files []File
+	// Calibration carries the paper's reported statistics for the real
+	// project (Table IV columns and Table V/VI rows).
+	Calibration Calibration
+	// DriverCalls are the benign invocations the make-test driver issues
+	// (see driver.go).
+	DriverCalls []string
+}
+
+// File is one generated C translation unit.
+type File struct {
+	Name   string
+	Source string
+}
+
+// LOC returns the file's line count.
+func (f *File) LOC() int { return strings.Count(f.Source, "\n") + 1 }
+
+// Calibration is the paper-reported shape for one project.
+type Calibration struct {
+	// Table IV.
+	CFiles int
+	KLOC   float64
+	PPKLOC float64
+	// Table V.
+	UnsafeCalls    int
+	SLRTransformed int
+	// Table VI.
+	STRCandidates int
+	STRFailed     int // interprocedural precondition failures
+	STRReplaced   int
+}
+
+// siteSpec plants one SLR call site.
+type siteSpec struct {
+	fn   string // strcpy | strcat | sprintf | vsprintf | memcpy
+	ok   bool   // passes SLR preconditions
+	fail string // failure idiom when !ok: noalloc | aliased | arraybuf | ternary
+}
+
+// varSpec plants one STR candidate variable.
+type varSpec struct {
+	ok bool // passes STR preconditions (false → passed to modifying fn)
+}
+
+// mix describes what one project contains.
+type mix struct {
+	calibration Calibration
+	sites       []siteSpec
+	vars        []varSpec
+}
+
+// buildSites expands per-function (ok, fail) counts into site specs.
+// Failure idioms: one strcpy fails via array-of-buffers, one memcpy via
+// aliased struct, one memcpy via ternary allocation, everything else via
+// unreachable allocation (Section IV-B's four classes).
+func buildSites() []siteSpec {
+	var sites []siteSpec
+	add := func(fn string, ok int, fails []string) {
+		for i := 0; i < ok; i++ {
+			sites = append(sites, siteSpec{fn: fn, ok: true})
+		}
+		for _, f := range fails {
+			sites = append(sites, siteSpec{fn: fn, ok: false, fail: f})
+		}
+	}
+	failsOf := func(n int, specials ...string) []string {
+		out := make([]string, 0, n)
+		out = append(out, specials...)
+		for len(out) < n {
+			out = append(out, "noalloc")
+		}
+		return out
+	}
+	add("strcpy", 28, failsOf(11, "arraybuf"))
+	add("strcat", 8, nil)
+	add("sprintf", 150, failsOf(3))
+	add("vsprintf", 1, failsOf(1))
+	add("memcpy", 72, failsOf(43, "aliased", "ternary"))
+	return sites
+}
+
+// projectMixes splits the 317 sites and 296 variables across the four
+// projects so the per-project Table V/VI rows come out at the paper's
+// ratios (zlib 76.47%, libpng 81.01%, GMP 85.26%, libtiff 80.73% for SLR).
+func projectMixes() map[string]*mix {
+	calib := map[string]Calibration{
+		"zlib": {
+			CFiles: 29, KLOC: 20.7, PPKLOC: 45.3,
+			UnsafeCalls: 34, SLRTransformed: 26,
+			STRCandidates: 36, STRFailed: 7, STRReplaced: 29,
+		},
+		"libpng": {
+			CFiles: 40, KLOC: 36.3, PPKLOC: 84.2,
+			UnsafeCalls: 79, SLRTransformed: 64,
+			STRCandidates: 74, STRFailed: 15, STRReplaced: 59,
+		},
+		"gmp": {
+			CFiles: 496, KLOC: 120.5, PPKLOC: 1097.7,
+			UnsafeCalls: 95, SLRTransformed: 81,
+			STRCandidates: 102, STRFailed: 21, STRReplaced: 81,
+		},
+		"libtiff": {
+			CFiles: 80, KLOC: 62.1, PPKLOC: 511.8,
+			UnsafeCalls: 109, SLRTransformed: 88,
+			STRCandidates: 84, STRFailed: 16, STRReplaced: 68,
+		},
+	}
+
+	all := buildSites()
+	// Distribute deterministically: walk the site list round-robin-by-need
+	// so each project receives exactly UnsafeCalls sites of which exactly
+	// SLRTransformed are ok.
+	names := []string{"zlib", "libpng", "gmp", "libtiff"}
+	mixes := make(map[string]*mix, len(names))
+	for _, n := range names {
+		mixes[n] = &mix{calibration: calib[n]}
+	}
+	needOK := map[string]int{}
+	needFail := map[string]int{}
+	for _, n := range names {
+		needOK[n] = calib[n].SLRTransformed
+		needFail[n] = calib[n].UnsafeCalls - calib[n].SLRTransformed
+	}
+	for _, s := range all {
+		placed := false
+		for _, n := range names {
+			if s.ok && needOK[n] > 0 {
+				mixes[n].sites = append(mixes[n].sites, s)
+				needOK[n]--
+				placed = true
+				break
+			}
+			if !s.ok && needFail[n] > 0 {
+				mixes[n].sites = append(mixes[n].sites, s)
+				needFail[n]--
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			// Shouldn't happen: totals match by construction.
+			mixes[names[len(names)-1]].sites = append(mixes[names[len(names)-1]].sites, s)
+		}
+	}
+	for _, n := range names {
+		c := calib[n]
+		for i := 0; i < c.STRReplaced; i++ {
+			mixes[n].vars = append(mixes[n].vars, varSpec{ok: true})
+		}
+		for i := 0; i < c.STRFailed; i++ {
+			mixes[n].vars = append(mixes[n].vars, varSpec{ok: false})
+		}
+	}
+	return mixes
+}
+
+// ProjectNames lists the four projects in Table IV order.
+var ProjectNames = []string{"zlib", "libpng", "gmp", "libtiff"}
+
+// Generate builds all four projects. fillerPerFile adds that many filler
+// functions to each file to approximate the Table IV line counts (0 keeps
+// the corpus minimal; the experiments harness uses a small value and
+// reports measured vs calibrated KLOC).
+func Generate(fillerPerFile int) []Project {
+	mixes := projectMixes()
+	out := make([]Project, 0, len(ProjectNames))
+	for _, name := range ProjectNames {
+		m := mixes[name]
+		out = append(out, buildProject(name, m, fillerPerFile))
+	}
+	return out
+}
+
+// ProjectByName generates a single project.
+func ProjectByName(name string, fillerPerFile int) (Project, bool) {
+	for _, p := range Generate(fillerPerFile) {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Project{}, false
+}
+
+// buildProject distributes the planted sites/vars across the calibrated
+// number of files.
+func buildProject(name string, m *mix, fillerPerFile int) Project {
+	nFiles := m.calibration.CFiles
+	files := make([]File, 0, nFiles)
+	var driverCalls []string
+	siteIdx, varIdx := 0, 0
+	for f := 0; f < nFiles; f++ {
+		// Spread work over files front-loaded: sites/vars go into the
+		// earliest files, matching real projects where string handling
+		// clusters in a few translation units.
+		sitesHere := spread(len(m.sites), nFiles, f)
+		varsHere := spread(len(m.vars), nFiles, f)
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "/* %s: synthetic corpus file %d (see internal/corpus). */\n", name, f)
+		emitFilePreamble(&sb, name, f)
+		for i := 0; i < sitesHere && siteIdx < len(m.sites); i++ {
+			fn := fmt.Sprintf("%s_f%d_slr%d", name, f, i)
+			emitSLRSite(&sb, name, f, i, m.sites[siteIdx])
+			if call := driverCallFor(fn, m.sites[siteIdx]); call != "" {
+				driverCalls = append(driverCalls, call)
+			}
+			siteIdx++
+		}
+		for i := 0; i < varsHere && varIdx < len(m.vars); i++ {
+			fn := fmt.Sprintf("%s_f%d_str%d", name, f, i)
+			emitSTRVar(&sb, name, f, i, m.vars[varIdx])
+			driverCalls = append(driverCalls, driverCallForVar(fn))
+			varIdx++
+		}
+		for i := 0; i < fillerPerFile; i++ {
+			emitFiller(&sb, name, f, i)
+		}
+		files = append(files, File{
+			Name:   fmt.Sprintf("%s_%03d.c", name, f),
+			Source: sb.String(),
+		})
+	}
+	return Project{Name: name, Files: files, Calibration: m.calibration, DriverCalls: driverCalls}
+}
+
+// spread gives file f its share of n items over nFiles, front-loaded in
+// blocks of up to 8.
+func spread(n, nFiles, f int) int {
+	const block = 8
+	start := f * block
+	if start >= n {
+		return 0
+	}
+	if n-start < block {
+		return n - start
+	}
+	return block
+}
+
+func emitFilePreamble(sb *strings.Builder, name string, f int) {
+	fmt.Fprintf(sb, "static int %s_f%d_flag = 1;\n\n", name, f)
+	// A writer helper used by failing STR variables.
+	fmt.Fprintf(sb, "static void %s_f%d_fill(char *out, int n) {\n", name, f)
+	fmt.Fprintf(sb, "    int i;\n    for (i = 0; i < n; i++) { out[i] = 'x'; }\n}\n\n")
+	// A reader helper used by passing STR variables.
+	fmt.Fprintf(sb, "static int %s_f%d_scan(char *s) {\n", name, f)
+	fmt.Fprintf(sb, "    return strlen(s);\n}\n\n")
+}
+
+// emitSLRSite plants one call site whose SLR outcome is known by
+// construction.
+func emitSLRSite(sb *strings.Builder, proj string, f, i int, s siteSpec) {
+	fn := fmt.Sprintf("%s_f%d_slr%d", proj, f, i)
+	switch {
+	case s.ok:
+		emitPassingSite(sb, fn, s.fn)
+	case s.fail == "aliased":
+		// Section IV-B class (2): "one other member of the struct was
+		// aliased in this case, not the entire struct" — the cursor
+		// aliases h.other, while the memcpy destination is h.data. With
+		// structs as aggregate nodes the whole struct reads as aliased;
+		// the field-sensitive ablation (DESIGN.md §6) recovers this site.
+		// The cursor is file-scope so it is not an STR candidate.
+		fmt.Fprintf(sb, `struct %s_hdr { char *data; char *other; };
+static char *%s_cursor;
+void %s(char *src, unsigned long n) {
+    struct %s_hdr h;
+    h.other = malloc(16);
+    %s_cursor = h.other;
+    h.data = malloc(64);
+    memcpy(h.data, src, n);
+}
+
+`, fn, fn, fn, fn, fn)
+	case s.fail == "arraybuf":
+		fmt.Fprintf(sb, `void %s(char *src) {
+    char *slots[4];
+    slots[0] = malloc(32);
+    strcpy(slots[0], src);
+}
+
+`, fn)
+	case s.fail == "ternary":
+		// Section IV-B class (4): the definition is a ternary with heap
+		// allocation in both branches. The destination is file-scope so it
+		// does not enter the STR candidate count.
+		fmt.Fprintf(sb, `static char *%s_dst;
+void %s(char *src, int wide, unsigned long n) {
+    %s_dst = wide ? malloc(128) : malloc(32);
+    memcpy(%s_dst, src, n);
+}
+
+`, fn, fn, fn, fn)
+	default: // noalloc: the buffer reaches the call without a visible allocation
+		switch s.fn {
+		case "strcpy", "strcat", "sprintf":
+			fmt.Fprintf(sb, `void %s(char *dst, char *src) {
+    %s
+}
+
+`, fn, callFor(s.fn, "dst", "src"))
+		case "vsprintf":
+			fmt.Fprintf(sb, `void %s(char *dst, char *fmt, va_list ap) {
+    vsprintf(dst, fmt, ap);
+}
+
+`, fn)
+		default: // memcpy
+			fmt.Fprintf(sb, `void %s(char *dst, char *src, unsigned long n) {
+    memcpy(dst, src, n);
+}
+
+`, fn)
+		}
+	}
+}
+
+// emitPassingSite plants a site whose destination size is computable.
+func emitPassingSite(sb *strings.Builder, fn, unsafe string) {
+	switch unsafe {
+	case "strcpy":
+		fmt.Fprintf(sb, `void %s(char *src) {
+    char out[64];
+    strcpy(out, src);
+    puts(out);
+}
+
+`, fn)
+	case "strcat":
+		fmt.Fprintf(sb, `void %s(char *suffix) {
+    char path[128];
+    path[0] = '/';
+    path[1] = '\0';
+    strcat(path, suffix);
+    puts(path);
+}
+
+`, fn)
+	case "sprintf":
+		fmt.Fprintf(sb, `void %s(int value) {
+    char msg[48];
+    sprintf(msg, "value=%%d", value);
+    puts(msg);
+}
+
+`, fn)
+	case "vsprintf":
+		fmt.Fprintf(sb, `void %s(char *fmt, va_list ap) {
+    char msg[96];
+    vsprintf(msg, fmt, ap);
+    puts(msg);
+}
+
+`, fn)
+	case "memcpy":
+		fmt.Fprintf(sb, `void %s(char *src, unsigned long n) {
+    char block[32];
+    memcpy(block, src, n);
+    block[31] = '\0';
+    puts(block);
+}
+
+`, fn)
+	}
+}
+
+func callFor(unsafe, dst, src string) string {
+	switch unsafe {
+	case "strcpy":
+		return fmt.Sprintf("strcpy(%s, %s);", dst, src)
+	case "strcat":
+		return fmt.Sprintf("strcat(%s, %s);", dst, src)
+	case "sprintf":
+		return fmt.Sprintf("sprintf(%s, \"%%s\", %s);", dst, src)
+	default:
+		return fmt.Sprintf("strcpy(%s, %s);", dst, src)
+	}
+}
+
+// emitSTRVar plants one local char pointer whose STR outcome is known by
+// construction: passing variables only flow through supported patterns;
+// failing ones are handed to a user-defined function that writes them.
+func emitSTRVar(sb *strings.Builder, proj string, f, i int, v varSpec) {
+	fn := fmt.Sprintf("%s_f%d_str%d", proj, f, i)
+	if v.ok {
+		fmt.Fprintf(sb, `int %s(void) {
+    char *name;
+    int n;
+    name = malloc(24);
+    name[0] = 'a';
+    name[1] = '\0';
+    n = %s_f%d_scan(name);
+    return n + name[0];
+}
+
+`, fn, proj, f)
+		return
+	}
+	fmt.Fprintf(sb, `int %s(void) {
+    char *scratch;
+    scratch = malloc(16);
+    %s_f%d_fill(scratch, 8);
+    return scratch[0];
+}
+
+`, fn, proj, f)
+}
+
+// emitFiller adds deterministic arithmetic filler approximating the real
+// projects' bulk (compression loops, bignum kernels...).
+func emitFiller(sb *strings.Builder, proj string, f, i int) {
+	fmt.Fprintf(sb, `static unsigned long %s_f%d_fill%d(unsigned long x) {
+    unsigned long acc = x;
+    int i;
+    for (i = 0; i < 13; i++) {
+        acc = acc * 31 + %d;
+        acc = acc ^ (acc >> 7);
+        if (acc & 1) { acc += %d; } else { acc -= 3; }
+    }
+    return acc;
+}
+
+`, proj, f, i, i+1, i*2+5)
+}

@@ -1,0 +1,82 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TestDriver returns a C main() exercising every planted function of the
+// project with benign inputs — the analog of the paper's "we ran make
+// test ... the results were the same for before and after programs"
+// (Section IV-B). The driver is concatenated with all project files into
+// one translation unit; outputs must match byte-for-byte across the
+// original and transformed versions, with zero checked-interpreter
+// violations on either side.
+func (p *Project) TestDriver() string {
+	var sb strings.Builder
+	sb.WriteString("\n/* make-test driver (see internal/corpus/driver.go). */\n")
+	sb.WriteString("int main(void) {\n")
+	sb.WriteString("    char driver_buf[512];\n")
+	sb.WriteString("    int driver_acc = 0;\n")
+	sb.WriteString("    driver_buf[0] = '\\0';\n")
+	for _, call := range p.DriverCalls {
+		sb.WriteString("    " + call + "\n")
+	}
+	sb.WriteString("    printf(\"acc=%d\\n\", driver_acc);\n")
+	sb.WriteString("    return 0;\n")
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// ConcatenatedUnit joins every file of the project plus the test driver
+// into a single translation unit.
+func (p *Project) ConcatenatedUnit() string {
+	var sb strings.Builder
+	for _, f := range p.Files {
+		sb.WriteString(f.Source)
+		sb.WriteString("\n")
+	}
+	sb.WriteString(p.TestDriver())
+	return sb.String()
+}
+
+// driverCallFor builds the benign invocation for one planted SLR site.
+func driverCallFor(fn string, s siteSpec) string {
+	switch {
+	case s.ok:
+		switch s.fn {
+		case "strcpy":
+			return fmt.Sprintf("%s(\"benign\");", fn)
+		case "strcat":
+			return fmt.Sprintf("%s(\"tail\");", fn)
+		case "sprintf":
+			return fmt.Sprintf("%s(7);", fn)
+		case "vsprintf":
+			return fmt.Sprintf("%s(\"plain text\", NULL);", fn)
+		case "memcpy":
+			return fmt.Sprintf("%s(\"0123456789abcdef\", 10);", fn)
+		}
+	case s.fail == "aliased":
+		return fmt.Sprintf("%s(\"data\", 4);", fn)
+	case s.fail == "arraybuf":
+		return fmt.Sprintf("%s(\"data\");", fn)
+	case s.fail == "ternary":
+		return fmt.Sprintf("%s(\"data\", 1, 4);", fn)
+	default: // noalloc
+		switch s.fn {
+		case "vsprintf":
+			return fmt.Sprintf("%s(driver_buf, \"plain text\", NULL);", fn)
+		case "memcpy":
+			return fmt.Sprintf("%s(driver_buf, \"data\", 4);", fn)
+		default:
+			return fmt.Sprintf("%s(driver_buf, \"data\");", fn)
+		}
+	}
+	return ""
+}
+
+// driverCallForVar builds the invocation for one planted STR variable
+// function (they return ints; the driver accumulates them).
+func driverCallForVar(fn string) string {
+	return fmt.Sprintf("driver_acc += %s();", fn)
+}

@@ -1,0 +1,77 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cinterp"
+	"repro/internal/cparse"
+	"repro/internal/harness"
+	"repro/internal/stralloc"
+	"repro/internal/typecheck"
+)
+
+// runUnit executes main() of one translation unit.
+func runUnit(t *testing.T, name, src string) *cinterp.Result {
+	t.Helper()
+	unit, err := cparse.Parse(name, src)
+	if err != nil {
+		t.Fatalf("%s: parse: %v", name, err)
+	}
+	typecheck.Check(unit)
+	in, err := cinterp.New(unit, cinterp.Limits{MaxSteps: 100_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := in.Run("main")
+	if err != nil {
+		t.Fatalf("%s: run: %v", name, err)
+	}
+	return res
+}
+
+// TestMakeCheckEquivalent is the paper's "make test" experiment: for every
+// project, run the benign test driver on the original sources and on the
+// fully transformed sources; outputs must match and neither side may raise
+// a violation.
+func TestMakeCheckEquivalent(t *testing.T) {
+	for _, p := range Generate(0) {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			unit := p.ConcatenatedUnit()
+
+			pre := runUnit(t, p.Name+"_pre.c", unit)
+			if pre.HasViolations() {
+				t.Fatalf("benign driver must be clean pre-transform: %v", pre.Violations[0])
+			}
+			if !strings.Contains(pre.Stdout, "acc=") {
+				t.Fatalf("driver produced no accumulator line: %q", pre.Stdout)
+			}
+
+			transformed, err := harness.Transform(p.Name, unit, harness.Options{}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runSrc := transformed
+			if strings.Contains(transformed, "stralloc") {
+				runSrc = stralloc.Header() + "\n" + transformed
+			}
+			post := runUnit(t, p.Name+"_post.c", runSrc)
+			if post.HasViolations() {
+				t.Fatalf("transformed driver raised violations: %v", post.Violations[0])
+			}
+			if post.Stdout != pre.Stdout {
+				t.Fatalf("make-test outputs differ:\npre:  %q\npost: %q", pre.Stdout, post.Stdout)
+			}
+		})
+	}
+}
+
+func TestDriverCallsCoverAllPlants(t *testing.T) {
+	for _, p := range Generate(0) {
+		want := p.Calibration.UnsafeCalls + p.Calibration.STRCandidates
+		if len(p.DriverCalls) != want {
+			t.Errorf("%s: driver calls %d, want %d", p.Name, len(p.DriverCalls), want)
+		}
+	}
+}

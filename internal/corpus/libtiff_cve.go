@@ -1,0 +1,72 @@
+package corpus
+
+// LibtiffCVESource is a faithful miniature of the LibTIFF 3.8.2
+// vulnerability of Section IV-A2 (tools/tiff2pdf.c, t2p_write_pdf_string,
+// line 3665): a char with the most significant bit set passes the
+// (pdfstr[i] & 0x80) test, is sign-extended to int by the %o conversion,
+// and sprintf writes far more than the five bytes buffer can hold. The
+// exploit input is a "DocumentTag" containing UTF-8 (high-bit) bytes.
+//
+// The harness demonstrates the paper's claim: SLR replaces the sprintf
+// with g_snprintf bounded by sizeof(buffer), removing the overflow; the
+// benign input's output is unchanged, the attack input no longer smashes
+// the stack (its PDF escape is truncated instead — "this modifies what was
+// previously acceptable by the program to be unacceptable now, but such
+// changes are beneficial").
+const LibtiffCVESource = `/* Miniature of LibTIFF 3.8.2 tools/tiff2pdf.c t2p_write_pdf_string. */
+static char t2p_output[256];
+static int t2p_outlen = 0;
+
+static void t2p_emit(char *s) {
+    int i;
+    for (i = 0; s[i] != '\0'; i++) {
+        if (t2p_outlen < 255) {
+            t2p_output[t2p_outlen] = s[i];
+            t2p_outlen = t2p_outlen + 1;
+        }
+    }
+    t2p_output[t2p_outlen] = '\0';
+}
+
+void t2p_write_pdf_string(char *pdfstr) {
+    char buffer[5];
+    int i;
+    int len;
+    len = strlen(pdfstr);
+    t2p_emit("(");
+    for (i = 0; i < len; i++) {
+        if ((pdfstr[i] & 0x80) || (pdfstr[i] == 127) || (pdfstr[i] < 32)) {
+            sprintf(buffer, "\\%.3o", pdfstr[i]);
+            t2p_emit(buffer);
+        } else {
+            buffer[0] = pdfstr[i];
+            buffer[1] = '\0';
+            t2p_emit(buffer);
+        }
+    }
+    t2p_emit(")");
+}
+
+void run_benign(void) {
+    t2p_outlen = 0;
+    t2p_write_pdf_string("Title 07");
+    printf("%s\n", t2p_output);
+}
+
+void run_attack(void) {
+    char doc[4];
+    t2p_outlen = 0;
+    doc[0] = 'A';
+    doc[1] = 0xC3;  /* UTF-8 lead byte: high bit set */
+    doc[2] = 0xA9;  /* UTF-8 continuation byte */
+    doc[3] = '\0';
+    t2p_write_pdf_string(doc);
+    printf("%s\n", t2p_output);
+}
+
+int main(void) {
+    run_benign();
+    run_attack();
+    return 0;
+}
+`

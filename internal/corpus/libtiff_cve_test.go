@@ -1,0 +1,47 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+func TestLibtiffCVEFixedBySLR(t *testing.T) {
+	// Pre-transformation: the attack input overflows buffer[5]
+	// (CWE-121); the benign input is clean. Post-SLR: no violation, and
+	// the benign output is preserved.
+	v, err := harness.Verify("tiff2pdf", LibtiffCVESource, "run_benign", "run_attack",
+		harness.Options{SkipSTR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.VulnDetected {
+		t.Fatalf("attack input must overflow pre-transformation; events: %v",
+			v.PreBad.Violations)
+	}
+	cwe121 := false
+	for _, viol := range v.PreBad.Violations {
+		if viol.CWE == 121 {
+			cwe121 = true
+		}
+	}
+	if !cwe121 {
+		t.Fatalf("expected a CWE-121 stack overflow, got %v", v.PreBad.Violations)
+	}
+	if !v.Fixed {
+		t.Fatalf("SLR must remove the overflow; post events: %v\n%s",
+			v.PostBad.Violations, v.TransformedSource)
+	}
+	if !v.Preserved {
+		t.Fatalf("benign behavior must be preserved: pre=%q post=%q",
+			v.PreGood.Stdout, v.PostGood.Stdout)
+	}
+	if !strings.Contains(v.TransformedSource, "g_snprintf(buffer, sizeof(buffer)") {
+		t.Fatalf("expected the paper's exact fix (g_snprintf + sizeof(buffer)):\n%s",
+			v.TransformedSource)
+	}
+	if v.PreGood.Stdout != "(Title 07)\n" {
+		t.Fatalf("benign output: %q", v.PreGood.Stdout)
+	}
+}

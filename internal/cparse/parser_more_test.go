@@ -1,0 +1,234 @@
+package cparse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cast"
+	"repro/internal/ctype"
+)
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+	}{
+		{"unbalanced brace", "int f(void) {"},
+		{"missing semicolon", "int x int y;"},
+		{"bad expression", "void f(void){ int x; x = ; }"},
+		{"stray paren", "void f(void){ (; }"},
+		{"anonymous struct reference", "struct; s;"},
+		{"do without while", "void f(void){ do {} until (1); }"},
+		{"case outside switch parses but colon required", "void f(void){ case; }"},
+		{"missing type", "void f(void){ signed_thing x(); x = ; }"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse("e.c", tt.src); err == nil {
+				t.Fatalf("expected a parse error for %q", tt.src)
+			}
+		})
+	}
+}
+
+func TestParseBitfields(t *testing.T) {
+	tu := mustParse(t, `
+struct flags {
+    unsigned int a : 1;
+    unsigned int b : 3;
+    int c;
+};
+struct flags v;
+`)
+	vd := tu.Decls[1].(*cast.VarDecl)
+	rec := ctype.Unqualify(vd.Type).(*ctype.Record)
+	if len(rec.Fields) != 3 {
+		t.Fatalf("fields: %d", len(rec.Fields))
+	}
+}
+
+func TestParseAnonymousNestedStruct(t *testing.T) {
+	tu := mustParse(t, `
+struct outer {
+    int before;
+    struct { int x; int y; };
+    int after;
+};
+struct outer v;
+`)
+	vd := tu.Decls[1].(*cast.VarDecl)
+	rec := ctype.Unqualify(vd.Type).(*ctype.Record)
+	// The anonymous members flatten into the outer struct.
+	if _, ok := rec.FieldNamed("x"); !ok {
+		t.Fatalf("anonymous member not flattened: %+v", rec.Fields)
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	tu := mustParse(t, `
+union value { int i; double d; char bytes[8]; };
+union value v;
+`)
+	vd := tu.Decls[1].(*cast.VarDecl)
+	rec := ctype.Unqualify(vd.Type).(*ctype.Record)
+	if !rec.IsUnion || rec.Size() != 8 {
+		t.Fatalf("union: %+v size=%d", rec, rec.Size())
+	}
+}
+
+func TestParseForwardStructReference(t *testing.T) {
+	tu := mustParse(t, `
+struct node;
+struct node { struct node *next; int v; };
+struct node n;
+`)
+	vd := tu.Decls[2].(*cast.VarDecl)
+	rec := ctype.Unqualify(vd.Type).(*ctype.Record)
+	if !rec.Complete {
+		t.Fatal("forward-declared struct must be completed")
+	}
+	f, _ := rec.FieldNamed("next")
+	p := ctype.Unqualify(f.Type).(*ctype.Pointer)
+	if ctype.Unqualify(p.Elem) != rec {
+		t.Fatal("recursive struct pointer must close the cycle")
+	}
+}
+
+func TestParseQualifiersIgnored(t *testing.T) {
+	tu := mustParse(t, `
+const volatile unsigned long x;
+static inline int f(register int a) { return a; }
+char * const restrict p;
+`)
+	if len(tu.Decls) != 3 {
+		t.Fatalf("decls: %d", len(tu.Decls))
+	}
+}
+
+func TestParseDesignatedInitializers(t *testing.T) {
+	tu := mustParse(t, `
+struct p { int x; int y; };
+struct p v = { .x = 1, .y = 2 };
+int arr[4] = { [0] = 9, [2] = 7 };
+`)
+	if len(tu.Decls) != 3 {
+		t.Fatalf("decls: %d", len(tu.Decls))
+	}
+}
+
+func TestParseWideLiterals(t *testing.T) {
+	tu := mustParse(t, `
+void f(void) {
+    char *w;
+    char c;
+    w = L"wide";
+    c = L'x';
+}
+`)
+	var sawStr, sawChar bool
+	cast.Inspect(tu, func(n cast.Node) bool {
+		switch n.(type) {
+		case *cast.StringLit:
+			sawStr = true
+		case *cast.CharLit:
+			sawChar = true
+		}
+		return true
+	})
+	if !sawStr || !sawChar {
+		t.Fatal("wide literals must parse as literals")
+	}
+}
+
+func TestParseFloatForms(t *testing.T) {
+	tu := mustParse(t, `
+double a = 1.5;
+double b = 1e3;
+double c = 2.5e-2;
+float d = 3.0f;
+double e = .5;
+`)
+	values := []float64{1.5, 1000, 0.025, 3.0, 0.5}
+	i := 0
+	cast.Inspect(tu, func(n cast.Node) bool {
+		if lit, ok := n.(*cast.FloatLit); ok {
+			if lit.Value != values[i] {
+				t.Errorf("float %d: got %v, want %v", i, lit.Value, values[i])
+			}
+			i++
+		}
+		return true
+	})
+	if i != len(values) {
+		t.Fatalf("floats parsed: %d", i)
+	}
+}
+
+func TestParseLocalTypedef(t *testing.T) {
+	tu := mustParse(t, `
+void f(void) {
+    typedef unsigned char byte;
+    byte b;
+    b = 255;
+}
+`)
+	if len(tu.Funcs) != 1 {
+		t.Fatal("function lost")
+	}
+}
+
+func TestParseNestedFunctionPointerType(t *testing.T) {
+	tu := mustParse(t, `
+int apply(int (*op)(int, int), int a, int b) {
+    return op(a, b);
+}
+`)
+	f := tu.Funcs[0]
+	if len(f.Params) != 3 {
+		t.Fatalf("params: %d", len(f.Params))
+	}
+	p0 := ctype.Unqualify(f.Params[0].Type)
+	if _, ok := p0.(*ctype.Pointer); !ok {
+		t.Fatalf("param 0: %s", f.Params[0].Type)
+	}
+}
+
+func TestParseStringConcatAdjacent(t *testing.T) {
+	tu := mustParse(t, `char *s = "a" "b" "c";`)
+	vd := tu.Decls[0].(*cast.VarDecl)
+	lit := vd.Init.(*cast.StringLit)
+	if lit.Value != "abc" {
+		t.Fatalf("concat: %q", lit.Value)
+	}
+}
+
+func TestParsePositionsInErrors(t *testing.T) {
+	_, err := Parse("pos.c", "int a;\nint b;\nvoid f( {\n")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "pos.c:3:") {
+		t.Fatalf("error should point at line 3: %v", err)
+	}
+}
+
+func TestParseEnumTrailingComma(t *testing.T) {
+	tu := mustParse(t, "enum e { A, B, };")
+	ed := tu.Decls[0].(*cast.EnumDecl)
+	if len(ed.Enum.Consts) != 2 {
+		t.Fatalf("consts: %d", len(ed.Enum.Consts))
+	}
+}
+
+func TestParseConditionalChained(t *testing.T) {
+	tu := mustParse(t, `
+int f(int a, int b, int c) {
+    return a ? b : c ? 1 : 2;
+}
+`)
+	ret := tu.Funcs[0].Body.Items[0].(*cast.ReturnStmt)
+	outer := ret.Result.(*cast.CondExpr)
+	if _, ok := outer.Else.(*cast.CondExpr); !ok {
+		t.Fatal("?: must be right-associative")
+	}
+}

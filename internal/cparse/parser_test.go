@@ -1,0 +1,516 @@
+package cparse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cast"
+	"repro/internal/ctype"
+)
+
+func mustParse(t *testing.T, src string) *cast.TranslationUnit {
+	t.Helper()
+	tu, err := Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return tu
+}
+
+func TestParseEmptyUnit(t *testing.T) {
+	tu := mustParse(t, "")
+	if len(tu.Decls) != 0 {
+		t.Fatalf("expected no decls, got %d", len(tu.Decls))
+	}
+}
+
+func TestParseSimpleFunction(t *testing.T) {
+	tu := mustParse(t, `
+int add(int a, int b) {
+    return a + b;
+}
+`)
+	f := tu.FuncNamed("add")
+	if f == nil {
+		t.Fatal("function add not found")
+	}
+	if len(f.Params) != 2 {
+		t.Fatalf("expected 2 params, got %d", len(f.Params))
+	}
+	if f.Params[0].Name != "a" || f.Params[1].Name != "b" {
+		t.Fatalf("unexpected params: %q %q", f.Params[0].Name, f.Params[1].Name)
+	}
+	if got := f.Type.Result.String(); got != "int" {
+		t.Fatalf("result type: got %s", got)
+	}
+}
+
+func TestParseDeclarations(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		typ  string
+	}{
+		{"int", "int x;", "int"},
+		{"char pointer", "char *p;", "char *"},
+		{"char array", "char buf[10];", "char [10]"},
+		{"pointer to pointer", "char **pp;", "char * *"},
+		{"2d array", "int m[2][3];", "int [3] [2]"},
+		{"unsigned long", "unsigned long n;", "unsigned long"},
+		{"array of pointers", "char *argv[4];", "char * [4]"},
+		{"pointer to array", "char (*pa)[8];", "char [8] *"},
+		{"sized by expr", "char buf[4*8];", "char [32]"},
+		{"unsigned", "unsigned u;", "unsigned int"},
+		{"long long", "long long ll;", "long long"},
+		{"short", "short s;", "short"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tu := mustParse(t, tt.src)
+			if len(tu.Decls) != 1 {
+				t.Fatalf("expected 1 decl, got %d", len(tu.Decls))
+			}
+			vd, ok := tu.Decls[0].(*cast.VarDecl)
+			if !ok {
+				t.Fatalf("expected VarDecl, got %T", tu.Decls[0])
+			}
+			if got := vd.Type.String(); got != tt.typ {
+				t.Fatalf("type: got %q, want %q", got, tt.typ)
+			}
+		})
+	}
+}
+
+func TestParseMultiDeclarator(t *testing.T) {
+	tu := mustParse(t, "int a, *b, c[3];")
+	md, ok := tu.Decls[0].(*cast.MultiDecl)
+	if !ok {
+		t.Fatalf("expected MultiDecl, got %T", tu.Decls[0])
+	}
+	if len(md.Decls) != 3 {
+		t.Fatalf("expected 3 declarators, got %d", len(md.Decls))
+	}
+	want := []string{"int", "int *", "int [3]"}
+	for i, w := range want {
+		if got := md.Decls[i].Type.String(); got != w {
+			t.Errorf("decl %d: got %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestParseStruct(t *testing.T) {
+	tu := mustParse(t, `
+struct point { int x; int y; };
+struct point origin;
+`)
+	vd := tu.Decls[1].(*cast.VarDecl)
+	rec, ok := ctype.Unqualify(vd.Type).(*ctype.Record)
+	if !ok {
+		t.Fatalf("expected record type, got %T", vd.Type)
+	}
+	if rec.Tag != "point" || len(rec.Fields) != 2 {
+		t.Fatalf("unexpected record: %v fields=%d", rec.Tag, len(rec.Fields))
+	}
+	if rec.Size() != 8 {
+		t.Fatalf("struct point size: got %d, want 8", rec.Size())
+	}
+	f, ok := rec.FieldNamed("y")
+	if !ok || f.Offset != 4 {
+		t.Fatalf("field y offset: got %d, want 4", f.Offset)
+	}
+}
+
+func TestParseTypedef(t *testing.T) {
+	tu := mustParse(t, `
+typedef struct stralloc { char* s; char* f; unsigned int len; unsigned int a; } stralloc;
+stralloc sa;
+stralloc *p;
+`)
+	vd := tu.Decls[1].(*cast.VarDecl)
+	rec, ok := ctype.Unqualify(vd.Type).(*ctype.Record)
+	if !ok {
+		t.Fatalf("expected record, got %T", ctype.Unqualify(vd.Type))
+	}
+	if len(rec.Fields) != 4 {
+		t.Fatalf("stralloc fields: got %d, want 4", len(rec.Fields))
+	}
+	pd := tu.Decls[2].(*cast.VarDecl)
+	if !ctype.IsPointer(pd.Type) {
+		t.Fatalf("expected pointer type, got %s", pd.Type)
+	}
+}
+
+func TestParseEnum(t *testing.T) {
+	tu := mustParse(t, `
+enum color { RED, GREEN = 5, BLUE };
+int f(void) { return BLUE; }
+`)
+	ed, ok := tu.Decls[0].(*cast.EnumDecl)
+	if !ok {
+		t.Fatalf("expected EnumDecl, got %T", tu.Decls[0])
+	}
+	if len(ed.Enum.Consts) != 3 {
+		t.Fatalf("enum consts: got %d", len(ed.Enum.Consts))
+	}
+	if ed.Enum.Consts[2].Name != "BLUE" || ed.Enum.Consts[2].Value != 6 {
+		t.Fatalf("BLUE: got %v", ed.Enum.Consts[2])
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	tu := mustParse(t, "int f(void){ return 1 + 2 * 3; }")
+	ret := tu.Funcs[0].Body.Items[0].(*cast.ReturnStmt)
+	bin := ret.Result.(*cast.BinaryExpr)
+	if bin.Op != cast.BinaryAdd {
+		t.Fatalf("top op: got %v, want +", bin.Op)
+	}
+	inner := bin.Y.(*cast.BinaryExpr)
+	if inner.Op != cast.BinaryMul {
+		t.Fatalf("inner op: got %v, want *", inner.Op)
+	}
+	if v, ok := ConstIntValue(ret.Result); !ok || v != 7 {
+		t.Fatalf("const value: got %d ok=%v, want 7", v, ok)
+	}
+}
+
+func TestParseExpressionForms(t *testing.T) {
+	// Each expression should round-trip through the parser without error.
+	exprs := []string{
+		"a = b",
+		"a += 1",
+		"a ? b : c",
+		"f(a, b, c)",
+		"a[i]",
+		"s.field",
+		"p->field",
+		"*p",
+		"&x",
+		"!x && ~y",
+		"(char*)p",
+		"sizeof(int)",
+		"sizeof x",
+		"sizeof(buf)",
+		"x++ + ++y",
+		"a << 2 | b >> 1",
+		"a == b != c",
+		"(a, b)",
+		"- -x",
+		"p - q",
+		"\"abc\" \"def\"",
+	}
+	for _, e := range exprs {
+		t.Run(e, func(t *testing.T) {
+			src := "int a, b, c, i, x, y; char *p, *q, buf[4]; struct S { int field; } s; int f(int u, int v, int w);\nvoid g(void) { " + e + "; }"
+			mustParse(t, src)
+		})
+	}
+}
+
+func TestParseStatements(t *testing.T) {
+	src := `
+void f(int n) {
+    int i;
+    if (n > 0) { n--; } else { n++; }
+    while (n < 10) n++;
+    do { n--; } while (n > 0);
+    for (i = 0; i < 10; i++) { n += i; }
+    for (;;) { break; }
+    switch (n) {
+    case 0:
+        n = 1;
+        break;
+    case 1:
+    case 2:
+        n = 2;
+        break;
+    default:
+        n = 3;
+    }
+    goto end;
+end:
+    return;
+}
+`
+	tu := mustParse(t, src)
+	if len(tu.Funcs) != 1 {
+		t.Fatalf("funcs: got %d", len(tu.Funcs))
+	}
+}
+
+func TestParsePaperExampleSLR(t *testing.T) {
+	// The SLR motivating example from Section II-A4 of the paper.
+	src := `
+void example(void) {
+    char buf[10];
+    char src[100];
+    memset(src, 'c', 50);
+    src[50] = '\0';
+    char *dst = buf;
+    strcpy(dst, src);
+}
+`
+	tu := mustParse(t, src)
+	f := tu.Funcs[0]
+	var calls []*cast.CallExpr
+	cast.Inspect(f.Body, func(n cast.Node) bool {
+		if c, ok := n.(*cast.CallExpr); ok {
+			calls = append(calls, c)
+		}
+		return true
+	})
+	if len(calls) != 2 {
+		t.Fatalf("calls: got %d, want 2", len(calls))
+	}
+	if calls[0].Callee() != "memset" || calls[1].Callee() != "strcpy" {
+		t.Fatalf("callees: %s %s", calls[0].Callee(), calls[1].Callee())
+	}
+	// The strcpy callee must bind to the builtin symbol.
+	id := cast.Unparen(calls[1].Fun).(*cast.Ident)
+	if id.Sym == nil || id.Sym.Kind != cast.SymFunc {
+		t.Fatal("strcpy not bound to a function symbol")
+	}
+}
+
+func TestParseNameBinding(t *testing.T) {
+	src := `
+int g;
+void f(int p) {
+    int l;
+    l = g + p;
+    {
+        int l2;
+        l2 = l;
+    }
+}
+`
+	tu := mustParse(t, src)
+	var idents []*cast.Ident
+	cast.Inspect(tu.Funcs[0].Body, func(n cast.Node) bool {
+		if id, ok := n.(*cast.Ident); ok {
+			idents = append(idents, id)
+		}
+		return true
+	})
+	for _, id := range idents {
+		if id.Sym == nil {
+			t.Errorf("identifier %q unbound", id.Name)
+		}
+	}
+	// g binds to a global.
+	for _, id := range idents {
+		if id.Name == "g" && !id.Sym.IsGlobal {
+			t.Error("g should bind to the global symbol")
+		}
+		if id.Name == "p" && id.Sym.Kind != cast.SymParam {
+			t.Error("p should bind to a parameter symbol")
+		}
+	}
+}
+
+func TestParseShadowing(t *testing.T) {
+	src := `
+int x;
+void f(void) {
+    int x;
+    x = 1;
+}
+`
+	tu := mustParse(t, src)
+	var use *cast.Ident
+	cast.Inspect(tu.Funcs[0].Body, func(n cast.Node) bool {
+		if id, ok := n.(*cast.Ident); ok && id.Name == "x" {
+			use = id
+		}
+		return true
+	})
+	if use == nil || use.Sym == nil {
+		t.Fatal("x not bound")
+	}
+	if use.Sym.IsGlobal {
+		t.Fatal("x should bind to the local, not the shadowed global")
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	tu := mustParse(t, `char *s = "a\tb\n\x41\101";`)
+	vd := tu.Decls[0].(*cast.VarDecl)
+	lit := vd.Init.(*cast.StringLit)
+	if lit.Value != "a\tb\nAA" {
+		t.Fatalf("decoded: got %q", lit.Value)
+	}
+}
+
+func TestParseCharLiterals(t *testing.T) {
+	tests := []struct {
+		src  string
+		want byte
+	}{
+		{`char c = 'a';`, 'a'},
+		{`char c = '\n';`, '\n'},
+		{`char c = '\0';`, 0},
+		{`char c = '\\';`, '\\'},
+		{`char c = '\'';`, '\''},
+		{`char c = '\x41';`, 'A'},
+	}
+	for _, tt := range tests {
+		tu := mustParse(t, tt.src)
+		vd := tu.Decls[0].(*cast.VarDecl)
+		lit := vd.Init.(*cast.CharLit)
+		if lit.Value != tt.want {
+			t.Errorf("%s: got %q, want %q", tt.src, lit.Value, tt.want)
+		}
+	}
+}
+
+func TestParseIntLiterals(t *testing.T) {
+	tests := []struct {
+		src  string
+		want int64
+	}{
+		{"int x = 42;", 42},
+		{"int x = 0x2A;", 42},
+		{"int x = 052;", 42},
+		{"int x = 0;", 0},
+		{"long x = 42L;", 42},
+		{"unsigned x = 42u;", 42},
+		{"long long x = 42ULL;", 42},
+	}
+	for _, tt := range tests {
+		tu := mustParse(t, tt.src)
+		vd := tu.Decls[0].(*cast.VarDecl)
+		lit := vd.Init.(*cast.IntLit)
+		if lit.Value != tt.want {
+			t.Errorf("%s: got %d, want %d", tt.src, lit.Value, tt.want)
+		}
+	}
+}
+
+func TestParseInitializerList(t *testing.T) {
+	tu := mustParse(t, "int a[3] = {1, 2, 3};")
+	vd := tu.Decls[0].(*cast.VarDecl)
+	lst, ok := vd.Init.(*cast.InitListExpr)
+	if !ok {
+		t.Fatalf("expected InitListExpr, got %T", vd.Init)
+	}
+	if len(lst.Elems) != 3 {
+		t.Fatalf("elems: got %d", len(lst.Elems))
+	}
+}
+
+func TestParseStrallocInit(t *testing.T) {
+	// The initializer form STR emits.
+	src := `
+typedef struct stralloc { char* s; char* f; unsigned int len; unsigned int a; } stralloc;
+void f(void) {
+    stralloc *buf;
+    stralloc ssss_buf = {0,0,0,0};
+    buf = &ssss_buf;
+    buf->a = 1024;
+}
+`
+	mustParse(t, src)
+}
+
+func TestParseErrorReportsPosition(t *testing.T) {
+	_, err := Parse("bad.c", "int f( {")
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+	if !strings.Contains(err.Error(), "bad.c:1:") {
+		t.Fatalf("error should carry position, got: %v", err)
+	}
+}
+
+func TestParseFunctionPointerDeclarator(t *testing.T) {
+	tu := mustParse(t, "int (*handler)(int, char*);")
+	vd := tu.Decls[0].(*cast.VarDecl)
+	p, ok := ctype.Unqualify(vd.Type).(*ctype.Pointer)
+	if !ok {
+		t.Fatalf("expected pointer, got %s", vd.Type)
+	}
+	if _, ok := p.Elem.(*ctype.Func); !ok {
+		t.Fatalf("expected pointer to function, got %s", vd.Type)
+	}
+}
+
+func TestParseExtents(t *testing.T) {
+	src := "int main(void) { return 0; }"
+	tu := mustParse(t, src)
+	f := tu.Funcs[0]
+	if got := tu.File.Slice(f.Extent()); got != src {
+		t.Fatalf("func extent: got %q", got)
+	}
+	ret := f.Body.Items[0].(*cast.ReturnStmt)
+	if got := tu.File.Slice(ret.Extent()); got != "return 0;" {
+		t.Fatalf("return extent: got %q", got)
+	}
+}
+
+func TestParseCommentsIgnored(t *testing.T) {
+	src := `
+// line comment
+int /* inline */ x; /* trailing */
+/* block
+   spanning */
+int y;
+`
+	tu := mustParse(t, src)
+	if len(tu.Decls) != 2 {
+		t.Fatalf("decls: got %d, want 2", len(tu.Decls))
+	}
+}
+
+func TestParseVariadicFunction(t *testing.T) {
+	tu := mustParse(t, "int my_printf(const char *fmt, ...);")
+	vd := tu.Decls[0].(*cast.VarDecl)
+	ft := ctype.Unqualify(vd.Type).(*ctype.Func)
+	if !ft.Variadic {
+		t.Fatal("expected variadic function type")
+	}
+}
+
+func TestParseForWithDecl(t *testing.T) {
+	tu := mustParse(t, "void f(void){ for (int i = 0; i < 4; i++) {} }")
+	fs := tu.Funcs[0].Body.Items[0].(*cast.ForStmt)
+	ds, ok := fs.Init.(*cast.DeclStmt)
+	if !ok {
+		t.Fatalf("expected DeclStmt init, got %T", fs.Init)
+	}
+	if len(ds.Decls) != 1 || ds.Decls[0].Name != "i" {
+		t.Fatal("for-decl not parsed")
+	}
+}
+
+func TestParseTernaryWithAllocation(t *testing.T) {
+	// The SLR failure case: ternary with heap allocation in both branches.
+	src := `
+void f(int c) {
+    char *p = c ? malloc(10) : malloc(20);
+    strcpy(p, "x");
+}
+`
+	mustParse(t, src)
+}
+
+func TestParseCastVsCall(t *testing.T) {
+	// (f)(x) is a call when f is not a type; (T)(x) is a cast when T is a
+	// typedef name.
+	src := `
+typedef int myint;
+int f(int v);
+void g(void) {
+    int a = (f)(1);
+    int b = (myint)(2);
+}
+`
+	tu := mustParse(t, src)
+	body := tu.FuncNamed("g").Body
+	a := body.Items[0].(*cast.DeclStmt).Decls[0].Init
+	if _, ok := cast.Unparen(a).(*cast.CallExpr); !ok {
+		t.Fatalf("(f)(1) should parse as a call, got %T", a)
+	}
+	b := body.Items[1].(*cast.DeclStmt).Decls[0].Init
+	if _, ok := cast.Unparen(b).(*cast.CastExpr); !ok {
+		t.Fatalf("(myint)(2) should parse as a cast, got %T", b)
+	}
+}

@@ -1,0 +1,261 @@
+package cparse
+
+import (
+	"repro/internal/cast"
+	"repro/internal/ctoken"
+)
+
+// parseCompoundStmt parses a brace-enclosed block, opening a new scope.
+func (p *Parser) parseCompoundStmt() *cast.CompoundStmt {
+	lb := p.expect("{")
+	cs := &cast.CompoundStmt{LBrace: lb.Extent}
+	p.pushScope()
+	for !p.atText("}") && !p.at(ctoken.KindEOF) {
+		cs.Items = append(cs.Items, p.parseBlockItem())
+	}
+	rb := p.expect("}")
+	cs.RBrace = rb.Extent
+	cs.SetExtent(ctoken.Extent{Pos: lb.Extent.Pos, End: rb.Extent.End})
+	p.popScope()
+	return cs
+}
+
+// parseBlockItem parses a declaration or statement inside a block.
+func (p *Parser) parseBlockItem() cast.Stmt {
+	if p.startsDecl() {
+		return p.parseDeclStmt()
+	}
+	return p.parseStmt()
+}
+
+// startsDecl reports whether the current token begins a declaration.
+func (p *Parser) startsDecl() bool {
+	t := p.cur()
+	if t.Kind == ctoken.KindKeyword {
+		switch t.Text {
+		case "typedef", "extern", "static", "auto", "register",
+			"void", "char", "short", "int", "long", "float", "double",
+			"signed", "unsigned", "_Bool", "struct", "union", "enum",
+			"const", "volatile", "restrict", "__restrict", "inline",
+			"__inline", "__extension__":
+			return true
+		}
+		return false
+	}
+	// A typedef name followed by something that can continue a declarator.
+	if t.Kind == ctoken.KindIdent && p.isTypeName(t.Text) {
+		n := p.peekN(1)
+		if n.Is("*") || n.Kind == ctoken.KindIdent || n.Is("(") {
+			// "T * x" is ambiguous with multiplication; C resolves it as a
+			// declaration when T is a typedef name, and so do we.
+			return true
+		}
+	}
+	return false
+}
+
+// parseDeclStmt parses a local declaration statement.
+func (p *Parser) parseDeclStmt() cast.Stmt {
+	start := p.cur().Extent.Pos
+	specs := p.parseDeclSpecs()
+	if p.atText(";") {
+		end := p.advance().Extent.End
+		// Tag-only local declaration.
+		ds := &cast.DeclStmt{}
+		ds.SetExtent(ctoken.Extent{Pos: start, End: end})
+		return ds
+	}
+	d := p.parseDeclarator(specs.base)
+	decl := p.finishDeclaration(start, specs, d, false)
+	ds := &cast.DeclStmt{}
+	switch x := decl.(type) {
+	case *cast.VarDecl:
+		ds.Decls = []*cast.VarDecl{x}
+	case *cast.MultiDecl:
+		ds.Decls = x.Decls
+	case *cast.TypedefDecl:
+		// Local typedef: keep an empty DeclStmt (bound in scope already).
+	}
+	ds.SetExtent(ctoken.Extent{Pos: start, End: p.toks[p.pos-1].Extent.End})
+	return ds
+}
+
+// parseStmt parses a single statement.
+func (p *Parser) parseStmt() cast.Stmt {
+	t := p.cur()
+	switch {
+	case t.Is("{"):
+		return p.parseCompoundStmt()
+	case t.Is(";"):
+		tok := p.advance()
+		ns := &cast.NullStmt{}
+		ns.SetExtent(tok.Extent)
+		return ns
+	case t.IsKeyword("if"):
+		return p.parseIfStmt()
+	case t.IsKeyword("while"):
+		return p.parseWhileStmt()
+	case t.IsKeyword("do"):
+		return p.parseDoWhileStmt()
+	case t.IsKeyword("for"):
+		return p.parseForStmt()
+	case t.IsKeyword("return"):
+		start := p.advance().Extent.Pos
+		rs := &cast.ReturnStmt{}
+		if !p.atText(";") {
+			rs.Result = p.parseExpr()
+		}
+		end := p.expect(";").Extent.End
+		rs.SetExtent(ctoken.Extent{Pos: start, End: end})
+		return rs
+	case t.IsKeyword("break"):
+		start := p.advance().Extent.Pos
+		end := p.expect(";").Extent.End
+		bs := &cast.BreakStmt{}
+		bs.SetExtent(ctoken.Extent{Pos: start, End: end})
+		return bs
+	case t.IsKeyword("continue"):
+		start := p.advance().Extent.Pos
+		end := p.expect(";").Extent.End
+		cs := &cast.ContinueStmt{}
+		cs.SetExtent(ctoken.Extent{Pos: start, End: end})
+		return cs
+	case t.IsKeyword("goto"):
+		start := p.advance().Extent.Pos
+		label := p.expectIdent().Text
+		end := p.expect(";").Extent.End
+		gs := &cast.GotoStmt{Label: label}
+		gs.SetExtent(ctoken.Extent{Pos: start, End: end})
+		return gs
+	case t.IsKeyword("switch"):
+		return p.parseSwitchStmt()
+	case t.IsKeyword("case"), t.IsKeyword("default"):
+		return p.parseCaseStmt()
+	case t.Kind == ctoken.KindIdent && p.peekN(1).Is(":"):
+		start := t.Extent.Pos
+		label := p.advance().Text
+		p.expect(":")
+		var inner cast.Stmt
+		if p.atText("}") {
+			// Label at end of block: statement is empty.
+			inner = &cast.NullStmt{}
+		} else {
+			inner = p.parseBlockItem()
+		}
+		ls := &cast.LabeledStmt{Label: label, Stmt: inner}
+		ls.SetExtent(ctoken.Extent{Pos: start, End: inner.Extent().End})
+		return ls
+	default:
+		start := t.Extent.Pos
+		e := p.parseExpr()
+		end := p.expect(";").Extent.End
+		es := &cast.ExprStmt{X: e}
+		es.SetExtent(ctoken.Extent{Pos: start, End: end})
+		return es
+	}
+}
+
+func (p *Parser) parseIfStmt() cast.Stmt {
+	start := p.advance().Extent.Pos // if
+	p.expect("(")
+	cond := p.parseExpr()
+	p.expect(")")
+	thenS := p.parseStmt()
+	is := &cast.IfStmt{Cond: cond, Then: thenS}
+	end := thenS.Extent().End
+	if p.cur().IsKeyword("else") {
+		p.advance()
+		is.Else = p.parseStmt()
+		end = is.Else.Extent().End
+	}
+	is.SetExtent(ctoken.Extent{Pos: start, End: end})
+	return is
+}
+
+func (p *Parser) parseWhileStmt() cast.Stmt {
+	start := p.advance().Extent.Pos // while
+	p.expect("(")
+	cond := p.parseExpr()
+	p.expect(")")
+	body := p.parseStmt()
+	ws := &cast.WhileStmt{Cond: cond, Body: body}
+	ws.SetExtent(ctoken.Extent{Pos: start, End: body.Extent().End})
+	return ws
+}
+
+func (p *Parser) parseDoWhileStmt() cast.Stmt {
+	start := p.advance().Extent.Pos // do
+	body := p.parseStmt()
+	if !p.cur().IsKeyword("while") {
+		p.errorf(p.cur().Extent.Pos, "expected 'while' after do-body, found %s", p.cur())
+	}
+	p.advance()
+	p.expect("(")
+	cond := p.parseExpr()
+	p.expect(")")
+	end := p.expect(";").Extent.End
+	ds := &cast.DoWhileStmt{Body: body, Cond: cond}
+	ds.SetExtent(ctoken.Extent{Pos: start, End: end})
+	return ds
+}
+
+func (p *Parser) parseForStmt() cast.Stmt {
+	start := p.advance().Extent.Pos // for
+	p.expect("(")
+	p.pushScope()
+	defer p.popScope()
+	fs := &cast.ForStmt{}
+	if !p.atText(";") {
+		if p.startsDecl() {
+			fs.Init = p.parseDeclStmt()
+		} else {
+			initStart := p.cur().Extent.Pos
+			e := p.parseExpr()
+			end := p.expect(";").Extent.End
+			es := &cast.ExprStmt{X: e}
+			es.SetExtent(ctoken.Extent{Pos: initStart, End: end})
+			fs.Init = es
+		}
+	} else {
+		p.advance()
+	}
+	if !p.atText(";") {
+		fs.Cond = p.parseExpr()
+	}
+	p.expect(";")
+	if !p.atText(")") {
+		fs.Post = p.parseExpr()
+	}
+	p.expect(")")
+	fs.Body = p.parseStmt()
+	fs.SetExtent(ctoken.Extent{Pos: start, End: fs.Body.Extent().End})
+	return fs
+}
+
+func (p *Parser) parseSwitchStmt() cast.Stmt {
+	start := p.advance().Extent.Pos // switch
+	p.expect("(")
+	tag := p.parseExpr()
+	p.expect(")")
+	body := p.parseStmt()
+	ss := &cast.SwitchStmt{Tag: tag, Body: body}
+	ss.SetExtent(ctoken.Extent{Pos: start, End: body.Extent().End})
+	return ss
+}
+
+func (p *Parser) parseCaseStmt() cast.Stmt {
+	t := p.cur()
+	start := p.advance().Extent.Pos
+	cs := &cast.CaseStmt{}
+	if t.IsKeyword("case") {
+		cs.Value = p.parseConditionalExpr()
+	}
+	end := p.expect(":").Extent.End
+	// The labeled statement, unless another label or the block end follows.
+	if !p.atText("}") && !p.cur().IsKeyword("case") && !p.cur().IsKeyword("default") {
+		cs.Stmt = p.parseBlockItem()
+		end = cs.Stmt.Extent().End
+	}
+	cs.SetExtent(ctoken.Extent{Pos: start, End: end})
+	return cs
+}

@@ -1,0 +1,176 @@
+package ctoken
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExtentBasics(t *testing.T) {
+	e := Extent{Pos: 3, End: 8}
+	if !e.IsValid() || e.Len() != 5 {
+		t.Fatal("extent basics")
+	}
+	if NoExtent.IsValid() {
+		t.Fatal("NoExtent must be invalid")
+	}
+	if NoExtent.Len() != 0 {
+		t.Fatal("invalid extent has zero length")
+	}
+	if !NoPos.IsValid() == false {
+		t.Fatal("NoPos is invalid")
+	}
+}
+
+func TestExtentCoversOverlaps(t *testing.T) {
+	outer := Extent{Pos: 0, End: 10}
+	inner := Extent{Pos: 3, End: 7}
+	disjoint := Extent{Pos: 10, End: 12}
+	if !outer.Covers(inner) || inner.Covers(outer) {
+		t.Fatal("covers")
+	}
+	if !outer.Overlaps(inner) || outer.Overlaps(disjoint) {
+		t.Fatal("overlaps: adjacent extents share no byte")
+	}
+}
+
+func TestExtentUnion(t *testing.T) {
+	a := Extent{Pos: 2, End: 5}
+	b := Extent{Pos: 8, End: 9}
+	u := a.Union(b)
+	if u.Pos != 2 || u.End != 9 {
+		t.Fatalf("union: %+v", u)
+	}
+	if got := NoExtent.Union(a); got != a {
+		t.Fatal("union with invalid")
+	}
+	if got := a.Union(NoExtent); got != a {
+		t.Fatal("union with invalid rhs")
+	}
+}
+
+func TestTokenHelpers(t *testing.T) {
+	kw := Token{Kind: KindKeyword, Text: "while"}
+	if !kw.IsKeyword("while") || kw.IsKeyword("if") {
+		t.Fatal("IsKeyword")
+	}
+	p := Token{Kind: KindPunct, Text: "++"}
+	if !p.Is("++") || p.Is("+") {
+		t.Fatal("Is")
+	}
+	id := Token{Kind: KindIdent, Text: "while"}
+	if id.Is("while") {
+		t.Fatal("identifiers are not punct/keyword matches")
+	}
+	if (Token{Kind: KindEOF}).String() != "EOF" {
+		t.Fatal("EOF string")
+	}
+}
+
+func TestKeywordTable(t *testing.T) {
+	for _, kw := range []string{"int", "char", "while", "sizeof", "struct", "_Bool"} {
+		if !IsKeywordText(kw) {
+			t.Errorf("%s should be a keyword", kw)
+		}
+	}
+	for _, id := range []string{"main", "buf", "stralloc", "printf"} {
+		if IsKeywordText(id) {
+			t.Errorf("%s should not be a keyword", id)
+		}
+	}
+}
+
+func TestFilePositionEdges(t *testing.T) {
+	f := NewFile("x.c", "a\n\nbc")
+	if f.Name() != "x.c" || f.Size() != 5 {
+		t.Fatal("file accessors")
+	}
+	tests := []struct {
+		off       Pos
+		line, col int
+	}{
+		{0, 1, 1}, {1, 1, 2}, {2, 2, 1}, {3, 3, 1}, {4, 3, 2}, {5, 3, 3},
+	}
+	for _, tt := range tests {
+		p := f.Position(tt.off)
+		if p.Line != tt.line || p.Col != tt.col {
+			t.Errorf("pos %d: got %d:%d, want %d:%d", tt.off, p.Line, p.Col, tt.line, tt.col)
+		}
+	}
+	if p := f.Position(NoPos); p.Line != 0 {
+		t.Fatal("invalid positions map to line 0")
+	}
+	if s := f.Position(2).String(); s != "x.c:2:1" {
+		t.Fatalf("position string: %s", s)
+	}
+	if s := f.Position(NoPos).String(); s != "x.c:?" {
+		t.Fatalf("unknown position string: %s", s)
+	}
+}
+
+func TestFileSlice(t *testing.T) {
+	f := NewFile("x.c", "hello world")
+	if got := f.Slice(Extent{Pos: 6, End: 11}); got != "world" {
+		t.Fatalf("slice: %q", got)
+	}
+	if got := f.Slice(NoExtent); got != "" {
+		t.Fatalf("invalid slice: %q", got)
+	}
+	if got := f.Slice(Extent{Pos: 6, End: 50}); got != "" {
+		t.Fatalf("out-of-range slice: %q", got)
+	}
+}
+
+// TestPropertyPositionRoundTrip: for any text, every byte offset maps to a
+// (line, col) whose reconstruction points back at the same offset.
+func TestPropertyPositionRoundTrip(t *testing.T) {
+	f := func(raw []byte) bool {
+		src := string(raw)
+		file := NewFile("p.c", src)
+		lineStarts := []int{0}
+		for i := 0; i < len(src); i++ {
+			if src[i] == '\n' {
+				lineStarts = append(lineStarts, i+1)
+			}
+		}
+		for off := 0; off <= len(src); off++ {
+			p := file.Position(Pos(off))
+			if p.Line < 1 || p.Line > len(lineStarts) {
+				return false
+			}
+			if lineStarts[p.Line-1]+p.Col-1 != off {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyUnionCoversBoth: the union of two valid extents covers both.
+func TestPropertyUnionCoversBoth(t *testing.T) {
+	f := func(a1, a2, b1, b2 uint16) bool {
+		a := Extent{Pos: Pos(min16(a1, a2)), End: Pos(max16(a1, a2))}
+		b := Extent{Pos: Pos(min16(b1, b2)), End: Pos(max16(b1, b2))}
+		u := a.Union(b)
+		return u.Covers(a) && u.Covers(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min16(a, b uint16) uint16 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max16(a, b uint16) uint16 {
+	if a > b {
+		return a
+	}
+	return b
+}

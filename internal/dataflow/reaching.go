@@ -1,0 +1,296 @@
+package dataflow
+
+import (
+	"repro/internal/cast"
+	"repro/internal/cfg"
+	"repro/internal/ctype"
+)
+
+// AliasOracle answers may-alias queries for the reaching-definitions
+// transfer functions. internal/pointsto provides the implementation; the
+// interface lives here so the dataflow layer does not depend on the
+// points-to engine (mirroring the paper's layering, where the alias sets
+// feed the reaching-definition analysis).
+type AliasOracle interface {
+	// IsAliased reports whether the symbol's storage may be reachable
+	// through some other name (its alias set has more than one member).
+	IsAliased(sym *cast.Symbol) bool
+	// PointeesOf returns the symbols that a pointer symbol may point to.
+	PointeesOf(sym *cast.Symbol) []*cast.Symbol
+}
+
+// NoAliases is an AliasOracle for contexts with no points-to information:
+// it reports every pointer as potentially aliased, which is the
+// conservative answer.
+type NoAliases struct{}
+
+var _ AliasOracle = NoAliases{}
+
+// IsAliased always reports true.
+func (NoAliases) IsAliased(*cast.Symbol) bool { return true }
+
+// PointeesOf always returns nil.
+func (NoAliases) PointeesOf(*cast.Symbol) []*cast.Symbol { return nil }
+
+// Def is a single definition site of a symbol.
+type Def struct {
+	// ID is the dense index of the definition within the function.
+	ID int
+	// Node is the CFG node that performs the definition.
+	Node *cfg.Node
+	// Sym is the defined symbol.
+	Sym *cast.Symbol
+	// Member is the field name for struct-member definitions ("" for
+	// whole-object definitions). Structs are aggregates in the alias
+	// analysis (Section III-A), but reaching definitions distinguish
+	// member writes so that Algorithm 1's lines 42-46 can detect a
+	// whole-struct redefinition between a member's definition and its use.
+	Member string
+	// Kind records what syntactic form performed the definition.
+	Kind DefKind
+	// Value is the defining expression: the initializer for declarations,
+	// the full assignment expression for assignments (so compound
+	// assignments keep their operator), nil otherwise.
+	Value cast.Expr
+	// Weak marks potential (may) definitions: writes through aliases,
+	// writes to single elements of aggregates, and writes via calls. Weak
+	// definitions do not kill.
+	Weak bool
+}
+
+// DefKind classifies definition sites.
+type DefKind int
+
+// Definition kinds.
+const (
+	DefInvalid    DefKind = iota
+	DefDecl               // declaration without initializer
+	DefInit               // declaration with initializer
+	DefAssign             // assignment expression
+	DefIncDec             // ++/-- (prefix or postfix)
+	DefCallOut            // address passed to a call; callee may write
+	DefAliasWrite         // write through a dereferenced pointer that may alias
+)
+
+// ReachingDefs holds the solved reaching-definitions facts for one
+// function.
+type ReachingDefs struct {
+	Graph *cfg.Graph
+	Defs  []*Def
+	// in[nodeID] is the set of definition IDs reaching the node's entry.
+	in []BitSet
+	// defsBySym groups definition IDs by symbol ID for fast queries.
+	defsBySym map[int][]int
+}
+
+// ComputeReaching builds and solves reaching definitions for g using the
+// given alias oracle.
+func ComputeReaching(g *cfg.Graph, aliases AliasOracle) *ReachingDefs {
+	rd := &ReachingDefs{
+		Graph:     g,
+		defsBySym: make(map[int][]int),
+	}
+	gen := make([][]*Def, len(g.Nodes))
+	for _, n := range g.Nodes {
+		defs := collectDefs(n, aliases)
+		for _, d := range defs {
+			d.ID = len(rd.Defs)
+			rd.Defs = append(rd.Defs, d)
+			rd.defsBySym[d.Sym.ID] = append(rd.defsBySym[d.Sym.ID], d.ID)
+		}
+		gen[n.ID] = defs
+	}
+
+	nDefs := len(rd.Defs)
+	genBits := make([]BitSet, len(g.Nodes))
+	killBits := make([]BitSet, len(g.Nodes))
+	for _, n := range g.Nodes {
+		genBits[n.ID] = NewBitSet(nDefs)
+		killBits[n.ID] = NewBitSet(nDefs)
+		for _, d := range gen[n.ID] {
+			genBits[n.ID].Set(d.ID)
+			if d.Weak {
+				continue
+			}
+			// Strong definitions kill other defs of the same symbol:
+			// whole-object defs kill everything (including member defs);
+			// member defs kill only matching member defs.
+			for _, otherID := range rd.defsBySym[d.Sym.ID] {
+				other := rd.Defs[otherID]
+				if otherID == d.ID {
+					continue
+				}
+				if d.Member == "" || other.Member == d.Member {
+					killBits[n.ID].Set(otherID)
+				}
+			}
+		}
+	}
+
+	// Solve with the generic forward may-analysis engine.
+	rd.in = Forward(g, nDefs,
+		func(id int) BitSet { return genBits[id] },
+		func(id int) BitSet { return killBits[id] })
+	return rd
+}
+
+// In returns the definitions reaching the entry of node n.
+func (rd *ReachingDefs) In(n *cfg.Node) []*Def {
+	var out []*Def
+	rd.in[n.ID].ForEach(func(i int) {
+		out = append(out, rd.Defs[i])
+	})
+	return out
+}
+
+// ReachingFor returns the definitions of sym that reach the entry of n.
+func (rd *ReachingDefs) ReachingFor(n *cfg.Node, sym *cast.Symbol) []*Def {
+	var out []*Def
+	for _, id := range rd.defsBySym[sym.ID] {
+		if rd.in[n.ID].Has(id) {
+			out = append(out, rd.Defs[id])
+		}
+	}
+	return out
+}
+
+// UniqueReaching returns the single definition of sym reaching n, or nil
+// when zero or multiple definitions reach (Algorithm 1 requires a unique
+// "definition reaching B"; merges make the size indeterminate).
+func (rd *ReachingDefs) UniqueReaching(n *cfg.Node, sym *cast.Symbol) *Def {
+	defs := rd.ReachingFor(n, sym)
+	if len(defs) != 1 {
+		return nil
+	}
+	return defs[0]
+}
+
+// collectDefs finds the definitions performed by one CFG node.
+func collectDefs(n *cfg.Node, aliases AliasOracle) []*Def {
+	var defs []*Def
+	switch n.Kind {
+	case cfg.KindDecl:
+		d := n.Decl
+		if d.Sym == nil {
+			return nil
+		}
+		kind := DefDecl
+		if d.Init != nil {
+			kind = DefInit
+		}
+		defs = append(defs, &Def{Node: n, Sym: d.Sym, Kind: kind, Value: d.Init})
+		return defs
+	case cfg.KindStmt, cfg.KindCond, cfg.KindPost:
+		var root cast.Node
+		switch {
+		case n.Expr != nil:
+			root = n.Expr
+		case n.Stmt != nil:
+			root = n.Stmt
+		default:
+			return nil
+		}
+		cast.Inspect(root, func(node cast.Node) bool {
+			switch x := node.(type) {
+			case *cast.AssignExpr:
+				defs = append(defs, defsForLValue(n, x.LHS, x, aliases)...)
+			case *cast.UnaryExpr:
+				if x.Op == cast.UnaryPreInc || x.Op == cast.UnaryPreDec {
+					defs = append(defs, defsForIncDec(n, x.Operand, x)...)
+				}
+			case *cast.PostfixExpr:
+				defs = append(defs, defsForIncDec(n, x.Operand, x)...)
+			case *cast.CallExpr:
+				defs = append(defs, defsForCall(n, x, aliases)...)
+			}
+			return true
+		})
+		return defs
+	default:
+		return nil
+	}
+}
+
+// defsForLValue produces the definitions caused by assigning to lv.
+func defsForLValue(n *cfg.Node, lv cast.Expr, assign *cast.AssignExpr, aliases AliasOracle) []*Def {
+	switch x := cast.Unparen(lv).(type) {
+	case *cast.Ident:
+		if x.Sym == nil {
+			return nil
+		}
+		return []*Def{{Node: n, Sym: x.Sym, Kind: DefAssign, Value: assign}}
+	case *cast.MemberExpr:
+		base := cast.Unparen(x.Base)
+		if id, ok := base.(*cast.Ident); ok && id.Sym != nil {
+			// Member writes are strong for the member, weak for nothing
+			// else; writes through p->f also count as a member def keyed
+			// on the pointer symbol (the aggregate-node simplification).
+			return []*Def{{Node: n, Sym: id.Sym, Member: x.Member, Kind: DefAssign, Value: assign}}
+		}
+		return nil
+	case *cast.IndexExpr:
+		base := cast.Unparen(x.Base)
+		if id, ok := base.(*cast.Ident); ok && id.Sym != nil && ctype.IsArray(id.Sym.Type) {
+			// Writing one element of an aggregate array: weak definition
+			// of the whole object (no shape analysis, Section III-A).
+			// Index writes through a *pointer* base modify the pointee,
+			// not the pointer value, so they are not definitions of the
+			// pointer symbol — Algorithm 1 tracks pointer values.
+			return []*Def{{Node: n, Sym: id.Sym, Kind: DefAssign, Value: assign, Weak: true}}
+		}
+		return nil
+	case *cast.UnaryExpr:
+		if x.Op != cast.UnaryDeref {
+			return nil
+		}
+		// *p = v defines whatever p may point to.
+		if id, ok := cast.Unparen(x.Operand).(*cast.Ident); ok && id.Sym != nil {
+			var defs []*Def
+			for _, pt := range aliases.PointeesOf(id.Sym) {
+				defs = append(defs, &Def{Node: n, Sym: pt, Kind: DefAliasWrite, Weak: true})
+			}
+			return defs
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// defsForIncDec records an increment/decrement definition. The full
+// expression is stored in Value so Algorithm 1 can apply the ±1 size
+// correction (lines 16-20 operate on the same syntax when it reaches a use
+// through a definition).
+func defsForIncDec(n *cfg.Node, operand cast.Expr, expr cast.Expr) []*Def {
+	if id, ok := cast.Unparen(operand).(*cast.Ident); ok && id.Sym != nil {
+		return []*Def{{Node: n, Sym: id.Sym, Kind: DefIncDec, Value: expr}}
+	}
+	return nil
+}
+
+// defsForCall produces weak definitions for out-parameters: &x arguments,
+// and for char* arguments to functions known to write their destination.
+func defsForCall(n *cfg.Node, call *cast.CallExpr, aliases AliasOracle) []*Def {
+	var defs []*Def
+	for _, a := range call.Args {
+		u, ok := cast.Unparen(a).(*cast.UnaryExpr)
+		if !ok || u.Op != cast.UnaryAddrOf {
+			continue
+		}
+		if id, ok := cast.Unparen(u.Operand).(*cast.Ident); ok && id.Sym != nil {
+			defs = append(defs, &Def{Node: n, Sym: id.Sym, Kind: DefCallOut, Weak: true})
+		}
+	}
+	// Writes into a buffer through a char*/void* argument mutate the
+	// pointed-to object, not the pointer value, so they do not define the
+	// pointer symbol; pointer-value tracking is what Algorithm 1 needs.
+	_ = aliases
+	return defs
+}
+
+// IsBufferWrite reports whether t is a type whose object could be a buffer
+// destination (char array or pointer), used by callers assembling
+// diagnostics.
+func IsBufferWrite(t ctype.Type) bool {
+	return t != nil && (ctype.IsCharPointer(t) || ctype.IsCharArray(t))
+}

@@ -1,0 +1,47 @@
+package dataflow
+
+import "repro/internal/cfg"
+
+// Forward solves a forward may-dataflow problem (union-meet, gen/kill
+// transfer) over the CFG with the traditional worklist algorithm the
+// paper's Section III-A prescribes. nBits is the fact-universe size;
+// gen/kill give each node's transfer function. It returns the IN set of
+// every node (indexed by node ID).
+func Forward(g *cfg.Graph, nBits int, gen, kill func(nodeID int) BitSet) []BitSet {
+	n := len(g.Nodes)
+	in := make([]BitSet, n)
+	out := make([]BitSet, n)
+	for i := 0; i < n; i++ {
+		in[i] = NewBitSet(nBits)
+		out[i] = NewBitSet(nBits)
+	}
+
+	work := make([]*cfg.Node, 0, n)
+	inWork := make([]bool, n)
+	for _, node := range g.Nodes {
+		work = append(work, node)
+		inWork[node.ID] = true
+	}
+	for len(work) > 0 {
+		node := work[0]
+		work = work[1:]
+		inWork[node.ID] = false
+
+		for _, p := range node.Preds {
+			in[node.ID].UnionWith(out[p.ID])
+		}
+		newOut := in[node.ID].Clone()
+		newOut.DiffWith(kill(node.ID))
+		newOut.UnionWith(gen(node.ID))
+		if !newOut.Equal(out[node.ID]) {
+			out[node.ID].CopyFrom(newOut)
+			for _, s := range node.Succs {
+				if !inWork[s.ID] {
+					work = append(work, s)
+					inWork[s.ID] = true
+				}
+			}
+		}
+	}
+	return in
+}

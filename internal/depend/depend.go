@@ -1,0 +1,189 @@
+// Package depend computes control and data dependence over the
+// statement-level CFG — the final pair of analyses the paper adds to
+// OpenRefactory/C (Section III-A: "We extended OpenRefactory/C to add
+// reaching definition analysis, points-to analysis, control and data
+// dependence analysis, and alias analysis").
+//
+// Control dependence follows the classic Ferrante-Ottenstein-Warren
+// construction via post-dominators; data dependence is the def-use
+// relation induced by reaching definitions.
+package depend
+
+import (
+	"repro/internal/cast"
+	"repro/internal/cfg"
+	"repro/internal/dataflow"
+)
+
+// Result holds the dependence relations for one function.
+type Result struct {
+	Graph *cfg.Graph
+	// ControlDeps maps node ID -> IDs of nodes it is control-dependent on.
+	ControlDeps map[int][]int
+	// DataDeps maps node ID -> the definitions its uses may read.
+	DataDeps map[int][]*dataflow.Def
+}
+
+// Compute builds both relations. rd may be nil, in which case reaching
+// definitions are computed with no alias information.
+func Compute(g *cfg.Graph, rd *dataflow.ReachingDefs) *Result {
+	if rd == nil {
+		rd = dataflow.ComputeReaching(g, dataflow.NoAliases{})
+	}
+	res := &Result{
+		Graph:       g,
+		ControlDeps: controlDeps(g),
+		DataDeps:    dataDeps(g, rd),
+	}
+	return res
+}
+
+// postDominators computes the post-dominator sets with the standard
+// iterative algorithm (backward over the CFG, meeting at intersections).
+func postDominators(g *cfg.Graph) []map[int]bool {
+	n := len(g.Nodes)
+	pdom := make([]map[int]bool, n)
+	all := make(map[int]bool, n)
+	for _, node := range g.Nodes {
+		all[node.ID] = true
+	}
+	for _, node := range g.Nodes {
+		if node == g.Exit {
+			pdom[node.ID] = map[int]bool{node.ID: true}
+			continue
+		}
+		// Start from the full set.
+		s := make(map[int]bool, n)
+		for id := range all {
+			s[id] = true
+		}
+		pdom[node.ID] = s
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, node := range g.Nodes {
+			if node == g.Exit {
+				continue
+			}
+			// Intersection over successors' sets, plus self.
+			var inter map[int]bool
+			if len(node.Succs) == 0 {
+				// Dead-end node (e.g. infinite loop member): only itself.
+				inter = make(map[int]bool)
+			} else {
+				inter = make(map[int]bool, len(pdom[node.Succs[0].ID]))
+				for id := range pdom[node.Succs[0].ID] {
+					inter[id] = true
+				}
+				for _, s := range node.Succs[1:] {
+					for id := range inter {
+						if !pdom[s.ID][id] {
+							delete(inter, id)
+						}
+					}
+				}
+			}
+			inter[node.ID] = true
+			if !sameSet(inter, pdom[node.ID]) {
+				pdom[node.ID] = inter
+				changed = true
+			}
+		}
+	}
+	return pdom
+}
+
+func sameSet(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// controlDeps: node Y is control-dependent on X when X has successors S1,
+// S2 such that Y post-dominates S1 but not X itself.
+func controlDeps(g *cfg.Graph) map[int][]int {
+	pdom := postDominators(g)
+	deps := make(map[int][]int)
+	for _, x := range g.Nodes {
+		if len(x.Succs) < 2 {
+			continue // only branch points induce control dependence
+		}
+		for _, s := range x.Succs {
+			// Every node on the post-dominator path of s (excluding what
+			// also post-dominates x) is control-dependent on x.
+			for yID := range pdom[s.ID] {
+				if yID == x.ID {
+					continue
+				}
+				if !pdom[x.ID][yID] {
+					deps[yID] = appendUnique(deps[yID], x.ID)
+				}
+			}
+		}
+	}
+	return deps
+}
+
+func appendUnique(s []int, v int) []int {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// dataDeps connects each node's uses to the reaching definitions of the
+// used symbols.
+func dataDeps(g *cfg.Graph, rd *dataflow.ReachingDefs) map[int][]*dataflow.Def {
+	deps := make(map[int][]*dataflow.Def)
+	for _, node := range g.Nodes {
+		syms := usedSymbols(node)
+		for _, sym := range syms {
+			for _, def := range rd.ReachingFor(node, sym) {
+				if def.Node == node {
+					continue // a def in the same node is not a dependence
+				}
+				deps[node.ID] = append(deps[node.ID], def)
+			}
+		}
+	}
+	return deps
+}
+
+// usedSymbols collects the symbols read by a node.
+func usedSymbols(node *cfg.Node) []*cast.Symbol {
+	var root cast.Node
+	switch node.Kind {
+	case cfg.KindDecl:
+		if node.Decl.Init != nil {
+			root = node.Decl.Init
+		}
+	case cfg.KindStmt:
+		root = node.Stmt
+	case cfg.KindCond, cfg.KindPost:
+		root = node.Expr
+	}
+	if root == nil {
+		return nil
+	}
+	seen := make(map[*cast.Symbol]bool)
+	var out []*cast.Symbol
+	cast.Inspect(root, func(n cast.Node) bool {
+		if id, ok := n.(*cast.Ident); ok && id.Sym != nil && !seen[id.Sym] {
+			if id.Sym.Kind == cast.SymVar || id.Sym.Kind == cast.SymParam {
+				seen[id.Sym] = true
+				out = append(out, id.Sym)
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,131 @@
+package depend
+
+import (
+	"testing"
+
+	"repro/internal/cast"
+	"repro/internal/cfg"
+	"repro/internal/cparse"
+	"repro/internal/typecheck"
+)
+
+func computeFor(t *testing.T, src string) (*cast.TranslationUnit, *Result) {
+	t.Helper()
+	tu, err := cparse.Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	typecheck.Check(tu)
+	g := cfg.Build(tu.Funcs[0])
+	return tu, Compute(g, nil)
+}
+
+// nodeOfAssign finds the CFG node assigning the given literal value.
+func nodeOfAssign(t *testing.T, res *Result, val int64) *cfg.Node {
+	t.Helper()
+	for _, n := range res.Graph.Nodes {
+		es, ok := n.Stmt.(*cast.ExprStmt)
+		if !ok {
+			continue
+		}
+		a, ok := es.X.(*cast.AssignExpr)
+		if !ok {
+			continue
+		}
+		if lit, ok := a.RHS.(*cast.IntLit); ok && lit.Value == val {
+			return n
+		}
+	}
+	t.Fatalf("assignment of %d not found", val)
+	return nil
+}
+
+func TestControlDependenceOnBranch(t *testing.T) {
+	_, res := computeFor(t, `
+void f(int c) {
+    int a;
+    int b;
+    if (c) {
+        a = 1;
+    }
+    b = 2;
+}
+`)
+	inThen := nodeOfAssign(t, res, 1)
+	after := nodeOfAssign(t, res, 2)
+	// a = 1 is control-dependent on the condition; b = 2 is not.
+	if len(res.ControlDeps[inThen.ID]) == 0 {
+		t.Fatal("then-branch statement must be control-dependent on the if")
+	}
+	if len(res.ControlDeps[after.ID]) != 0 {
+		t.Fatalf("post-join statement must not be control-dependent, got %v",
+			res.ControlDeps[after.ID])
+	}
+}
+
+func TestControlDependenceInLoop(t *testing.T) {
+	_, res := computeFor(t, `
+void f(int n) {
+    int a;
+    while (n > 0) {
+        a = 1;
+        n = n - 1;
+    }
+}
+`)
+	body := nodeOfAssign(t, res, 1)
+	if len(res.ControlDeps[body.ID]) == 0 {
+		t.Fatal("loop body must be control-dependent on the loop condition")
+	}
+}
+
+func TestDataDependenceDefUse(t *testing.T) {
+	_, res := computeFor(t, `
+void f(void) {
+    int x;
+    int y;
+    x = 5;
+    y = x;
+}
+`)
+	// Find the y = x node.
+	var useNode *cfg.Node
+	for _, n := range res.Graph.Nodes {
+		if es, ok := n.Stmt.(*cast.ExprStmt); ok {
+			if a, ok := es.X.(*cast.AssignExpr); ok {
+				if id, ok := a.RHS.(*cast.Ident); ok && id.Name == "x" {
+					useNode = n
+				}
+			}
+		}
+	}
+	if useNode == nil {
+		t.Fatal("use node not found")
+	}
+	defs := res.DataDeps[useNode.ID]
+	found := false
+	for _, d := range defs {
+		if d.Sym.Name == "x" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("y = x must data-depend on the definition of x, got %v", defs)
+	}
+}
+
+func TestNoSelfDependence(t *testing.T) {
+	_, res := computeFor(t, `
+void f(void) {
+    int x;
+    x = 5;
+}
+`)
+	for id, defs := range res.DataDeps {
+		for _, d := range defs {
+			if d.Node.ID == id {
+				t.Fatalf("node %d depends on its own definition", id)
+			}
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/buflen"
+	"repro/internal/corpus"
+	"repro/internal/cparse"
+	"repro/internal/pointsto"
+	"repro/internal/slr"
+)
+
+// AliasPrecisionResult compares SLR applicability under the paper's
+// aggregate struct model against the field-sensitive ablation — the
+// precision/overhead trade-off the paper discusses in Section IV-B:
+// "Our alias analysis can be made more precise, but that adds to the
+// runtime overhead of the transformations. In practice, this was
+// happening in only one case and could be ignored."
+type AliasPrecisionResult struct {
+	AggregateTransformed int
+	AggregateAliasFails  int
+	FieldSensTransformed int
+	FieldSensAliasFails  int
+	Total                int
+}
+
+// RunAliasPrecisionAblation runs SLR over the corpus twice.
+func RunAliasPrecisionAblation() (*AliasPrecisionResult, error) {
+	res := &AliasPrecisionResult{}
+	runMode := func(opts pointsto.Options) (transformed, aliasFails, total int, err error) {
+		for _, p := range corpus.Generate(0) {
+			for _, f := range p.Files {
+				unit, err := cparse.Parse(f.Name, f.Source)
+				if err != nil {
+					return 0, 0, 0, fmt.Errorf("experiments: parse %s: %w", f.Name, err)
+				}
+				out, err := slr.NewTransformerOpts(unit, opts).ApplyAll()
+				if err != nil {
+					return 0, 0, 0, fmt.Errorf("experiments: SLR %s: %w", f.Name, err)
+				}
+				for _, s := range out.Sites {
+					total++
+					if s.Applied {
+						transformed++
+					} else if s.Failure != nil && s.Failure.Reason == buflen.FailAliased {
+						aliasFails++
+					}
+				}
+			}
+		}
+		return transformed, aliasFails, total, nil
+	}
+	var err error
+	res.AggregateTransformed, res.AggregateAliasFails, res.Total, err = runMode(pointsto.Options{})
+	if err != nil {
+		return nil, err
+	}
+	res.FieldSensTransformed, res.FieldSensAliasFails, _, err = runMode(pointsto.Options{FieldSensitive: true})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// FormatAliasPrecision renders the ablation.
+func FormatAliasPrecision(r *AliasPrecisionResult) string {
+	var sb strings.Builder
+	sb.WriteString("Ablation: alias precision (aggregate structs vs field-sensitive)\n")
+	sb.WriteString(fmt.Sprintf("  %-28s %12s %14s\n", "mode", "transformed", "alias failures"))
+	sb.WriteString(fmt.Sprintf("  %-28s %8d/%-3d %14d\n",
+		"aggregate (paper default)", r.AggregateTransformed, r.Total, r.AggregateAliasFails))
+	sb.WriteString(fmt.Sprintf("  %-28s %8d/%-3d %14d\n",
+		"field-sensitive", r.FieldSensTransformed, r.Total, r.FieldSensAliasFails))
+	sb.WriteString("\nPaper (Section IV-B): the aggregate model loses exactly one site to a\n")
+	sb.WriteString("struct whose *other* member was aliased; more precise aliasing would\n")
+	sb.WriteString("recover it at extra analysis cost.\n")
+	return sb.String()
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/harness"
+)
+
+// CVEResult reports the LibTIFF case study (Section IV-A2).
+type CVEResult struct {
+	VulnDetected bool
+	CWE121       bool
+	Fixed        bool
+	Preserved    bool
+	BenignOutput string
+	AttackPre    string
+	AttackPost   string
+	FixLine      string
+}
+
+// RunCVE reproduces the tiff2pdf vulnerability and its SLR fix.
+func RunCVE() (*CVEResult, error) {
+	v, err := harness.Verify("tiff2pdf", corpus.LibtiffCVESource, "run_benign", "run_attack",
+		harness.Options{SkipSTR: true})
+	if err != nil {
+		return nil, err
+	}
+	res := &CVEResult{
+		VulnDetected: v.VulnDetected,
+		Fixed:        v.Fixed,
+		Preserved:    v.Preserved,
+		BenignOutput: strings.TrimSpace(v.PreGood.Stdout),
+		AttackPre:    strings.TrimSpace(v.PreBad.Stdout),
+		AttackPost:   strings.TrimSpace(v.PostBad.Stdout),
+	}
+	for _, viol := range v.PreBad.Violations {
+		if viol.CWE == 121 {
+			res.CWE121 = true
+		}
+	}
+	for _, line := range strings.Split(v.TransformedSource, "\n") {
+		if strings.Contains(line, "g_snprintf") {
+			res.FixLine = strings.TrimSpace(line)
+			break
+		}
+	}
+	return res, nil
+}
+
+// FormatCVE renders the case study.
+func FormatCVE(r *CVEResult) string {
+	var sb strings.Builder
+	sb.WriteString("Case study: LibTIFF 3.8.2 tiff2pdf buffer overflow (Section IV-A2)\n\n")
+	sb.WriteString(fmt.Sprintf("  vulnerability detected pre-transform:  %v (CWE-121: %v)\n",
+		r.VulnDetected, r.CWE121))
+	sb.WriteString(fmt.Sprintf("  fixed by SLR:                          %v\n", r.Fixed))
+	sb.WriteString(fmt.Sprintf("  benign behavior preserved:             %v\n", r.Preserved))
+	sb.WriteString(fmt.Sprintf("  benign output:                         %q\n", r.BenignOutput))
+	sb.WriteString(fmt.Sprintf("  attack output before fix:              %q\n", r.AttackPre))
+	sb.WriteString(fmt.Sprintf("  attack output after fix (truncated):   %q\n", r.AttackPost))
+	sb.WriteString(fmt.Sprintf("  applied fix:                           %s\n", r.FixLine))
+	sb.WriteString("\nPaper: SLR replaces the sprintf with g_snprintf and sizeof(buffer),\n")
+	sb.WriteString("removing the overflow while normal TIFF files keep working.\n")
+	return sb.String()
+}

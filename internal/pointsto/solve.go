@@ -1,0 +1,342 @@
+package pointsto
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/cast"
+	"repro/internal/dataflow"
+)
+
+// Options configures the solver.
+type Options struct {
+	// Parallel selects the Galois-style parallel rewriting engine instead
+	// of the sequential worklist. Both reach the same fixpoint.
+	Parallel bool
+	// Workers bounds the goroutine pool in parallel mode. Zero means
+	// GOMAXPROCS.
+	Workers int
+	// DisableCycleElimination skips the offline SCC collapse (Hardekopf's
+	// optimization); used by the ablation benchmarks to quantify its
+	// effect. The fixpoint is identical either way.
+	DisableCycleElimination bool
+	// FieldSensitive gives each struct member of a named record variable
+	// its own points-to node instead of collapsing the struct into one
+	// aggregate node. The paper deliberately keeps the aggregate model
+	// ("our alias analysis can be made more precise, but that adds to the
+	// runtime overhead", Section IV-B); this option exists for the
+	// precision ablation (DESIGN.md Section 6).
+	FieldSensitive bool
+}
+
+// Analyze generates constraints from the unit and solves them.
+func Analyze(unit *cast.TranslationUnit, opts Options) *Graph {
+	g := newGraph()
+	g.fieldSensitive = opts.FieldSensitive
+	g.generate(unit)
+	g.solve(opts)
+	return g
+}
+
+// solve runs constraint solving to a fixpoint.
+func (g *Graph) solve(opts Options) {
+	n := len(g.Nodes)
+	g.pts = make([]dataflow.BitSet, n)
+	g.rep = make([]int, n)
+	for i := 0; i < n; i++ {
+		g.pts[i] = dataflow.NewBitSet(n)
+		g.rep[i] = i
+	}
+
+	succs := make([]map[int]struct{}, n)
+	for i := range succs {
+		succs[i] = make(map[int]struct{})
+	}
+	// loadsBySrc[p] = {d}: d = *p; storesByDst[p] = {s}: *p = s.
+	loadsBySrc := make(map[int][]int)
+	storesByDst := make(map[int][]int)
+
+	for _, c := range g.constraints {
+		switch c.kind {
+		case addrOf:
+			g.pts[c.dst].Set(c.src)
+		case copyC:
+			if c.src != c.dst {
+				succs[c.src][c.dst] = struct{}{}
+			}
+		case load:
+			loadsBySrc[c.src] = append(loadsBySrc[c.src], c.dst)
+		case store:
+			storesByDst[c.dst] = append(storesByDst[c.dst], c.src)
+		}
+	}
+
+	// Offline cycle elimination on the initial copy graph (Hardekopf's
+	// key optimization): nodes in a copy cycle share one points-to set.
+	if !opts.DisableCycleElimination {
+		g.collapseCycles(succs)
+	}
+
+	if opts.Parallel {
+		g.Stats.Parallel = true
+		g.solveParallel(succs, loadsBySrc, storesByDst, opts.Workers)
+		return
+	}
+	g.solveSequential(succs, loadsBySrc, storesByDst)
+}
+
+// collapseCycles runs Tarjan's SCC over the copy edges and merges each
+// multi-node component into its representative.
+func (g *Graph) collapseCycles(succs []map[int]struct{}) {
+	n := len(g.Nodes)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var (
+		stack   []int
+		counter int
+	)
+	// Iterative Tarjan to avoid deep recursion on long copy chains.
+	type frame struct {
+		v    int
+		iter []int
+		pos  int
+	}
+	neighbors := func(v int) []int {
+		out := make([]int, 0, len(succs[v]))
+		for s := range succs[v] {
+			out = append(out, s)
+		}
+		return out
+	}
+	for start := 0; start < n; start++ {
+		if index[start] != -1 {
+			continue
+		}
+		frames := []frame{{v: start, iter: neighbors(start)}}
+		index[start] = counter
+		low[start] = counter
+		counter++
+		stack = append(stack, start)
+		onStack[start] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.pos < len(f.iter) {
+				w := f.iter[f.pos]
+				f.pos++
+				if index[w] == -1 {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w, iter: neighbors(w)})
+				} else if onStack[w] {
+					if index[w] < low[f.v] {
+						low[f.v] = index[w]
+					}
+				}
+				continue
+			}
+			// Pop.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if low[v] < low[parent.v] {
+					low[parent.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				// Root of an SCC: pop members.
+				var members []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					members = append(members, w)
+					if w == v {
+						break
+					}
+				}
+				if len(members) > 1 {
+					g.Stats.CyclesCollapsed++
+					root := members[0]
+					for _, m := range members[1:] {
+						g.merge(root, m, succs)
+					}
+				}
+			}
+		}
+	}
+}
+
+// merge unions node b into node a (both must be current representatives).
+func (g *Graph) merge(a, b int, succs []map[int]struct{}) {
+	a, b = g.find(a), g.find(b)
+	if a == b {
+		return
+	}
+	g.rep[b] = a
+	g.pts[a].UnionWith(g.pts[b])
+	for s := range succs[b] {
+		if g.find(s) != a {
+			succs[a][s] = struct{}{}
+		}
+	}
+	succs[b] = nil
+}
+
+// solveSequential is the classic worklist propagation.
+func (g *Graph) solveSequential(succs []map[int]struct{}, loadsBySrc, storesByDst map[int][]int) {
+	work := make([]int, 0, len(g.Nodes))
+	inWork := make([]bool, len(g.Nodes))
+	push := func(i int) {
+		i = g.find(i)
+		if !inWork[i] {
+			inWork[i] = true
+			work = append(work, i)
+		}
+	}
+	for i := range g.Nodes {
+		if g.find(i) == i && g.pts[i].Count() > 0 {
+			push(i)
+		}
+	}
+	addEdge := func(from, to int) bool {
+		from, to = g.find(from), g.find(to)
+		if from == to {
+			return false
+		}
+		if _, ok := succs[from][to]; ok {
+			return false
+		}
+		succs[from][to] = struct{}{}
+		return true
+	}
+
+	for len(work) > 0 {
+		g.Stats.Iterations++
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[v] = false
+		v = g.find(v)
+
+		// Complex constraints: loads with src v and stores with dst v
+		// materialize new copy edges for each pointee.
+		var newEdges [][2]int
+		g.pts[v].ForEach(func(pointee int) {
+			for _, d := range loadsBySrc[v] {
+				newEdges = append(newEdges, [2]int{pointee, d})
+			}
+			for _, s := range storesByDst[v] {
+				newEdges = append(newEdges, [2]int{s, pointee})
+			}
+		})
+		for _, e := range newEdges {
+			if addEdge(e[0], e[1]) {
+				push(e[0])
+			}
+		}
+
+		// Propagate along copy edges.
+		for sRaw := range succs[v] {
+			s := g.find(sRaw)
+			if s == v {
+				continue
+			}
+			if g.pts[s].UnionWith(g.pts[v]) {
+				push(s)
+			}
+		}
+	}
+	g.solved = true
+}
+
+// solveParallel runs round-based parallel propagation: each round
+// partitions the frontier among workers which compute deltas; deltas are
+// applied under a single lock, following the amorphous-data-parallel
+// pattern of the Galois engine the paper uses for graph rewriting.
+func (g *Graph) solveParallel(succs []map[int]struct{}, loadsBySrc, storesByDst map[int][]int, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	frontier := make([]int, 0, len(g.Nodes))
+	for i := range g.Nodes {
+		if g.find(i) == i && g.pts[i].Count() > 0 {
+			frontier = append(frontier, i)
+		}
+	}
+	var mu sync.Mutex
+	for len(frontier) > 0 {
+		g.Stats.Iterations++
+		next := make(map[int]struct{})
+
+		type delta struct {
+			edges [][2]int
+		}
+		deltas := make([]delta, len(frontier))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for idx, vRaw := range frontier {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(idx, vRaw int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				v := g.find(vRaw)
+				var edges [][2]int
+				mu.Lock()
+				pts := g.pts[v].Clone()
+				mu.Unlock()
+				pts.ForEach(func(pointee int) {
+					for _, d := range loadsBySrc[v] {
+						edges = append(edges, [2]int{pointee, d})
+					}
+					for _, s := range storesByDst[v] {
+						edges = append(edges, [2]int{s, pointee})
+					}
+				})
+				deltas[idx] = delta{edges: edges}
+			}(idx, vRaw)
+		}
+		wg.Wait()
+
+		// Apply phase (sequential, deterministic).
+		apply := func(from, to int) {
+			from, to = g.find(from), g.find(to)
+			if from == to {
+				return
+			}
+			if _, ok := succs[from][to]; !ok {
+				succs[from][to] = struct{}{}
+				next[from] = struct{}{}
+			}
+		}
+		for _, d := range deltas {
+			for _, e := range d.edges {
+				apply(e[0], e[1])
+			}
+		}
+		for _, vRaw := range frontier {
+			v := g.find(vRaw)
+			for sRaw := range succs[v] {
+				s := g.find(sRaw)
+				if s == v {
+					continue
+				}
+				if g.pts[s].UnionWith(g.pts[v]) {
+					next[s] = struct{}{}
+				}
+			}
+		}
+		frontier = frontier[:0]
+		for v := range next {
+			frontier = append(frontier, v)
+		}
+	}
+	g.solved = true
+}

@@ -1,0 +1,108 @@
+// Package rewrite applies textual edits to C source by byte extent.
+//
+// Transformations collect edits against the original text's coordinates;
+// Apply sorts them, verifies they do not overlap, and splices the output.
+// Because edits are expressed in original coordinates, a transformation
+// never needs to track offset drift — the property that lets SLR and STR
+// produce minimal diffs on large files (the paper's requirement that
+// program analyses "keep track of source code").
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ctoken"
+)
+
+// Edit replaces the bytes of Extent with Text. A zero-length extent is an
+// insertion at Extent.Pos.
+type Edit struct {
+	Extent ctoken.Extent
+	Text   string
+	// Note describes the edit for change logs.
+	Note string
+}
+
+// Set accumulates edits for one file.
+type Set struct {
+	edits []Edit
+}
+
+// Replace queues a replacement of the extent's text.
+func (s *Set) Replace(e ctoken.Extent, text, note string) {
+	s.edits = append(s.edits, Edit{Extent: e, Text: text, Note: note})
+}
+
+// InsertBefore queues an insertion at the start of the extent.
+func (s *Set) InsertBefore(e ctoken.Extent, text, note string) {
+	s.edits = append(s.edits, Edit{
+		Extent: ctoken.Extent{Pos: e.Pos, End: e.Pos},
+		Text:   text,
+		Note:   note,
+	})
+}
+
+// InsertAfter queues an insertion just past the end of the extent.
+func (s *Set) InsertAfter(e ctoken.Extent, text, note string) {
+	s.edits = append(s.edits, Edit{
+		Extent: ctoken.Extent{Pos: e.End, End: e.End},
+		Text:   text,
+		Note:   note,
+	})
+}
+
+// Len returns the number of queued edits.
+func (s *Set) Len() int { return len(s.edits) }
+
+// Edits returns the queued edits (sorted by position) for reporting.
+func (s *Set) Edits() []Edit {
+	out := make([]Edit, len(s.edits))
+	copy(out, s.edits)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Extent.Pos != out[j].Extent.Pos {
+			return out[i].Extent.Pos < out[j].Extent.Pos
+		}
+		return out[i].Extent.End < out[j].Extent.End
+	})
+	return out
+}
+
+// Apply splices the edits into src. Overlapping replacement edits are an
+// error; multiple insertions at the same position apply in queue order.
+func (s *Set) Apply(src string) (string, error) {
+	edits := make([]Edit, len(s.edits))
+	copy(edits, s.edits)
+	// Stable sort keeps queue order for same-position insertions.
+	sort.SliceStable(edits, func(i, j int) bool {
+		if edits[i].Extent.Pos != edits[j].Extent.Pos {
+			return edits[i].Extent.Pos < edits[j].Extent.Pos
+		}
+		return edits[i].Extent.End < edits[j].Extent.End
+	})
+	var sb strings.Builder
+	sb.Grow(len(src) + 256)
+	cursor := 0
+	for i, e := range edits {
+		if !e.Extent.IsValid() || int(e.Extent.End) > len(src) {
+			return "", fmt.Errorf("edit %d has invalid extent [%d,%d) for source of %d bytes",
+				i, e.Extent.Pos, e.Extent.End, len(src))
+		}
+		if int(e.Extent.Pos) < cursor {
+			// Same-position pure insertions are fine; anything else
+			// overlaps.
+			if e.Extent.Len() == 0 && int(e.Extent.Pos) == cursor {
+				sb.WriteString(e.Text)
+				continue
+			}
+			return "", fmt.Errorf("edit %d (%s) overlaps a previous edit at offset %d",
+				i, e.Note, e.Extent.Pos)
+		}
+		sb.WriteString(src[cursor:e.Extent.Pos])
+		sb.WriteString(e.Text)
+		cursor = int(e.Extent.End)
+	}
+	sb.WriteString(src[cursor:])
+	return sb.String(), nil
+}

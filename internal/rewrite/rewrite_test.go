@@ -1,0 +1,171 @@
+package rewrite
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ctoken"
+)
+
+func ext(a, b int) ctoken.Extent {
+	return ctoken.Extent{Pos: ctoken.Pos(a), End: ctoken.Pos(b)}
+}
+
+func TestReplaceSingle(t *testing.T) {
+	var s Set
+	s.Replace(ext(4, 7), "XYZ", "test")
+	out, err := s.Apply("abcdDEFhij")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "abcdXYZhij" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestInsertBeforeAfter(t *testing.T) {
+	var s Set
+	src := "hello world"
+	s.InsertBefore(ext(6, 11), ">>", "")
+	s.InsertAfter(ext(0, 5), "!", "")
+	out, err := s.Apply(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "hello! >>world" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestMultipleEditsOutOfOrder(t *testing.T) {
+	var s Set
+	src := "0123456789"
+	s.Replace(ext(8, 9), "Y", "")
+	s.Replace(ext(1, 2), "X", "")
+	s.Replace(ext(4, 6), "", "delete")
+	out, err := s.Apply(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "0X2367Y9" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestOverlapRejected(t *testing.T) {
+	var s Set
+	s.Replace(ext(2, 6), "A", "first")
+	s.Replace(ext(4, 8), "B", "second")
+	if _, err := s.Apply("0123456789"); err == nil {
+		t.Fatal("overlapping edits must be rejected")
+	}
+}
+
+func TestAdjacentEditsAllowed(t *testing.T) {
+	var s Set
+	s.Replace(ext(2, 4), "A", "")
+	s.Replace(ext(4, 6), "B", "")
+	out, err := s.Apply("0123456789")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "01AB6789" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestInvalidExtentRejected(t *testing.T) {
+	var s Set
+	s.Replace(ext(5, 50), "A", "")
+	if _, err := s.Apply("short"); err == nil {
+		t.Fatal("extent past the end must be rejected")
+	}
+}
+
+func TestSamePositionInsertionsKeepQueueOrder(t *testing.T) {
+	var s Set
+	s.InsertBefore(ext(3, 5), "A", "")
+	s.InsertBefore(ext(3, 5), "B", "")
+	out, err := s.Apply("0123456789")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "012AB3456789" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestEditsAccessorSorted(t *testing.T) {
+	var s Set
+	s.Replace(ext(7, 8), "b", "")
+	s.Replace(ext(1, 2), "a", "")
+	edits := s.Edits()
+	if len(edits) != 2 || edits[0].Extent.Pos != 1 || edits[1].Extent.Pos != 7 {
+		t.Fatalf("edits not sorted: %+v", edits)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len: %d", s.Len())
+	}
+}
+
+// TestPropertyNonOverlappingEditsSpliceCorrectly generates random
+// non-overlapping replacements and checks Apply against a reference
+// splice.
+func TestPropertyNonOverlappingEditsSpliceCorrectly(t *testing.T) {
+	f := func(seed uint32, raw []byte) bool {
+		src := strings.Repeat("abcdefghij", 8)
+		// Derive up to 6 non-overlapping edits from the fuzz input.
+		type edit struct {
+			pos, end int
+			text     string
+		}
+		var edits []edit
+		cursor := 0
+		r := seed
+		next := func(n int) int {
+			r = r*1664525 + 1013904223
+			if n <= 0 {
+				return 0
+			}
+			return int(r>>16) % n
+		}
+		for len(edits) < 6 && cursor < len(src)-2 {
+			start := cursor + next(5)
+			if start >= len(src) {
+				break
+			}
+			length := next(4)
+			end := start + length
+			if end > len(src) {
+				end = len(src)
+			}
+			text := strings.Repeat("X", next(3))
+			edits = append(edits, edit{pos: start, end: end, text: text})
+			cursor = end + 1
+		}
+		var s Set
+		for _, e := range edits {
+			s.Replace(ext(e.pos, e.end), e.text, "prop")
+		}
+		got, err := s.Apply(src)
+		if err != nil {
+			return false
+		}
+		// Reference splice.
+		sort.Slice(edits, func(i, j int) bool { return edits[i].pos < edits[j].pos })
+		var sb strings.Builder
+		prev := 0
+		for _, e := range edits {
+			sb.WriteString(src[prev:e.pos])
+			sb.WriteString(e.text)
+			prev = e.end
+		}
+		sb.WriteString(src[prev:])
+		return got == sb.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

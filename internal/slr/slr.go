@@ -1,0 +1,383 @@
+package slr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/buflen"
+	"repro/internal/cast"
+	"repro/internal/ctoken"
+	"repro/internal/pointsto"
+	"repro/internal/rewrite"
+	"repro/internal/typecheck"
+)
+
+// SiteResult records the outcome of attempting SLR on one call site.
+type SiteResult struct {
+	// Function is the unsafe function at the site.
+	Function string
+	// Pos locates the call in the source.
+	Pos ctoken.Position
+	// Applied reports whether the site was transformed.
+	Applied bool
+	// Size is the computed buffer size (valid when Applied).
+	Size buflen.Size
+	// Failure explains a precondition failure (set when !Applied).
+	Failure *buflen.Failure
+}
+
+// FileResult is the outcome of running SLR over a translation unit.
+type FileResult struct {
+	// NewSource is the transformed text (equal to the input when nothing
+	// was applied).
+	NewSource string
+	// Sites lists every candidate call site in source order.
+	Sites []SiteResult
+	// NeedsGlib reports that the output calls glib functions, so the
+	// build needs -lglib-2.0 (the paper edits the Makefile; we surface the
+	// requirement to the caller).
+	NeedsGlib bool
+}
+
+// Candidates returns the number of candidate call sites.
+func (r *FileResult) Candidates() int { return len(r.Sites) }
+
+// AppliedCount returns the number of transformed call sites.
+func (r *FileResult) AppliedCount() int {
+	n := 0
+	for _, s := range r.Sites {
+		if s.Applied {
+			n++
+		}
+	}
+	return n
+}
+
+// Transformer applies SLR to one translation unit.
+type Transformer struct {
+	unit     *cast.TranslationUnit
+	analyzer *buflen.Analyzer
+	// usedNames tracks identifiers in the unit so generated temporaries
+	// are fresh.
+	usedNames map[string]struct{}
+}
+
+// NewTransformer prepares a transformer for the unit. The unit is
+// type-checked here if callers have not done so already (repeated checking
+// is harmless).
+func NewTransformer(unit *cast.TranslationUnit) *Transformer {
+	return NewTransformerOpts(unit, pointsto.Options{})
+}
+
+// NewTransformerOpts prepares a transformer with an explicit points-to
+// configuration; the precision ablation passes FieldSensitive.
+func NewTransformerOpts(unit *cast.TranslationUnit, ptOpts pointsto.Options) *Transformer {
+	typecheck.Check(unit)
+	t := &Transformer{
+		unit:      unit,
+		analyzer:  buflen.NewAnalyzerOpts(unit, ptOpts),
+		usedNames: make(map[string]struct{}),
+	}
+	for _, s := range unit.Symbols {
+		t.usedNames[s.Name] = struct{}{}
+	}
+	return t
+}
+
+// Analyzer exposes the underlying buffer-length analyzer.
+func (t *Transformer) Analyzer() *buflen.Analyzer { return t.analyzer }
+
+// candidate is one unsafe call found in the unit.
+type candidate struct {
+	fn   *cast.FuncDef
+	call *cast.CallExpr
+	rule replacement
+	// stmt is the smallest statement enclosing the call (for gets/memcpy
+	// which insert neighbouring statements).
+	stmt cast.Stmt
+	// inBlock reports that stmt is a direct item of a compound statement.
+	// When false (a brace-less if/while arm), multi-statement rewrites
+	// must add braces or the inserted statements would escape the guard.
+	inBlock bool
+}
+
+// findCandidates walks the unit for unsafe calls in source order.
+func (t *Transformer) findCandidates() []candidate {
+	var out []candidate
+	for _, fn := range t.unit.Funcs {
+		fn := fn
+		var walkStmt func(s cast.Stmt, inBlock bool)
+		walkExpr := func(e cast.Expr, enclosing cast.Stmt, inBlock bool) {
+			cast.Inspect(e, func(n cast.Node) bool {
+				call, ok := n.(*cast.CallExpr)
+				if !ok {
+					return true
+				}
+				rule, ok := _replacements[call.Callee()]
+				if !ok {
+					return true
+				}
+				out = append(out, candidate{
+					fn: fn, call: call, rule: rule, stmt: enclosing, inBlock: inBlock,
+				})
+				return true
+			})
+		}
+		walkStmt = func(s cast.Stmt, inBlock bool) {
+			if s == nil {
+				return
+			}
+			switch x := s.(type) {
+			case *cast.ExprStmt:
+				walkExpr(x.X, x, inBlock)
+			case *cast.DeclStmt:
+				for _, d := range x.Decls {
+					if d.Init != nil {
+						walkExpr(d.Init, x, inBlock)
+					}
+				}
+			case *cast.ReturnStmt:
+				if x.Result != nil {
+					walkExpr(x.Result, x, inBlock)
+				}
+			case *cast.IfStmt:
+				walkExpr(x.Cond, x, inBlock)
+				walkStmt(x.Then, false)
+				walkStmt(x.Else, false)
+			case *cast.WhileStmt:
+				walkExpr(x.Cond, x, inBlock)
+				walkStmt(x.Body, false)
+			case *cast.DoWhileStmt:
+				walkStmt(x.Body, false)
+				walkExpr(x.Cond, x, inBlock)
+			case *cast.ForStmt:
+				walkStmt(x.Init, false)
+				if x.Cond != nil {
+					walkExpr(x.Cond, x, false)
+				}
+				if x.Post != nil {
+					walkExpr(x.Post, x, false)
+				}
+				walkStmt(x.Body, false)
+			case *cast.CompoundStmt:
+				for _, item := range x.Items {
+					walkStmt(item, true)
+				}
+			case *cast.LabeledStmt:
+				walkStmt(x.Stmt, inBlock)
+			case *cast.SwitchStmt:
+				walkExpr(x.Tag, x, inBlock)
+				walkStmt(x.Body, false)
+			case *cast.CaseStmt:
+				walkStmt(x.Stmt, true)
+			}
+		}
+		walkStmt(fn.Body, true)
+	}
+	return out
+}
+
+// ApplyAll runs SLR on every candidate call site in the unit and returns
+// the rewritten source plus per-site outcomes. This is the batch mode used
+// by the evaluation (Section IV); ApplyAt transforms a single selected
+// site.
+func (t *Transformer) ApplyAll() (*FileResult, error) {
+	return t.apply(nil)
+}
+
+// ApplyAt runs SLR only on the call site covering the given source offset
+// (the "developer selects a function call expression" workflow of Section
+// II-A2).
+func (t *Transformer) ApplyAt(offset ctoken.Pos) (*FileResult, error) {
+	return t.apply(func(c candidate) bool {
+		e := c.call.Extent()
+		return e.Pos <= offset && offset < e.End
+	})
+}
+
+func (t *Transformer) apply(filter func(candidate) bool) (*FileResult, error) {
+	res := &FileResult{}
+	var edits rewrite.Set
+	for _, c := range t.findCandidates() {
+		if filter != nil && !filter(c) {
+			continue
+		}
+		site := SiteResult{
+			Function: c.call.Callee(),
+			Pos:      t.unit.File.Position(c.call.Extent().Pos),
+		}
+		size, fail := t.applyOne(c, &edits)
+		if fail != nil {
+			site.Failure = fail
+		} else {
+			site.Applied = true
+			site.Size = size
+			if c.rule.kind == kindRename {
+				res.NeedsGlib = true
+			}
+		}
+		res.Sites = append(res.Sites, site)
+	}
+	out, err := edits.Apply(t.unit.File.Src())
+	if err != nil {
+		return nil, fmt.Errorf("slr: apply edits: %w", err)
+	}
+	res.NewSource = out
+	return res, nil
+}
+
+// applyOne attempts one site, queueing edits on success.
+func (t *Transformer) applyOne(c candidate, edits *rewrite.Set) (buflen.Size, *buflen.Failure) {
+	if len(c.call.Args) == 0 {
+		return buflen.Size{}, &buflen.Failure{Reason: buflen.FailUnsupportedForm, Detail: "no arguments"}
+	}
+	dest := c.call.Args[0]
+	size, fail := t.analyzer.BufferLength(c.fn, dest)
+	if fail != nil {
+		return buflen.Size{}, fail
+	}
+	switch c.rule.kind {
+	case kindRename:
+		t.editRename(c, size, edits)
+	case kindGets:
+		t.editGets(c, size, edits)
+	case kindMemcpy:
+		if f := t.editMemcpy(c, size, edits); f != nil {
+			return buflen.Size{}, f
+		}
+	}
+	return size, nil
+}
+
+// editRename renames the callee and inserts the size parameter:
+// strcpy(dst, src) -> g_strlcpy(dst, src, sizeof(buf)).
+func (t *Transformer) editRename(c candidate, size buflen.Size, edits *rewrite.Set) {
+	fun := cast.Unparen(c.call.Fun)
+	edits.Replace(fun.Extent(), c.rule.safe, "rename "+c.rule.unsafe+" to "+c.rule.safe)
+	insertAfter := c.call.Args[c.rule.sizeAfterArg]
+	edits.InsertAfter(insertAfter.Extent(), ", "+size.CText(), "insert size parameter")
+}
+
+// editGets rewrites gets(dst) to fgets(dst, size, stdin) and appends the
+// newline-stripping sequence after the enclosing statement (Section
+// III-B2: fgets keeps the terminating newline that gets discards).
+func (t *Transformer) editGets(c candidate, size buflen.Size, edits *rewrite.Set) {
+	fun := cast.Unparen(c.call.Fun)
+	edits.Replace(fun.Extent(), "fgets", "replace gets with fgets")
+	dest := c.call.Args[0]
+	edits.InsertAfter(dest.Extent(), ", "+size.CText()+", stdin", "fgets size and stream")
+
+	destText := t.text(dest)
+	checkVar := t.freshName("check")
+	indent := t.indentOf(c.stmt.Extent())
+	fix := fmt.Sprintf("\n%schar *%s = strchr(%s, '\\n');\n%sif (%s) { *%s = '\\0'; }",
+		indent, checkVar, destText, indent, checkVar, checkVar)
+	if !c.inBlock {
+		// Brace-less branch arm: the stripping statements must stay under
+		// the same guard as the call.
+		edits.InsertBefore(c.stmt.Extent(), "{ ", "open brace for gets fix")
+		fix += "\n" + indent + "}"
+	}
+	edits.InsertAfter(c.stmt.Extent(), fix, "strip fgets newline")
+}
+
+// editMemcpy clamps the length parameter (Section III-B3). Option 1
+// (length reused later) assigns the clamped value before the call; option
+// 2 replaces the parameter with a ternary in place.
+func (t *Transformer) editMemcpy(c candidate, size buflen.Size, edits *rewrite.Set) *buflen.Failure {
+	if len(c.call.Args) < 3 {
+		return &buflen.Failure{Reason: buflen.FailUnsupportedForm, Detail: "memcpy with fewer than 3 arguments"}
+	}
+	lenArg := c.call.Args[2]
+	sizeText := size.CText()
+	lenText := t.text(lenArg)
+
+	if id, ok := cast.Unparen(lenArg).(*cast.Ident); ok && id.Sym != nil && t.usedAfter(c, id) {
+		// Option 1: length is used by later statements; assign the clamp
+		// so subsequent uses (e.g. null-termination at dst[len]) see the
+		// truncated count.
+		indent := t.indentOf(c.stmt.Extent())
+		assign := fmt.Sprintf("%s = %s > %s ? %s : %s;\n%s",
+			id.Name, sizeText, lenText, lenText, sizeText, indent)
+		if !c.inBlock {
+			// Brace-less branch arm: keep the clamp and the call under
+			// the same guard.
+			edits.InsertBefore(c.stmt.Extent(), "{ "+assign, "clamp memcpy length (braced)")
+			edits.InsertAfter(c.stmt.Extent(), " }", "close brace for memcpy clamp")
+			return nil
+		}
+		edits.InsertBefore(c.stmt.Extent(), assign, "clamp memcpy length (reused)")
+		return nil
+	}
+	// Option 2: replace the parameter with the clamping ternary.
+	tern := fmt.Sprintf("%s > %s ? %s : %s", sizeText, lenText, lenText, sizeText)
+	edits.Replace(lenArg.Extent(), tern, "clamp memcpy length (in place)")
+	return nil
+}
+
+// usedAfter reports whether the identifier's symbol is referenced after
+// the candidate's enclosing statement ("used in statements that are
+// successors in control flow"; source order over the function body is the
+// conservative approximation for the structured-control corpora).
+func (t *Transformer) usedAfter(c candidate, id *cast.Ident) bool {
+	after := c.stmt.Extent().End
+	used := false
+	cast.Inspect(c.fn.Body, func(n cast.Node) bool {
+		if used {
+			return false
+		}
+		if use, ok := n.(*cast.Ident); ok && use.Sym == id.Sym && use.Extent().Pos >= after {
+			used = true
+		}
+		return true
+	})
+	return used
+}
+
+// text returns the source spelling of a node.
+func (t *Transformer) text(n cast.Node) string {
+	return t.unit.File.Slice(n.Extent())
+}
+
+// indentOf returns the whitespace prefix of the line the extent starts on.
+func (t *Transformer) indentOf(e ctoken.Extent) string {
+	src := t.unit.File.Src()
+	lineStart := int(e.Pos)
+	for lineStart > 0 && src[lineStart-1] != '\n' {
+		lineStart--
+	}
+	end := lineStart
+	for end < len(src) && (src[end] == ' ' || src[end] == '\t') {
+		end++
+	}
+	return src[lineStart:end]
+}
+
+// freshName returns base if unused in the unit, otherwise base_2, base_3…
+func (t *Transformer) freshName(base string) string {
+	if _, taken := t.usedNames[base]; !taken {
+		t.usedNames[base] = struct{}{}
+		return base
+	}
+	for i := 2; ; i++ {
+		name := fmt.Sprintf("%s_%d", base, i)
+		if _, taken := t.usedNames[name]; !taken {
+			t.usedNames[name] = struct{}{}
+			return name
+		}
+	}
+}
+
+// GlibPrototypes returns the declarations a transformed file needs when
+// glib headers are unavailable; cmd/cfix can prepend them.
+func GlibPrototypes() string {
+	var sb strings.Builder
+	sb.WriteString("/* Prototypes for glib-style safe string functions (link with -lglib-2.0\n")
+	sb.WriteString("   or provide the bundled implementations). */\n")
+	sb.WriteString("unsigned long g_strlcpy(char *dst, const char *src, unsigned long dst_size);\n")
+	sb.WriteString("unsigned long g_strlcat(char *dst, const char *src, unsigned long dst_size);\n")
+	sb.WriteString("int g_snprintf(char *string, unsigned long n, const char *format, ...);\n")
+	sb.WriteString("int g_vsnprintf(char *string, unsigned long n, const char *format, void *args);\n")
+	sb.WriteString("unsigned long malloc_usable_size(void *ptr);\n")
+	return sb.String()
+}

@@ -1,0 +1,65 @@
+package stralloc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cparse"
+	"repro/internal/typecheck"
+)
+
+func TestHeaderParses(t *testing.T) {
+	tu, err := cparse.Parse("stralloc.h", Header())
+	if err != nil {
+		t.Fatalf("header must parse: %v", err)
+	}
+	if errs := typecheck.Check(tu); len(errs) > 0 {
+		t.Fatalf("header must typecheck: %v", errs[0])
+	}
+}
+
+func TestFullSourceParsesAndChecks(t *testing.T) {
+	tu, err := cparse.Parse("stralloc.c", FullSource())
+	if err != nil {
+		t.Fatalf("implementation must parse: %v", err)
+	}
+	if errs := typecheck.Check(tu); len(errs) > 0 {
+		t.Fatalf("implementation must typecheck: %v", errs[0])
+	}
+	// All 18 functions must be defined.
+	defined := make(map[string]bool, len(tu.Funcs))
+	for _, f := range tu.Funcs {
+		defined[f.Name] = true
+	}
+	for _, name := range FunctionNames {
+		if !defined[name] {
+			t.Errorf("function %s missing from implementation", name)
+		}
+	}
+}
+
+func TestEighteenFunctions(t *testing.T) {
+	// Section III-C: "Our implementation contains 18 functions."
+	if len(FunctionNames) != 18 {
+		t.Fatalf("function count: got %d, want 18", len(FunctionNames))
+	}
+	seen := make(map[string]bool, len(FunctionNames))
+	for _, n := range FunctionNames {
+		if seen[n] {
+			t.Errorf("duplicate function name %s", n)
+		}
+		seen[n] = true
+		if !strings.HasPrefix(n, "stralloc_") {
+			t.Errorf("function %s lacks the stralloc_ prefix", n)
+		}
+	}
+}
+
+func TestHeaderDeclaresStruct(t *testing.T) {
+	h := Header()
+	for _, field := range []string{"char* s;", "char* f;", "unsigned int len;", "unsigned int a;"} {
+		if !strings.Contains(h, field) {
+			t.Errorf("header missing field %q", field)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Package textdiff produces unified diffs between two texts. The paper
+// argues the transformations are didactic — developers learn from seeing
+// the small, local changes — so cmd/cfix can print exactly what changed
+// (the -diff flag) instead of the whole file.
+package textdiff
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Unified returns a unified diff (context 3) between a and b, labeled with
+// the given names. Returns "" when the texts are identical.
+func Unified(aName, bName, a, b string) string {
+	if a == b {
+		return ""
+	}
+	al := splitLines(a)
+	bl := splitLines(b)
+	ops := diffOps(al, bl)
+	return render(aName, bName, al, bl, ops)
+}
+
+// splitLines keeps line contents without terminators.
+func splitLines(s string) []string {
+	if s == "" {
+		return nil
+	}
+	lines := strings.Split(s, "\n")
+	// A trailing newline yields a final empty element; drop it so the diff
+	// does not report a phantom line.
+	if lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+	return lines
+}
+
+// opKind is one diff operation.
+type opKind int
+
+const (
+	opEqual opKind = iota + 1
+	opDelete
+	opInsert
+)
+
+type op struct {
+	kind opKind
+	// aIdx/bIdx index the line in the respective input (valid per kind).
+	aIdx, bIdx int
+}
+
+// diffOps computes an LCS-based edit script. The inputs here are source
+// files (thousands of lines at most), so the O(N·M) table is acceptable;
+// a histogram prefilter trims common prefixes/suffixes first.
+func diffOps(a, b []string) []op {
+	// Trim common prefix/suffix.
+	pre := 0
+	for pre < len(a) && pre < len(b) && a[pre] == b[pre] {
+		pre++
+	}
+	suf := 0
+	for suf < len(a)-pre && suf < len(b)-pre && a[len(a)-1-suf] == b[len(b)-1-suf] {
+		suf++
+	}
+	am := a[pre : len(a)-suf]
+	bm := b[pre : len(b)-suf]
+
+	// LCS table over the middle.
+	n, m := len(am), len(bm)
+	lcs := make([][]int32, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int32, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if am[i] == bm[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+
+	ops := make([]op, 0, n+m+pre+suf)
+	for i := 0; i < pre; i++ {
+		ops = append(ops, op{kind: opEqual, aIdx: i, bIdx: i})
+	}
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case am[i] == bm[j]:
+			ops = append(ops, op{kind: opEqual, aIdx: pre + i, bIdx: pre + j})
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			ops = append(ops, op{kind: opDelete, aIdx: pre + i})
+			i++
+		default:
+			ops = append(ops, op{kind: opInsert, bIdx: pre + j})
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		ops = append(ops, op{kind: opDelete, aIdx: pre + i})
+	}
+	for ; j < m; j++ {
+		ops = append(ops, op{kind: opInsert, bIdx: pre + j})
+	}
+	for k := 0; k < suf; k++ {
+		ops = append(ops, op{kind: opEqual, aIdx: len(a) - suf + k, bIdx: len(b) - suf + k})
+	}
+	return ops
+}
+
+const _context = 3
+
+// render groups ops into @@ hunks with context lines.
+func render(aName, bName string, a, b []string, ops []op) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- %s\n+++ %s\n", aName, bName)
+
+	// Identify hunks: ranges of ops containing a change, padded by
+	// context equal lines.
+	type hunk struct{ lo, hi int } // op index range [lo, hi)
+	var hunks []hunk
+	i := 0
+	for i < len(ops) {
+		if ops[i].kind == opEqual {
+			i++
+			continue
+		}
+		lo := i - _context
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i
+		gap := 0
+		for hi < len(ops) && gap <= 2*_context {
+			if ops[hi].kind == opEqual {
+				gap++
+			} else {
+				gap = 0
+			}
+			hi++
+		}
+		// Trim trailing context beyond _context.
+		trail := 0
+		for hi > i && ops[hi-1].kind == opEqual && trail < gap-_context {
+			hi--
+			trail++
+		}
+		hunks = append(hunks, hunk{lo: lo, hi: hi})
+		i = hi
+	}
+
+	// Prefix positions: aPos[k]/bPos[k] are the line coordinates at op k.
+	aPos := make([]int, len(ops)+1)
+	bPos := make([]int, len(ops)+1)
+	for k, o := range ops {
+		aPos[k+1], bPos[k+1] = aPos[k], bPos[k]
+		switch o.kind {
+		case opEqual:
+			aPos[k+1]++
+			bPos[k+1]++
+		case opDelete:
+			aPos[k+1]++
+		case opInsert:
+			bPos[k+1]++
+		}
+	}
+
+	for _, h := range hunks {
+		aStart, bStart := aPos[h.lo], bPos[h.lo]
+		aCount := aPos[h.hi] - aStart
+		bCount := bPos[h.hi] - bStart
+		fmt.Fprintf(&sb, "@@ -%d,%d +%d,%d @@\n", aStart+1, aCount, bStart+1, bCount)
+		for _, o := range ops[h.lo:h.hi] {
+			switch o.kind {
+			case opEqual:
+				sb.WriteString(" " + a[o.aIdx] + "\n")
+			case opDelete:
+				sb.WriteString("-" + a[o.aIdx] + "\n")
+			case opInsert:
+				sb.WriteString("+" + b[o.bIdx] + "\n")
+			}
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,130 @@
+package textdiff
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdenticalTextsEmptyDiff(t *testing.T) {
+	if d := Unified("a", "b", "same\ntext\n", "same\ntext\n"); d != "" {
+		t.Fatalf("identical texts must produce no diff, got:\n%s", d)
+	}
+}
+
+func TestSingleLineChange(t *testing.T) {
+	a := "one\ntwo\nthree\nfour\nfive\nsix\nseven\neight\nnine\n"
+	b := "one\ntwo\nthree\nFOUR\nfive\nsix\nseven\neight\nnine\n"
+	d := Unified("old.c", "new.c", a, b)
+	for _, want := range []string{
+		"--- old.c", "+++ new.c", "-four", "+FOUR", " three", " seven",
+	} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("missing %q in:\n%s", want, d)
+		}
+	}
+	// Lines beyond the 3-line context stay out of the hunk.
+	if strings.Contains(d, "eight") || strings.Contains(d, "nine") {
+		t.Fatalf("context too wide:\n%s", d)
+	}
+}
+
+func TestInsertionAndDeletion(t *testing.T) {
+	a := "a\nb\nc\n"
+	b := "a\nX\nb\n"
+	d := Unified("A", "B", a, b)
+	if !strings.Contains(d, "+X") || !strings.Contains(d, "-c") {
+		t.Fatalf("diff:\n%s", d)
+	}
+}
+
+func TestHunkHeaders(t *testing.T) {
+	a := "1\n2\n3\n4\n5\n6\n7\n8\n9\n10\n11\n12\n13\n14\n15\n"
+	b := "1\n2\nX\n4\n5\n6\n7\n8\n9\n10\n11\n12\n13\nY\n15\n"
+	d := Unified("a", "b", a, b)
+	if strings.Count(d, "@@") != 4 { // two hunks, two markers each
+		t.Fatalf("expected two hunks:\n%s", d)
+	}
+	if !strings.Contains(d, "@@ -1,6 +1,6 @@") {
+		t.Fatalf("first hunk header wrong:\n%s", d)
+	}
+}
+
+func TestSLRStyleDiff(t *testing.T) {
+	a := "void f(void) {\n    char buf[10];\n    strcpy(buf, src);\n}\n"
+	b := "void f(void) {\n    char buf[10];\n    g_strlcpy(buf, src, sizeof(buf));\n}\n"
+	d := Unified("before", "after", a, b)
+	if !strings.Contains(d, "-    strcpy(buf, src);") ||
+		!strings.Contains(d, "+    g_strlcpy(buf, src, sizeof(buf));") {
+		t.Fatalf("diff:\n%s", d)
+	}
+}
+
+// TestPropertyDiffReconstructs: applying the diff's +/- lines over the
+// original reconstructs the new text.
+func TestPropertyDiffReconstructs(t *testing.T) {
+	mk := func(seed uint32, n int) string {
+		var sb strings.Builder
+		r := seed
+		for i := 0; i < n; i++ {
+			r = r*1664525 + 1013904223
+			sb.WriteString([]string{"alpha", "beta", "gamma", "delta"}[(r>>20)%4])
+			sb.WriteString("\n")
+		}
+		return sb.String()
+	}
+	f := func(s1, s2 uint32, n1, n2 uint8) bool {
+		a := mk(s1, int(n1%24))
+		b := mk(s2, int(n2%24))
+		d := Unified("a", "b", a, b)
+		if a == b {
+			return d == ""
+		}
+		// Reconstruct b by replaying the hunks.
+		al := splitLines(a)
+		var out []string
+		ai := 0
+		for _, line := range strings.Split(d, "\n") {
+			switch {
+			case strings.HasPrefix(line, "---") || strings.HasPrefix(line, "+++"):
+			case strings.HasPrefix(line, "@@"):
+				// Copy unchanged region before the hunk.
+				aStart := parseAStart(line)
+				for ai < aStart-1 {
+					out = append(out, al[ai])
+					ai++
+				}
+			case strings.HasPrefix(line, " "):
+				out = append(out, line[1:])
+				ai++
+			case strings.HasPrefix(line, "-"):
+				ai++
+			case strings.HasPrefix(line, "+"):
+				out = append(out, line[1:])
+			}
+		}
+		for ai < len(al) {
+			out = append(out, al[ai])
+			ai++
+		}
+		rebuilt := strings.Join(out, "\n")
+		if len(out) > 0 {
+			rebuilt += "\n"
+		}
+		return rebuilt == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// parseAStart extracts the a-side start line from an "@@ -a,c +b,d @@"
+// header.
+func parseAStart(h string) int {
+	h = strings.TrimPrefix(h, "@@ -")
+	v := 0
+	for i := 0; i < len(h) && h[i] >= '0' && h[i] <= '9'; i++ {
+		v = v*10 + int(h[i]-'0')
+	}
+	return v
+}

@@ -1,0 +1,363 @@
+// Package typecheck computes C types for every expression in a translation
+// unit. It implements the "type analysis" component the paper lists among
+// the OpenRefactory/C facilities (Section III-A): usual arithmetic
+// conversions, array-to-pointer decay in value contexts, pointer
+// arithmetic, and member/field resolution.
+package typecheck
+
+import (
+	"fmt"
+
+	"repro/internal/cast"
+	"repro/internal/ctoken"
+	"repro/internal/ctype"
+)
+
+// Error is a type error with position information.
+type Error struct {
+	Pos ctoken.Position
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Checker annotates expressions with types.
+type Checker struct {
+	unit *cast.TranslationUnit
+	errs []error
+}
+
+// Check type-annotates every expression in the unit. It is lenient:
+// unresolvable constructs get a nil type rather than failing the whole
+// unit, but collected errors are returned for diagnostics.
+func Check(unit *cast.TranslationUnit) []error {
+	c := &Checker{unit: unit}
+	for _, d := range unit.Decls {
+		c.checkDecl(d)
+	}
+	return c.errs
+}
+
+func (c *Checker) errorf(n cast.Node, format string, args ...any) {
+	c.errs = append(c.errs, &Error{
+		Pos: c.unit.File.Position(n.Extent().Pos),
+		Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+func (c *Checker) checkDecl(d cast.Decl) {
+	switch x := d.(type) {
+	case *cast.VarDecl:
+		if x.Init != nil {
+			c.checkExpr(x.Init)
+		}
+	case *cast.MultiDecl:
+		for _, vd := range x.Decls {
+			c.checkDecl(vd)
+		}
+	case *cast.FuncDef:
+		c.checkStmt(x.Body)
+	}
+}
+
+func (c *Checker) checkStmt(s cast.Stmt) {
+	if s == nil {
+		return
+	}
+	switch x := s.(type) {
+	case *cast.ExprStmt:
+		c.checkExpr(x.X)
+	case *cast.DeclStmt:
+		for _, d := range x.Decls {
+			c.checkDecl(d)
+		}
+	case *cast.CompoundStmt:
+		for _, item := range x.Items {
+			c.checkStmt(item)
+		}
+	case *cast.IfStmt:
+		c.checkExpr(x.Cond)
+		c.checkStmt(x.Then)
+		c.checkStmt(x.Else)
+	case *cast.WhileStmt:
+		c.checkExpr(x.Cond)
+		c.checkStmt(x.Body)
+	case *cast.DoWhileStmt:
+		c.checkStmt(x.Body)
+		c.checkExpr(x.Cond)
+	case *cast.ForStmt:
+		c.checkStmt(x.Init)
+		if x.Cond != nil {
+			c.checkExpr(x.Cond)
+		}
+		if x.Post != nil {
+			c.checkExpr(x.Post)
+		}
+		c.checkStmt(x.Body)
+	case *cast.ReturnStmt:
+		if x.Result != nil {
+			c.checkExpr(x.Result)
+		}
+	case *cast.LabeledStmt:
+		c.checkStmt(x.Stmt)
+	case *cast.SwitchStmt:
+		c.checkExpr(x.Tag)
+		c.checkStmt(x.Body)
+	case *cast.CaseStmt:
+		if x.Value != nil {
+			c.checkExpr(x.Value)
+		}
+		c.checkStmt(x.Stmt)
+	}
+}
+
+// checkExpr computes and records the type of e, returning it. The returned
+// type is the expression's declared type — arrays are NOT decayed here so
+// that analyses (notably Algorithm 1) can distinguish ArrayType from
+// PointerType, exactly as the paper's GETBUFFERLENGTH does.
+func (c *Checker) checkExpr(e cast.Expr) ctype.Type {
+	if e == nil {
+		return nil
+	}
+	t := c.typeOf(e)
+	e.SetType(t)
+	return t
+}
+
+func (c *Checker) typeOf(e cast.Expr) ctype.Type {
+	switch x := e.(type) {
+	case *cast.Ident:
+		if x.Sym == nil {
+			return nil
+		}
+		return x.Sym.Type
+	case *cast.IntLit:
+		return ctype.IntType
+	case *cast.FloatLit:
+		return ctype.DoubleType
+	case *cast.CharLit:
+		return ctype.IntType // char constants have type int in C
+	case *cast.StringLit:
+		return ctype.ArrayOf(ctype.CharType, len(x.Value)+1)
+	case *cast.ParenExpr:
+		return c.checkExpr(x.Inner)
+	case *cast.UnaryExpr:
+		return c.typeOfUnary(x)
+	case *cast.PostfixExpr:
+		return c.checkExpr(x.Operand)
+	case *cast.BinaryExpr:
+		return c.typeOfBinary(x)
+	case *cast.AssignExpr:
+		lt := c.checkExpr(x.LHS)
+		c.checkExpr(x.RHS)
+		return lt
+	case *cast.CondExpr:
+		c.checkExpr(x.Cond)
+		tt := c.checkExpr(x.Then)
+		et := c.checkExpr(x.Else)
+		if tt != nil {
+			return ctype.Decay(tt)
+		}
+		if et != nil {
+			return ctype.Decay(et)
+		}
+		return nil
+	case *cast.CallExpr:
+		return c.typeOfCall(x)
+	case *cast.IndexExpr:
+		bt := c.checkExpr(x.Base)
+		c.checkExpr(x.Index)
+		if elem := ctype.Elem(bt); elem != nil {
+			return elem
+		}
+		// index[base] with integer base: try the other operand.
+		it := x.Index.Type()
+		if elem := ctype.Elem(it); elem != nil {
+			return elem
+		}
+		return nil
+	case *cast.MemberExpr:
+		return c.typeOfMember(x)
+	case *cast.CastExpr:
+		c.checkExpr(x.Operand)
+		return x.ToType
+	case *cast.SizeofExpr:
+		if x.Operand != nil {
+			c.checkExpr(x.Operand)
+		}
+		return ctype.SizeTType
+	case *cast.CommaExpr:
+		c.checkExpr(x.X)
+		return c.checkExpr(x.Y)
+	case *cast.InitListExpr:
+		for _, el := range x.Elems {
+			c.checkExpr(el)
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+func (c *Checker) typeOfUnary(x *cast.UnaryExpr) ctype.Type {
+	ot := c.checkExpr(x.Operand)
+	switch x.Op {
+	case cast.UnaryAddrOf:
+		if ot == nil {
+			return nil
+		}
+		return ctype.PointerTo(ot)
+	case cast.UnaryDeref:
+		if elem := ctype.Elem(ot); elem != nil {
+			return elem
+		}
+		return nil
+	case cast.UnaryNot:
+		return ctype.IntType
+	case cast.UnaryPlus, cast.UnaryMinus, cast.UnaryBitNot:
+		if ot != nil && ctype.IsInteger(ot) {
+			return promote(ot)
+		}
+		return ot
+	case cast.UnaryPreInc, cast.UnaryPreDec:
+		return ot
+	default:
+		return nil
+	}
+}
+
+func (c *Checker) typeOfBinary(x *cast.BinaryExpr) ctype.Type {
+	lt := c.checkExpr(x.X)
+	rt := c.checkExpr(x.Y)
+	switch x.Op {
+	case cast.BinaryLt, cast.BinaryGt, cast.BinaryLe, cast.BinaryGe,
+		cast.BinaryEq, cast.BinaryNe, cast.BinaryLAnd, cast.BinaryLOr:
+		return ctype.IntType
+	case cast.BinaryAdd, cast.BinarySub:
+		lp := lt != nil && (ctype.IsPointer(lt) || ctype.IsArray(lt))
+		rp := rt != nil && (ctype.IsPointer(rt) || ctype.IsArray(rt))
+		switch {
+		case lp && rp && x.Op == cast.BinarySub:
+			return ctype.LongType // ptrdiff_t
+		case lp:
+			return ctype.Decay(lt)
+		case rp:
+			return ctype.Decay(rt)
+		default:
+			return usualArith(lt, rt)
+		}
+	default:
+		return usualArith(lt, rt)
+	}
+}
+
+func (c *Checker) typeOfCall(x *cast.CallExpr) ctype.Type {
+	ft := c.checkExpr(x.Fun)
+	for _, a := range x.Args {
+		c.checkExpr(a)
+	}
+	switch f := ctype.Unqualify(ft).(type) {
+	case *ctype.Func:
+		return f.Result
+	case *ctype.Pointer:
+		if inner, ok := ctype.Unqualify(f.Elem).(*ctype.Func); ok {
+			return inner.Result
+		}
+	}
+	// Implicitly declared function: int per C89.
+	return ctype.IntType
+}
+
+func (c *Checker) typeOfMember(x *cast.MemberExpr) ctype.Type {
+	bt := c.checkExpr(x.Base)
+	if bt == nil {
+		return nil
+	}
+	rt := ctype.Unqualify(bt)
+	if x.Arrow {
+		p, ok := rt.(*ctype.Pointer)
+		if !ok {
+			c.errorf(x, "-> applied to non-pointer type %s", bt)
+			return nil
+		}
+		rt = ctype.Unqualify(p.Elem)
+	}
+	rec, ok := rt.(*ctype.Record)
+	if !ok {
+		c.errorf(x, "member access on non-record type %s", bt)
+		return nil
+	}
+	f, ok := rec.FieldNamed(x.Member)
+	if !ok {
+		c.errorf(x, "no member %q in %s", x.Member, rec)
+		return nil
+	}
+	return f.Type
+}
+
+// promote applies the integer promotions.
+func promote(t ctype.Type) ctype.Type {
+	b, ok := ctype.Unqualify(t).(*ctype.Basic)
+	if !ok {
+		return t
+	}
+	switch b.Kind {
+	case ctype.Bool, ctype.Char, ctype.SChar, ctype.UChar, ctype.Short, ctype.UShort:
+		return ctype.IntType
+	default:
+		return t
+	}
+}
+
+// usualArith applies the usual arithmetic conversions, approximately: the
+// wider type wins; unsigned wins ties; float beats integer.
+func usualArith(a, b ctype.Type) ctype.Type {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	ab, aok := ctype.Unqualify(a).(*ctype.Basic)
+	bb, bok := ctype.Unqualify(b).(*ctype.Basic)
+	if !aok || !bok {
+		return promote(a)
+	}
+	if ab.IsFloat() && !bb.IsFloat() {
+		return ab
+	}
+	if bb.IsFloat() && !ab.IsFloat() {
+		return bb
+	}
+	pa, pb := promote(ab).(*ctype.Basic), promote(bb).(*ctype.Basic)
+	if rank(pa.Kind) >= rank(pb.Kind) {
+		return pa
+	}
+	return pb
+}
+
+func rank(k ctype.BasicKind) int {
+	switch k {
+	case ctype.Int:
+		return 1
+	case ctype.UInt:
+		return 2
+	case ctype.Long:
+		return 3
+	case ctype.ULong:
+		return 4
+	case ctype.LongLong:
+		return 5
+	case ctype.ULongLong:
+		return 6
+	case ctype.Float:
+		return 7
+	case ctype.Double:
+		return 8
+	case ctype.LongDouble:
+		return 9
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,233 @@
+package typecheck
+
+import (
+	"testing"
+
+	"repro/internal/cast"
+	"repro/internal/cparse"
+)
+
+func TestFloatArithmetic(t *testing.T) {
+	tu := checkUnit(t, `
+void f(void) {
+    float fl;
+    double d;
+    int i;
+    d = fl + i;
+    d = d * 2.5;
+    fl = -fl;
+    i = (int)(d / 2.0);
+}
+`)
+	tests := []struct{ expr, want string }{
+		{"fl + i", "float"},
+		{"d * 2.5", "double"},
+		{"-fl", "float"},
+		{"d / 2.0", "double"},
+	}
+	for _, tt := range tests {
+		if got := exprTypeIn(t, tu, tt.expr); got != tt.want {
+			t.Errorf("%s: got %q, want %q", tt.expr, got, tt.want)
+		}
+	}
+}
+
+func TestPromotions(t *testing.T) {
+	tu := checkUnit(t, `
+void f(void) {
+    char c;
+    short s;
+    unsigned char uc;
+    int i;
+    i = c + c;
+    i = s + s;
+    i = uc + uc;
+    i = ~c;
+}
+`)
+	for _, expr := range []string{"c + c", "s + s", "uc + uc", "~c"} {
+		if got := exprTypeIn(t, tu, expr); got != "int" {
+			t.Errorf("%s: got %q, want int (integer promotion)", expr, got)
+		}
+	}
+}
+
+func TestMixedSignedness(t *testing.T) {
+	tu := checkUnit(t, `
+void f(void) {
+    unsigned int u;
+    int i;
+    long l;
+    unsigned long ul;
+    u = u + i;
+    l = l + i;
+    ul = ul + l;
+    ul = u + l;
+}
+`)
+	tests := []struct{ expr, want string }{
+		{"u + i", "unsigned int"},
+		{"l + i", "long"},
+		{"ul + l", "unsigned long"},
+		{"u + l", "long"}, // long rank beats unsigned int
+	}
+	for _, tt := range tests {
+		if got := exprTypeIn(t, tu, tt.expr); got != tt.want {
+			t.Errorf("%s: got %q, want %q", tt.expr, got, tt.want)
+		}
+	}
+}
+
+func TestAssignAndCompoundTypes(t *testing.T) {
+	tu := checkUnit(t, `
+void f(void) {
+    char *p;
+    char buf[4];
+    p = buf;
+    p += 1;
+    *p = 'x';
+    p[2] = 'y';
+}
+`)
+	if got := exprTypeIn(t, tu, "p += 1"); got != "char *" {
+		t.Errorf("compound assign: %q", got)
+	}
+	if got := exprTypeIn(t, tu, "*p = 'x'"); got != "char" {
+		t.Errorf("deref assign: %q", got)
+	}
+}
+
+func TestCommaAndTernaryTypes(t *testing.T) {
+	tu := checkUnit(t, `
+void f(int c) {
+    int i;
+    double d;
+    d = (i = 1, 2.5);
+    i = c ? 1 : 2;
+}
+`)
+	if got := exprTypeIn(t, tu, "(i = 1, 2.5)"); got != "double" {
+		t.Errorf("comma: %q", got)
+	}
+	if got := exprTypeIn(t, tu, "c ? 1 : 2"); got != "int" {
+		t.Errorf("ternary: %q", got)
+	}
+}
+
+func TestSizeofForms(t *testing.T) {
+	tu := checkUnit(t, `
+void f(void) {
+    char buf[12];
+    unsigned long a;
+    unsigned long b;
+    a = sizeof buf;
+    b = sizeof(struct { int x; int y; }*);
+}
+`)
+	if got := exprTypeIn(t, tu, "sizeof buf"); got != "unsigned long" {
+		t.Errorf("sizeof expr: %q", got)
+	}
+}
+
+func TestFunctionPointerCallType(t *testing.T) {
+	tu := checkUnit(t, `
+void f(int (*op)(int, int)) {
+    int r;
+    r = op(1, 2);
+}
+`)
+	if got := exprTypeIn(t, tu, "op(1, 2)"); got != "int" {
+		t.Errorf("fp call: %q", got)
+	}
+}
+
+func TestArrowOnNonPointerReportsError(t *testing.T) {
+	tu, err := parseOnly(t, `
+struct s { int a; };
+void f(void) { struct s v; int i; i = v->a; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := Check(tu); len(errs) == 0 {
+		t.Fatal("-> on non-pointer must report an error")
+	}
+}
+
+func TestMemberOnScalarReportsError(t *testing.T) {
+	tu, err := parseOnly(t, `
+void f(void) { int i; int j; j = i.member; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := Check(tu); len(errs) == 0 {
+		t.Fatal("member access on scalar must report an error")
+	}
+	// Error strings carry positions.
+	if errs := Check(tu); len(errs) > 0 {
+		if errs[0].Error() == "" {
+			t.Fatal("empty error text")
+		}
+	}
+}
+
+func TestPostfixAndUnaryTypes(t *testing.T) {
+	tu := checkUnit(t, `
+void f(void) {
+    int i;
+    char *p;
+    char a[2];
+    int r;
+    p = a;
+    i++;
+    p++;
+    r = !i;
+    r = i > 0 && p != 0;
+}
+`)
+	if got := exprTypeIn(t, tu, "p++"); got != "char *" {
+		t.Errorf("postfix on pointer: %q", got)
+	}
+	if got := exprTypeIn(t, tu, "!i"); got != "int" {
+		t.Errorf("not: %q", got)
+	}
+}
+
+func TestEnumArithmetic(t *testing.T) {
+	tu := checkUnit(t, `
+enum mode { A, B, C };
+void f(void) {
+    enum mode m;
+    int i;
+    i = m + 1;
+}
+`)
+	if got := exprTypeIn(t, tu, "m + 1"); got == "" {
+		t.Error("enum arithmetic must type")
+	}
+}
+
+func TestAddressOfFunctionResultTypes(t *testing.T) {
+	tu := checkUnit(t, `
+void f(void) {
+    int x;
+    int *p;
+    int **pp;
+    p = &x;
+    pp = &p;
+}
+`)
+	if got := exprTypeIn(t, tu, "&x"); got != "int *" {
+		t.Errorf("&x: %q", got)
+	}
+	if got := exprTypeIn(t, tu, "&p"); got != "int * *" {
+		t.Errorf("&p: %q", got)
+	}
+}
+
+// parseOnly parses without failing on type errors.
+func parseOnly(t *testing.T, src string) (*cast.TranslationUnit, error) {
+	t.Helper()
+	return cparse.Parse("t.c", src)
+}

@@ -1,0 +1,191 @@
+package typecheck
+
+import (
+	"testing"
+
+	"repro/internal/cast"
+	"repro/internal/cparse"
+	"repro/internal/ctype"
+)
+
+// checkUnit parses and type-checks src, failing the test on any error.
+func checkUnit(t *testing.T, src string) *cast.TranslationUnit {
+	t.Helper()
+	tu, err := cparse.Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if errs := Check(tu); len(errs) > 0 {
+		t.Fatalf("typecheck: %v", errs[0])
+	}
+	return tu
+}
+
+// exprTypeIn finds the first expression whose source text matches want and
+// returns its computed type string.
+func exprTypeIn(t *testing.T, tu *cast.TranslationUnit, srcText string) string {
+	t.Helper()
+	var found cast.Expr
+	cast.Inspect(tu, func(n cast.Node) bool {
+		if e, ok := n.(cast.Expr); ok && found == nil {
+			if tu.File.Slice(e.Extent()) == srcText {
+				found = e
+			}
+		}
+		return true
+	})
+	if found == nil {
+		t.Fatalf("expression %q not found", srcText)
+	}
+	if found.Type() == nil {
+		t.Fatalf("expression %q has no type", srcText)
+	}
+	return found.Type().String()
+}
+
+func TestExprTypes(t *testing.T) {
+	src := `
+struct pair { int a; char *name; };
+void f(void) {
+    char buf[10];
+    char *p;
+    int i;
+    unsigned long ul;
+    struct pair pr;
+    struct pair *pp;
+    p = buf;
+    i = i + 1;
+    ul = ul + i;
+    p = p + i;
+    i = *p;
+    p = &buf[2];
+    i = pr.a;
+    p = pp->name;
+    i = (int)ul;
+    ul = sizeof(buf);
+}
+`
+	tu := checkUnit(t, src)
+	tests := []struct {
+		expr string
+		want string
+	}{
+		{"buf", "char [10]"},
+		{"i + 1", "int"},
+		{"ul + i", "unsigned long"},
+		{"p + i", "char *"},
+		{"*p", "char"},
+		{"&buf[2]", "char *"},
+		{"pr.a", "int"},
+		{"pp->name", "char *"},
+		{"(int)ul", "int"},
+		{"sizeof(buf)", "unsigned long"},
+	}
+	for _, tt := range tests {
+		if got := exprTypeIn(t, tu, tt.expr); got != tt.want {
+			t.Errorf("%s: got %q, want %q", tt.expr, got, tt.want)
+		}
+	}
+}
+
+func TestArrayNotDecayedOnIdent(t *testing.T) {
+	// Algorithm 1 relies on distinguishing ArrayType from PointerType for
+	// identifier expressions, so the checker must not decay arrays there.
+	tu := checkUnit(t, "void f(void){ char buf[10]; char *p; p = buf; }")
+	var assign *cast.AssignExpr
+	cast.Inspect(tu, func(n cast.Node) bool {
+		if a, ok := n.(*cast.AssignExpr); ok {
+			assign = a
+		}
+		return true
+	})
+	rhs := cast.Unparen(assign.RHS)
+	if !ctype.IsArray(rhs.Type()) {
+		t.Fatalf("buf should keep array type, got %s", rhs.Type())
+	}
+}
+
+func TestCallResultTypes(t *testing.T) {
+	src := `
+void f(void) {
+    char *p;
+    unsigned long n;
+    p = malloc(10);
+    n = strlen(p);
+    p = strcpy(p, "x");
+}
+`
+	tu := checkUnit(t, src)
+	if got := exprTypeIn(t, tu, "malloc(10)"); got != "void *" {
+		t.Errorf("malloc: got %q", got)
+	}
+	if got := exprTypeIn(t, tu, "strlen(p)"); got != "unsigned long" {
+		t.Errorf("strlen: got %q", got)
+	}
+	if got := exprTypeIn(t, tu, `strcpy(p, "x")`); got != "char *" {
+		t.Errorf("strcpy: got %q", got)
+	}
+}
+
+func TestPointerDifference(t *testing.T) {
+	tu := checkUnit(t, "void f(void){ char *a, *b; long d; d = a - b; }")
+	if got := exprTypeIn(t, tu, "a - b"); got != "long" {
+		t.Errorf("pointer difference: got %q", got)
+	}
+}
+
+func TestComparisonIsInt(t *testing.T) {
+	tu := checkUnit(t, "void f(void){ int a, b, c; c = a < b; c = a && b; }")
+	if got := exprTypeIn(t, tu, "a < b"); got != "int" {
+		t.Errorf("comparison: got %q", got)
+	}
+	if got := exprTypeIn(t, tu, "a && b"); got != "int" {
+		t.Errorf("logical and: got %q", got)
+	}
+}
+
+func TestMemberErrors(t *testing.T) {
+	tu, err := cparse.Parse("t.c", `
+struct s { int a; };
+void f(void) { struct s v; int i; i = v.b; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := Check(tu)
+	if len(errs) == 0 {
+		t.Fatal("expected an error for unknown member")
+	}
+}
+
+func TestCondExprDecays(t *testing.T) {
+	tu := checkUnit(t, `void f(int c){ char a[4], b[4]; char *p; p = c ? a : b; }`)
+	if got := exprTypeIn(t, tu, "c ? a : b"); got != "char *" {
+		t.Errorf("ternary over arrays should decay: got %q", got)
+	}
+}
+
+func TestTypedefResolution(t *testing.T) {
+	src := `
+typedef unsigned long size_type;
+void f(void) { size_type n; n = n + 1; }
+`
+	tu := checkUnit(t, src)
+	if got := exprTypeIn(t, tu, "n + 1"); got != "unsigned long" {
+		t.Errorf("typedef arith: got %q", got)
+	}
+}
+
+func TestStringLiteralType(t *testing.T) {
+	tu := checkUnit(t, `void f(void){ char *p; p = "abc"; }`)
+	if got := exprTypeIn(t, tu, `"abc"`); got != "char [4]" {
+		t.Errorf("string literal: got %q", got)
+	}
+}
+
+func TestIndexOnPointer(t *testing.T) {
+	tu := checkUnit(t, "void f(char *p){ char c; c = p[3]; }")
+	if got := exprTypeIn(t, tu, "p[3]"); got != "char" {
+		t.Errorf("p[3]: got %q", got)
+	}
+}

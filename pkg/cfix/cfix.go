@@ -1,0 +1,138 @@
+// Package cfix is the public API of the buffer-overflow-fixing library —
+// a reproduction of "Automatically Fixing C Buffer Overflows Using Program
+// Transformations" (DSN 2014).
+//
+// The two entry points mirror the paper's workflow:
+//
+//   - Fix applies the SAFE LIBRARY REPLACEMENT and SAFE TYPE REPLACEMENT
+//     transformations to a preprocessed C translation unit, either in
+//     batch (all eligible sites/variables) or case-by-case (a selected
+//     call expression), and reports every decision.
+//
+//   - Run executes a translation unit under the checked interpreter,
+//     returning the program's output together with any memory-safety
+//     violations (classified by CWE) — the oracle used to demonstrate
+//     that a fix removed an overflow without changing normal behavior.
+//
+// A typical quickstart:
+//
+//	report, err := cfix.Fix("prog.c", source, cfix.Options{})
+//	if err != nil { ... }
+//	fmt.Println(report.Summary())
+//	fmt.Println(report.Source) // the fixed C source
+package cfix
+
+import (
+	"fmt"
+
+	"repro/internal/cinterp"
+	"repro/internal/core"
+	"repro/internal/cparse"
+	"repro/internal/harness"
+	"repro/internal/slr"
+	"repro/internal/stralloc"
+	"repro/internal/typecheck"
+)
+
+// Options configures Fix. The zero value runs both transformations in
+// batch mode without emitting support code.
+type Options struct {
+	// DisableSLR skips SAFE LIBRARY REPLACEMENT.
+	DisableSLR bool
+	// DisableSTR skips SAFE TYPE REPLACEMENT.
+	DisableSTR bool
+	// SelectOffset restricts SLR to the call expression covering this
+	// byte offset; use -1 (or leave 0 with SelectAll) for batch mode.
+	SelectOffset int
+	// SelectAll forces batch mode (the default when SelectOffset is 0).
+	SelectAll bool
+	// EmitSupport prepends the stralloc library and glib prototypes so
+	// the output is a self-contained translation unit.
+	EmitSupport bool
+}
+
+// Report is the outcome of Fix. See core.Report for field semantics.
+type Report = core.Report
+
+// Fix applies the transformations to source (a preprocessed C translation
+// unit). filename is used in diagnostics only.
+func Fix(filename, source string, opts Options) (*Report, error) {
+	sel := -1
+	if !opts.SelectAll && opts.SelectOffset > 0 {
+		sel = opts.SelectOffset
+	}
+	return core.Fix(filename, source, core.Options{
+		DisableSLR:   opts.DisableSLR,
+		DisableSTR:   opts.DisableSTR,
+		SelectOffset: sel,
+		EmitSupport:  opts.EmitSupport,
+	})
+}
+
+// RunResult is the outcome of executing a program under the checked
+// interpreter.
+type RunResult struct {
+	// Stdout is the program's printed output.
+	Stdout string
+	// Return is the entry function's return value.
+	Return int64
+	// Violations lists detected memory-safety events in order, each
+	// carrying its CWE class (121/122/124/126/127 for the overflow
+	// classes the paper evaluates, plus 416/476/...).
+	Violations []cinterp.Violation
+	// Steps counts interpreted evaluation steps (a machine-independent
+	// cost measure).
+	Steps int64
+}
+
+// Safe reports whether the run completed without memory-safety events.
+func (r *RunResult) Safe() bool { return len(r.Violations) == 0 }
+
+// Run executes entry() in source under the checked interpreter. stdin
+// lines feed gets/fgets.
+func Run(filename, source, entry string, stdin []string) (*RunResult, error) {
+	unit, err := cparse.Parse(filename, source)
+	if err != nil {
+		return nil, fmt.Errorf("cfix: parse: %w", err)
+	}
+	typecheck.Check(unit)
+	in, err := cinterp.New(unit, cinterp.Limits{})
+	if err != nil {
+		return nil, fmt.Errorf("cfix: %w", err)
+	}
+	in.SetStdin(stdin)
+	res, err := in.Run(entry)
+	if err != nil {
+		return nil, fmt.Errorf("cfix: run: %w", err)
+	}
+	return &RunResult{
+		Stdout:     res.Stdout,
+		Return:     res.Return,
+		Violations: res.Violations,
+		Steps:      in.Steps(),
+	}, nil
+}
+
+// Violation re-exports the checked interpreter's event type.
+type Violation = cinterp.Violation
+
+// Verdict re-exports the end-to-end verification outcome: pre/post
+// execution results, per-transformation counts, and the three judgments
+// (VulnDetected, Fixed, Preserved).
+type Verdict = harness.Verdict
+
+// Verify runs the paper's full evaluation protocol on one program: execute
+// goodEntry and badEntry under the checked interpreter, apply SLR then STR
+// in batch mode, re-execute, and judge whether the bad function's overflow
+// was fixed and the good function's behavior preserved. stdin lines are
+// re-queued before every run.
+func Verify(filename, source, goodEntry, badEntry string, stdin []string) (*Verdict, error) {
+	return harness.Verify(filename, source, goodEntry, badEntry, harness.Options{Stdin: stdin})
+}
+
+// SupportSource returns the C support code transformed programs may need:
+// the stralloc header and implementation plus prototypes for the
+// glib-style safe functions.
+func SupportSource() string {
+	return stralloc.FullSource() + "\n" + slr.GlibPrototypes()
+}
