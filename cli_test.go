@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -148,4 +149,82 @@ func TestCfixCLIBatchDirectory(t *testing.T) {
 			t.Fatalf("%s not transformed:\n%s", name, data)
 		}
 	}
+}
+
+func TestCfixCLILintExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "cmd/cfix")
+	dir := t.TempDir()
+
+	vuln := filepath.Join(dir, "vuln.c")
+	if err := os.WriteFile(vuln, []byte(`
+void work(void) {
+    char buf[8];
+    char src[40];
+    memset(src, 'A', 30);
+    src[30] = '\0';
+    strcpy(buf, src);
+}
+int main(void) { work(); return 0; }
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	clean := filepath.Join(dir, "clean.c")
+	if err := os.WriteFile(clean, []byte(`
+void work(void) {
+    char buf[8];
+    strcpy(buf, "ok");
+}
+int main(void) { work(); return 0; }
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A definite overflow is the CI-gate signal: exit code 3.
+	out, err := exec.Command(bin, "-lint", vuln).Output()
+	if code := exitCode(err); code != 3 {
+		t.Fatalf("lint vuln: exit %d, want 3 (%v)", code, err)
+	}
+	if !strings.Contains(string(out), "CWE-121") || !strings.Contains(string(out), "definite") {
+		t.Fatalf("lint output missing verdict:\n%s", out)
+	}
+
+	// JSON mode keeps the exit contract and emits one object per line.
+	out, err = exec.Command(bin, "-lint", "-json", vuln).Output()
+	if code := exitCode(err); code != 3 {
+		t.Fatalf("lint -json vuln: exit %d, want 3 (%v)", code, err)
+	}
+	if !strings.Contains(string(out), `"cwe":121`) || !strings.Contains(string(out), `"severity":"definite"`) {
+		t.Fatalf("json output unexpected:\n%s", out)
+	}
+
+	// A clean file exits 0.
+	if err := exec.Command(bin, "-lint", clean).Run(); err != nil {
+		t.Fatalf("lint clean: %v, want exit 0", err)
+	}
+
+	// -json without -lint is a usage error.
+	if code := exitCode(exec.Command(bin, "-json", clean).Run()); code != 2 {
+		t.Fatalf("-json without -lint: exit %d, want 2", code)
+	}
+
+	// The help text documents the exit-code contract.
+	helpOut, _ := exec.Command(bin).CombinedOutput()
+	if !strings.Contains(string(helpOut), "exit codes:") {
+		t.Fatalf("usage output missing exit-code contract:\n%s", helpOut)
+	}
+}
+
+// exitCode extracts the process exit status (0 when err is nil).
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return ee.ExitCode()
+	}
+	return -1
 }

@@ -16,12 +16,23 @@
 //	                before and after, reporting violations
 //	-summary        print the per-site/per-variable change log to stderr
 //	-diff           print a unified diff of the changes (the didactic view)
+//	-lint           do not transform; run the static overflow oracle and
+//	                print CWE-classified findings
+//	-json           with -lint, print findings as JSON lines
 //
 // A directory argument expands to every .c file directly inside it — the
 // paper's maintenance scenario of batch-hardening a legacy tree.
+//
+// Exit codes:
+//
+//	0  success; with -lint, no definite overflow was found
+//	1  a file could not be read, parsed, or transformed
+//	2  usage error
+//	3  -lint found at least one definite overflow (CI gate signal)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -46,6 +57,8 @@ type options struct {
 	verify  string
 	summary bool
 	diff    bool
+	lint    bool
+	json    bool
 }
 
 func run() int {
@@ -59,6 +72,8 @@ func run() int {
 	flag.StringVar(&opts.verify, "verify", "", "entry function to execute pre/post")
 	flag.BoolVar(&opts.summary, "summary", true, "print change summary to stderr")
 	flag.BoolVar(&opts.diff, "diff", false, "print a unified diff instead of the full source")
+	flag.BoolVar(&opts.lint, "lint", false, "run the static overflow oracle only; exit 3 on a definite overflow")
+	flag.BoolVar(&opts.json, "json", false, "with -lint, print findings as JSON lines")
 	flag.Parse()
 
 	paths, err := expandArgs(flag.Args())
@@ -68,8 +83,16 @@ func run() int {
 	}
 	if len(paths) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: cfix [flags] file.c [more.c ...]")
+		fmt.Fprintln(os.Stderr, "exit codes: 0 success/clean, 1 error, 2 usage, 3 definite overflow found by -lint")
 		flag.PrintDefaults()
 		return 2
+	}
+	if opts.json && !opts.lint {
+		fmt.Fprintln(os.Stderr, "cfix: -json requires -lint")
+		return 2
+	}
+	if opts.lint {
+		return lintFiles(paths, opts.json)
 	}
 	if len(paths) > 1 && opts.out != "" {
 		fmt.Fprintln(os.Stderr, "cfix: -o needs a single input; use -outdir for batches")
@@ -83,6 +106,74 @@ func run() int {
 		if code := fixOne(path, opts, len(paths) > 1); code != 0 {
 			return code
 		}
+	}
+	return 0
+}
+
+// lintFinding is the JSON shape of one -lint -json output line.
+type lintFinding struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	CWE      int      `json:"cwe"`
+	CWEName  string   `json:"cwe_name"`
+	Severity string   `json:"severity"`
+	Function string   `json:"function"`
+	Object   string   `json:"object,omitempty"`
+	Message  string   `json:"message"`
+	Fix      string   `json:"fix"`
+	Contexts []string `json:"contexts,omitempty"`
+}
+
+// lintFiles runs the static overflow oracle over every input and prints
+// the findings. It returns 3 when any finding is definite, 0 when all
+// files are clean or merely possible, 1 on processing errors.
+func lintFiles(paths []string, jsonOut bool) int {
+	enc := json.NewEncoder(os.Stdout)
+	definite := false
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cfix: %v\n", err)
+			return 1
+		}
+		findings, err := cfix.Analyze(path, string(data))
+		if err != nil {
+			// Parse errors already carry file:line:col.
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			return 1
+		}
+		for _, f := range findings {
+			if f.Severity == cfix.SevDefinite {
+				definite = true
+			}
+			if jsonOut {
+				if err := enc.Encode(lintFinding{
+					File:     f.Pos.File,
+					Line:     f.Pos.Line,
+					Col:      f.Pos.Col,
+					CWE:      f.CWE,
+					CWEName:  cfix.CWEName(f.CWE),
+					Severity: f.Severity.String(),
+					Function: f.Function,
+					Object:   f.Object,
+					Message:  f.Msg,
+					Fix:      f.SuggestedFix,
+					Contexts: f.Contexts,
+				}); err != nil {
+					fmt.Fprintf(os.Stderr, "cfix: %v\n", err)
+					return 1
+				}
+			} else {
+				fmt.Println(f)
+			}
+		}
+		if !jsonOut && len(findings) == 0 {
+			fmt.Fprintf(os.Stderr, "%s: no overflows found\n", path)
+		}
+	}
+	if definite {
+		return 3
 	}
 	return 0
 }
@@ -142,6 +233,9 @@ func fixOne(path string, opts options, batch bool) int {
 		SelectOffset: opts.at,
 		SelectAll:    opts.at < 0,
 		EmitSupport:  opts.support,
+		// The summary ranks and justifies candidate sites with the static
+		// oracle's verdicts when they are available.
+		Lint: opts.summary,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cfix: %s: %v\n", path, err)

@@ -7,6 +7,8 @@
 //	experiments -figure 2        Figure 2
 //	experiments -rq 3            the RQ3 overhead measurement
 //	experiments -cve             the LibTIFF case study
+//	experiments -lint            cross-validate the static overflow oracle
+//	                             against the checked interpreter on SAMATE
 //	experiments -stride 10       sample the SAMATE corpus (faster)
 //	experiments -iters 500       RQ3 workload iterations
 package main
@@ -27,6 +29,7 @@ func run() int {
 		figure   = flag.Int("figure", 0, "print one figure (2)")
 		rq       = flag.Int("rq", 0, "run one research question (3)")
 		cve      = flag.Bool("cve", false, "run the LibTIFF case study")
+		lint     = flag.Bool("lint", false, "cross-validate the static overflow oracle on SAMATE")
 		ablation = flag.Bool("ablation", false, "run the alias-precision ablation")
 		stride   = flag.Int("stride", 1, "sample every Nth SAMATE program")
 		iters    = flag.Int("iters", 200, "RQ3 workload iterations")
@@ -34,7 +37,7 @@ func run() int {
 	)
 	flag.Parse()
 
-	specific := *table != 0 || *figure != 0 || *rq != 0 || *cve || *ablation
+	specific := *table != 0 || *figure != 0 || *rq != 0 || *cve || *lint || *ablation
 	want := func(t int) bool { return !specific || *table == t }
 
 	if want(1) {
@@ -86,6 +89,13 @@ func run() int {
 			return fail(err)
 		}
 		fmt.Println(experiments.FormatCVE(r))
+	}
+	if !specific || *lint {
+		rows, err := experiments.RunLint(experiments.LintOptions{Stride: *stride})
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Println(experiments.FormatLint(rows))
 	}
 	if !specific || *ablation {
 		r, err := experiments.RunAliasPrecisionAblation()

@@ -49,6 +49,21 @@ type Size struct {
 	ConstBytes int64
 }
 
+// KnownBytes returns the statically known byte count of the region the
+// size describes (ConstBytes corrected by the pointer-arithmetic Adjust),
+// and whether it is known at all. Heap sizes and symbolic static sizes
+// report false.
+func (s Size) KnownBytes() (int64, bool) {
+	if s.ConstBytes < 0 {
+		return 0, false
+	}
+	n := s.ConstBytes + s.Adjust
+	if n < 0 {
+		n = 0
+	}
+	return n, true
+}
+
 // CText renders the size as a C expression.
 func (s Size) CText() string {
 	var base string

@@ -109,6 +109,23 @@ func (g *Graph) Callees(caller string) []string {
 	return out
 }
 
+// Roots returns the functions defined in the unit that no in-unit call
+// targets — the entry points interprocedural propagation starts from. A
+// unit whose every function is called (e.g. mutual recursion) yields all
+// functions, so propagation still has a starting set.
+func (g *Graph) Roots() []*cast.FuncDef {
+	var roots []*cast.FuncDef
+	for _, f := range g.unit.Funcs {
+		if len(g.in[f.Name]) == 0 {
+			roots = append(roots, f)
+		}
+	}
+	if len(roots) == 0 {
+		roots = append(roots, g.unit.Funcs...)
+	}
+	return roots
+}
+
 // TransitiveCallees returns every function name reachable from the given
 // root, excluding the root itself unless it is recursive.
 func (g *Graph) TransitiveCallees(root string) []string {

@@ -1,0 +1,150 @@
+package cfg
+
+import "testing"
+
+// condNodes returns all KindCond nodes in build order.
+func condNodes(g *Graph) []*Node {
+	var out []*Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindCond {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func TestIfBranchLabeled(t *testing.T) {
+	g := buildFor(t, `
+void f(int c) {
+    int a;
+    if (c) {
+        a = 1;
+    } else {
+        a = 2;
+    }
+    a = 3;
+}
+`)
+	conds := condNodes(g)
+	if len(conds) != 1 {
+		t.Fatalf("cond nodes: got %d, want 1\n%s", len(conds), g)
+	}
+	cond := conds[0]
+	if !cond.Branching {
+		t.Fatal("if condition not labeled Branching")
+	}
+	if len(cond.TrueSuccs) != 1 {
+		t.Fatalf("TrueSuccs: got %d, want 1", len(cond.TrueSuccs))
+	}
+	if len(cond.Succs) != 2 {
+		t.Fatalf("Succs: got %d, want 2", len(cond.Succs))
+	}
+	// The true successor must be a real successor, and the other edge must
+	// not be marked true.
+	if !cond.IsTrueSucc(cond.TrueSuccs[0]) {
+		t.Fatal("IsTrueSucc rejects its own TrueSuccs entry")
+	}
+	falseEdges := 0
+	for _, s := range cond.Succs {
+		if !cond.IsTrueSucc(s) {
+			falseEdges++
+		}
+	}
+	if falseEdges != 1 {
+		t.Fatalf("false edges: got %d, want 1", falseEdges)
+	}
+}
+
+func TestEmptyThenStaysUnlabeled(t *testing.T) {
+	g := buildFor(t, `
+void f(int c) {
+    int a;
+    if (c) {
+    }
+    a = 3;
+}
+`)
+	for _, cond := range condNodes(g) {
+		if cond.Branching {
+			t.Fatalf("empty then branch must not be labeled\n%s", g)
+		}
+	}
+}
+
+func TestWhileBranchLabeled(t *testing.T) {
+	g := buildFor(t, `
+void f(void) {
+    int i;
+    i = 0;
+    while (i < 10) {
+        i = i + 1;
+    }
+    i = 99;
+}
+`)
+	conds := condNodes(g)
+	if len(conds) != 1 {
+		t.Fatalf("cond nodes: got %d, want 1\n%s", len(conds), g)
+	}
+	cond := conds[0]
+	if !cond.Branching {
+		t.Fatal("while condition not labeled")
+	}
+	if len(cond.TrueSuccs) != 1 {
+		t.Fatalf("TrueSuccs: got %d, want 1", len(cond.TrueSuccs))
+	}
+	// True successor is the loop body (which eventually loops back to cond);
+	// the false edge leaves the loop.
+	body := cond.TrueSuccs[0]
+	if body.Kind != KindStmt {
+		t.Fatalf("true succ kind = %v, want body statement", body.Kind)
+	}
+}
+
+func TestForBranchLabeled(t *testing.T) {
+	g := buildFor(t, `
+void f(void) {
+    int i;
+    int sum;
+    sum = 0;
+    for (i = 0; i < 4; i = i + 1) {
+        sum = sum + i;
+    }
+}
+`)
+	conds := condNodes(g)
+	if len(conds) != 1 {
+		t.Fatalf("cond nodes: got %d, want 1\n%s", len(conds), g)
+	}
+	cond := conds[0]
+	if !cond.Branching {
+		t.Fatal("for condition not labeled")
+	}
+	if len(cond.TrueSuccs) != 1 {
+		t.Fatalf("TrueSuccs: got %d, want 1", len(cond.TrueSuccs))
+	}
+}
+
+func TestDoWhileAndSwitchStayUnlabeled(t *testing.T) {
+	g := buildFor(t, `
+void f(int c) {
+    int i;
+    i = 0;
+    do {
+        i = i + 1;
+    } while (i < 3);
+    switch (c) {
+    case 1:
+        i = 1;
+        break;
+    default:
+        i = 2;
+    }
+}
+`)
+	for _, cond := range condNodes(g) {
+		if cond.Branching {
+			t.Fatalf("do-while/switch condition must stay unlabeled\n%s", g)
+		}
+	}
+}

@@ -44,6 +44,27 @@ type Node struct {
 
 	Succs []*Node
 	Preds []*Node
+
+	// Branching marks a KindCond node whose outgoing edges carry branch
+	// labels: edges to TrueSuccs are taken when Expr evaluates nonzero,
+	// every other edge in Succs when it evaluates zero. Only if/while/for
+	// conditions are labeled (do-while and switch tags are not), and only
+	// when the true branch could be attributed unambiguously; analyses
+	// must treat unlabeled conditions as flowing the same state both ways.
+	Branching bool
+	// TrueSuccs is the subset of Succs reached on a true condition.
+	// Meaningful only when Branching is set.
+	TrueSuccs []*Node
+}
+
+// IsTrueSucc reports whether the edge n→s is a labeled true-branch edge.
+func (n *Node) IsTrueSucc(s *Node) bool {
+	for _, t := range n.TrueSuccs {
+		if t == s {
+			return true
+		}
+	}
+	return false
 }
 
 // label renders the node for debugging.
@@ -134,6 +155,24 @@ func (b *builder) registerBreak(n *Node) {
 	}
 	top := len(b.pendingBreaks) - 1
 	b.pendingBreaks[top] = append(b.pendingBreaks[top], n)
+}
+
+// labelBranch marks cond as Branching with the successors it gained while
+// its true branch was built (Succs[mark:]). out is the branch's fall-out
+// set: if it still contains cond (empty branch) or no successor was
+// created, the true edges cannot be attributed and cond stays unlabeled.
+func (b *builder) labelBranch(cond *Node, mark int, out []*Node) {
+	trueSuccs := cond.Succs[mark:]
+	if len(trueSuccs) == 0 {
+		return
+	}
+	for _, n := range out {
+		if n == cond {
+			return
+		}
+	}
+	cond.Branching = true
+	cond.TrueSuccs = append([]*Node(nil), trueSuccs...)
 }
 
 type switchFrame struct {
@@ -234,7 +273,9 @@ func (b *builder) buildStmt(s cast.Stmt, preds []*Node) []*Node {
 		cond := b.newNode(KindCond)
 		cond.Expr = x.Cond
 		b.connectAll(preds, cond)
+		mark := len(cond.Succs)
 		thenOut := b.buildStmt(x.Then, []*Node{cond})
+		b.labelBranch(cond, mark, thenOut)
 		if x.Else == nil {
 			return append(thenOut, cond)
 		}
@@ -246,7 +287,9 @@ func (b *builder) buildStmt(s cast.Stmt, preds []*Node) []*Node {
 		cond.Expr = x.Cond
 		b.connectAll(preds, cond)
 		b.pushLoop(cond)
+		mark := len(cond.Succs)
 		bodyOut := b.buildStmt(x.Body, []*Node{cond})
+		b.labelBranch(cond, mark, bodyOut)
 		brk := b.popLoop()
 		b.connectAll(bodyOut, cond)
 		return append(brk, cond)
@@ -300,7 +343,14 @@ func (b *builder) buildStmt(s cast.Stmt, preds []*Node) []*Node {
 			cur = []*Node{contTarget}
 		}
 		b.pushLoop(contTarget)
+		mark := 0
+		if cond != nil {
+			mark = len(cond.Succs)
+		}
 		bodyOut := b.buildStmt(x.Body, cur)
+		if cond != nil {
+			b.labelBranch(cond, mark, bodyOut)
+		}
 		brk := b.popLoop()
 		if post != nil {
 			b.connectAll(bodyOut, post)

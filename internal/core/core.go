@@ -16,9 +16,11 @@ import (
 
 	"repro/internal/cparse"
 	"repro/internal/ctoken"
+	"repro/internal/overflow"
 	"repro/internal/slr"
 	"repro/internal/str"
 	"repro/internal/stralloc"
+	"repro/internal/typecheck"
 )
 
 // Options selects which transformations run and how.
@@ -34,6 +36,11 @@ type Options struct {
 	// EmitSupport prepends the stralloc header/implementation and the
 	// glib prototypes the transformed file needs to build standalone.
 	EmitSupport bool
+	// Lint runs the static overflow oracle on the input before
+	// transforming and attaches its verdicts to the SLR/STR candidate
+	// reports (SiteResult.Risk / VarResult.Risk), so the summary can rank
+	// and justify the repairs.
+	Lint bool
 }
 
 // Report is the combined outcome.
@@ -48,6 +55,9 @@ type Report struct {
 	// EmitSupport was false.
 	NeedsGlib     bool
 	NeedsStralloc bool
+	// Findings holds the static overflow oracle's verdicts on the input
+	// source (set when Options.Lint was true).
+	Findings []overflow.Finding
 }
 
 // Changed reports whether any edit was applied.
@@ -56,38 +66,74 @@ func (r *Report) Changed() bool {
 		(r.STR != nil && r.STR.AppliedCount() > 0)
 }
 
-// Summary renders a human-readable change log.
+// Summary renders a human-readable change log. When the overflow oracle
+// ran (Options.Lint), candidate sites are ranked by static risk and each
+// flagged site is justified with its verdict.
 func (r *Report) Summary() string {
 	var sb strings.Builder
+	risk := func(f *overflow.Finding) string {
+		if f == nil {
+			return ""
+		}
+		return fmt.Sprintf(" [CWE-%d %s: %s]", f.CWE, f.Severity, f.Msg)
+	}
 	if r.SLR != nil {
 		fmt.Fprintf(&sb, "SLR: %d/%d call sites transformed\n",
 			r.SLR.AppliedCount(), r.SLR.Candidates())
-		for _, s := range r.SLR.Sites {
+		sites := r.SLR.Sites
+		if len(r.Findings) > 0 {
+			sites = r.SLR.RankedSites()
+		}
+		for _, s := range sites {
 			if s.Applied {
-				fmt.Fprintf(&sb, "  %s: %s -> %s (size: %s)\n",
-					s.Pos, s.Function, slr.SafeNameFor(s.Function), s.Size.CText())
+				fmt.Fprintf(&sb, "  %s: %s -> %s (size: %s)%s\n",
+					s.Pos, s.Function, slr.SafeNameFor(s.Function), s.Size.CText(), risk(s.Risk))
 			} else {
-				fmt.Fprintf(&sb, "  %s: %s not transformed: %v\n", s.Pos, s.Function, s.Failure)
+				fmt.Fprintf(&sb, "  %s: %s not transformed: %v%s\n", s.Pos, s.Function, s.Failure, risk(s.Risk))
 			}
 		}
 	}
 	if r.STR != nil {
 		fmt.Fprintf(&sb, "STR: %d/%d variables replaced\n",
 			r.STR.AppliedCount(), r.STR.Candidates())
-		for _, v := range r.STR.Vars {
+		vars := r.STR.Vars
+		if len(r.Findings) > 0 {
+			vars = r.STR.RankedVars()
+		}
+		for _, v := range vars {
 			if v.Applied {
-				fmt.Fprintf(&sb, "  %s: %s replaced with stralloc\n", v.Pos, v.Name)
+				fmt.Fprintf(&sb, "  %s: %s replaced with stralloc%s\n", v.Pos, v.Name, risk(v.Risk))
 			} else {
-				fmt.Fprintf(&sb, "  %s: %s not replaced: %s (%s)\n", v.Pos, v.Name, v.Reason, v.Detail)
+				fmt.Fprintf(&sb, "  %s: %s not replaced: %s (%s)%s\n", v.Pos, v.Name, v.Reason, v.Detail, risk(v.Risk))
 			}
 		}
 	}
 	return sb.String()
 }
 
+// Analyze runs the static overflow oracle on one preprocessed C
+// translation unit without transforming it, returning the CWE-classified
+// findings in source order.
+func Analyze(filename, source string) ([]overflow.Finding, error) {
+	unit, err := cparse.Parse(filename, source)
+	if err != nil {
+		return nil, fmt.Errorf("core: parse for lint: %w", err)
+	}
+	typecheck.Check(unit)
+	return overflow.Analyze(unit), nil
+}
+
 // Fix applies the transformations to one preprocessed C translation unit.
 func Fix(filename, source string, opts Options) (*Report, error) {
 	rep := &Report{Source: source}
+
+	if opts.Lint {
+		fs, err := Analyze(filename, source)
+		if err != nil {
+			return nil, err
+		}
+		rep.Findings = fs
+	}
 
 	if !opts.DisableSLR {
 		unit, err := cparse.Parse(filename, rep.Source)
@@ -107,6 +153,8 @@ func Fix(filename, source string, opts Options) (*Report, error) {
 		rep.SLR = res
 		rep.Source = res.NewSource
 		rep.NeedsGlib = res.NeedsGlib
+		// SLR parsed the original text, so extents are comparable.
+		res.AttachFindings(rep.Findings)
 	}
 
 	if !opts.DisableSTR && opts.SelectOffset < 0 {
@@ -121,6 +169,9 @@ func Fix(filename, source string, opts Options) (*Report, error) {
 		rep.STR = res
 		rep.Source = res.NewSource
 		rep.NeedsStralloc = res.NeedsStralloc
+		// STR may have parsed post-SLR text; AttachFindings matches by
+		// (function, variable) name, which survives the rewrite.
+		res.AttachFindings(rep.Findings)
 	}
 
 	if opts.EmitSupport {

@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"repro/internal/cparse"
+	"repro/internal/overflow"
+	"repro/internal/slr"
 )
 
 const sample = `
@@ -85,5 +87,72 @@ func TestFixParseErrorWrapped(t *testing.T) {
 	_, err := Fix("bad.c", "void f( {", Options{SelectOffset: -1})
 	if err == nil || !strings.Contains(err.Error(), "core: parse") {
 		t.Fatalf("error: %v", err)
+	}
+}
+
+func TestFixLintAttachesRisk(t *testing.T) {
+	src := `
+void f(void) {
+    char buf[8];
+    char src[40];
+    memset(src, 'A', 30);
+    src[30] = '\0';
+    strcpy(buf, src);
+}
+int main(void) { f(); return 0; }
+`
+	rep, err := Fix("s.c", src, Options{SelectOffset: -1, Lint: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("lint findings expected")
+	}
+	if rep.SLR == nil {
+		t.Fatal("SLR report expected")
+	}
+	var strcpySite *slr.SiteResult
+	for i := range rep.SLR.Sites {
+		if rep.SLR.Sites[i].Function == "strcpy" {
+			strcpySite = &rep.SLR.Sites[i]
+		}
+	}
+	if strcpySite == nil || strcpySite.Risk == nil {
+		t.Fatalf("strcpy site should carry a risk verdict: %+v", rep.SLR.Sites)
+	}
+	if strcpySite.Risk.CWE != 121 || strcpySite.Risk.Severity != overflow.SevDefinite {
+		t.Fatalf("risk: got CWE-%d %s", strcpySite.Risk.CWE, strcpySite.Risk.Severity)
+	}
+	// Ranked order puts the definite site first, and the summary justifies
+	// the repair with the verdict.
+	ranked := rep.SLR.RankedSites()
+	if len(ranked) == 0 || ranked[0].Risk == nil {
+		t.Fatalf("ranked sites should lead with the flagged site: %+v", ranked)
+	}
+	if s := rep.Summary(); !strings.Contains(s, "[CWE-121 definite:") {
+		t.Fatalf("summary should justify with the verdict:\n%s", s)
+	}
+	// STR candidates in the same function match by (function, name).
+	if rep.STR != nil {
+		for _, v := range rep.STR.Vars {
+			if v.Name == "buf" && v.Func == "f" && v.Risk == nil {
+				t.Fatalf("STR candidate buf should carry a risk verdict: %+v", v)
+			}
+		}
+	}
+}
+
+func TestFixWithoutLintHasNoFindings(t *testing.T) {
+	rep, err := Fix("s.c", sample, Options{SelectOffset: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 0 {
+		t.Fatalf("findings without Lint: %v", rep.Findings)
+	}
+	for _, s := range rep.SLR.Sites {
+		if s.Risk != nil {
+			t.Fatalf("risk without Lint: %+v", s)
+		}
 	}
 }

@@ -38,6 +38,20 @@ func (b BitSet) UnionWith(other BitSet) bool {
 	return changed
 }
 
+// IntersectWith removes from b every element not in other, reporting
+// whether b changed.
+func (b BitSet) IntersectWith(other BitSet) bool {
+	changed := false
+	for i := range b {
+		old := b[i]
+		b[i] &= other[i]
+		if b[i] != old {
+			changed = true
+		}
+	}
+	return changed
+}
+
 // DiffWith removes all elements of other from b.
 func (b BitSet) DiffWith(other BitSet) {
 	for i := range b {

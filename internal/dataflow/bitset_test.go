@@ -1,0 +1,128 @@
+package dataflow
+
+import "testing"
+
+// TestBitSetWordBoundaries exercises capacities straddling the 64-bit word
+// boundary, where off-by-one errors in the word math would hide.
+func TestBitSetWordBoundaries(t *testing.T) {
+	for _, n := range []int{63, 64, 65} {
+		b := NewBitSet(n)
+		wantWords := (n + 63) / 64
+		if len(b) != wantWords {
+			t.Fatalf("NewBitSet(%d): %d words, want %d", n, len(b), wantWords)
+		}
+		for i := 0; i < n; i++ {
+			if b.Has(i) {
+				t.Fatalf("n=%d: fresh set has %d", n, i)
+			}
+			b.Set(i)
+			if !b.Has(i) {
+				t.Fatalf("n=%d: Set(%d) not visible", n, i)
+			}
+		}
+		if got := b.Count(); got != n {
+			t.Fatalf("n=%d: Count=%d after filling", n, got)
+		}
+		// Clear the last valid element (the boundary bit).
+		b.Clear(n - 1)
+		if b.Has(n-1) || b.Count() != n-1 {
+			t.Fatalf("n=%d: Clear(%d) failed (count=%d)", n, n-1, b.Count())
+		}
+		// ForEach must enumerate exactly the present elements in order.
+		prev := -1
+		count := 0
+		b.ForEach(func(i int) {
+			if i <= prev || i >= n-1 {
+				t.Fatalf("n=%d: ForEach yielded %d after %d", n, i, prev)
+			}
+			prev = i
+			count++
+		})
+		if count != n-1 {
+			t.Fatalf("n=%d: ForEach yielded %d elements, want %d", n, count, n-1)
+		}
+	}
+}
+
+// TestBitSetUnionNoChangeFastPath checks that UnionWith reports false when
+// the receiver already contains the argument (the solver's convergence
+// test depends on this).
+func TestBitSetUnionNoChangeFastPath(t *testing.T) {
+	a := NewBitSet(130)
+	b := NewBitSet(130)
+	for _, i := range []int{0, 63, 64, 65, 129} {
+		a.Set(i)
+	}
+	b.Set(63)
+	b.Set(129)
+
+	// a already contains b: must report unchanged.
+	if a.UnionWith(b) {
+		t.Fatal("UnionWith(subset) reported change")
+	}
+	if changed := b.UnionWith(a); !changed {
+		t.Fatal("UnionWith(superset) reported no change")
+	}
+	if !b.Equal(a) {
+		t.Fatal("sets differ after union")
+	}
+	if b.UnionWith(a) {
+		t.Fatal("second UnionWith reported change")
+	}
+}
+
+// TestBitSetIntersectWith covers the intersect operation and its no-change
+// fast path.
+func TestBitSetIntersectWith(t *testing.T) {
+	a := NewBitSet(128)
+	b := NewBitSet(128)
+	for _, i := range []int{1, 63, 64, 100, 127} {
+		a.Set(i)
+	}
+	for _, i := range []int{1, 64, 127} {
+		b.Set(i)
+	}
+	// a ⊇ b, so intersecting b with a must not change b.
+	if b.IntersectWith(a) {
+		t.Fatal("IntersectWith(superset) reported change")
+	}
+	if changed := a.IntersectWith(b); !changed {
+		t.Fatal("IntersectWith(subset) reported no change")
+	}
+	if !a.Equal(b) {
+		t.Fatalf("intersection wrong: %v vs %v", a, b)
+	}
+	if got := a.Count(); got != 3 {
+		t.Fatalf("Count after intersect = %d, want 3", got)
+	}
+	// Intersect with empty clears everything.
+	empty := NewBitSet(128)
+	if changed := a.IntersectWith(empty); !changed {
+		t.Fatal("IntersectWith(empty) reported no change")
+	}
+	if a.Count() != 0 {
+		t.Fatal("intersect with empty left elements")
+	}
+	if a.IntersectWith(empty) {
+		t.Fatal("empty ∩ empty reported change")
+	}
+}
+
+// TestBitSetCloneAndDiff pins Clone independence and DiffWith semantics at
+// word boundaries.
+func TestBitSetCloneAndDiff(t *testing.T) {
+	a := NewBitSet(65)
+	a.Set(0)
+	a.Set(64)
+	c := a.Clone()
+	c.Clear(64)
+	if !a.Has(64) {
+		t.Fatal("Clone aliases the original")
+	}
+	d := NewBitSet(65)
+	d.Set(0)
+	a.DiffWith(d)
+	if a.Has(0) || !a.Has(64) {
+		t.Fatal("DiffWith removed the wrong elements")
+	}
+}

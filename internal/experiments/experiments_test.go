@@ -194,3 +194,43 @@ func TestAliasPrecisionAblation(t *testing.T) {
 		t.Fatalf("format:\n%s", out)
 	}
 }
+
+func TestLintSampled(t *testing.T) {
+	// Stride 25 keeps the test fast while touching every CWE and sink;
+	// the full run is exercised by cmd/experiments -lint.
+	rows, err := RunLint(LintOptions{Stride: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows: got %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.Errors > 0 {
+			t.Errorf("CWE-%d: %d processing errors", r.CWE, r.Errors)
+		}
+		if r.Programs == 0 {
+			t.Errorf("CWE-%d: no programs processed", r.CWE)
+			continue
+		}
+		// The acceptance bar: the static oracle misses no seeded overflow,
+		// and classifies every one with the program's exact CWE.
+		if r.FN != 0 {
+			t.Errorf("CWE-%d: %d bad() functions missed", r.CWE, r.FN)
+		}
+		if r.CWEMatch != r.TP {
+			t.Errorf("CWE-%d: only %d/%d flagged programs carry the exact CWE",
+				r.CWE, r.CWEMatch, r.TP)
+		}
+		// Cross-validation: the interpreter confirms every seeded overflow,
+		// so the static and dynamic oracles must agree on all of them.
+		if r.Agree != r.DynBad {
+			t.Errorf("CWE-%d: static oracle agrees on %d/%d interpreter-confirmed overflows",
+				r.CWE, r.Agree, r.DynBad)
+		}
+	}
+	out := FormatLint(rows)
+	if !strings.Contains(out, "CWE 121") || !strings.Contains(out, "Total") {
+		t.Fatalf("format output incomplete:\n%s", out)
+	}
+}

@@ -1,0 +1,874 @@
+package overflow
+
+import (
+	"repro/internal/cast"
+	"repro/internal/cfg"
+	"repro/internal/ctype"
+)
+
+// funcProblem adapts one function (under one calling context) to the
+// generic dataflow solver. seed carries the parameter intervals of the
+// context; globals holds the unit-wide seeds for global arrays, and
+// globalIDs the symbol IDs of every file-scope object (they are havocked
+// at unmodeled calls).
+type funcProblem struct {
+	fn        *cast.FuncDef
+	seed      map[int]varState
+	globals   map[int]varState
+	globalIDs map[int]bool
+}
+
+func (p *funcProblem) Bottom() state { return unreached() }
+
+func (p *funcProblem) Entry() state {
+	st := state{reach: true, vars: make(map[int]varState, len(p.globals)+len(p.seed))}
+	for id, vs := range p.globals {
+		st.vars[id] = vs
+	}
+	for id, vs := range p.seed {
+		if !vs.isTop() {
+			st.vars[id] = vs
+		}
+	}
+	return st
+}
+
+func (p *funcProblem) Join(a, b state) state        { return a.join(b) }
+func (p *funcProblem) Widen(prev, next state) state { return prev.widenFrom(next) }
+func (p *funcProblem) Equal(a, b state) bool        { return a.equal(b) }
+
+func (p *funcProblem) Transfer(n *cfg.Node, in state) state {
+	if !in.reach {
+		return in
+	}
+	switch n.Kind {
+	case cfg.KindDecl:
+		return p.transferDecl(in, n.Decl)
+	case cfg.KindStmt:
+		switch s := n.Stmt.(type) {
+		case *cast.ExprStmt:
+			return p.transferExpr(in, s.X)
+		case *cast.ReturnStmt:
+			if s.Result != nil {
+				return p.transferExpr(in, s.Result)
+			}
+		}
+		return in
+	case cfg.KindCond, cfg.KindPost:
+		if n.Expr != nil {
+			return p.transferExpr(in, n.Expr)
+		}
+	}
+	return in
+}
+
+// FlowEdge refines the state along labeled branch edges using the
+// condition expression.
+func (p *funcProblem) FlowEdge(from, to *cfg.Node, st state) state {
+	if !st.reach || from.Kind != cfg.KindCond || !from.Branching || from.Expr == nil {
+		return st
+	}
+	return refine(st, from.Expr, from.IsTrueSucc(to))
+}
+
+// --- declarations -----------------------------------------------------------
+
+func (p *funcProblem) transferDecl(st state, d *cast.VarDecl) state {
+	if d == nil || d.Sym == nil {
+		return st
+	}
+	t := d.Sym.Type
+	switch {
+	case ctype.IsArray(t):
+		vs := topVar()
+		if sz := t.Size(); sz >= 0 {
+			vs.size = Const(int64(sz))
+		}
+		vs.off = Const(0)
+		vs.reg = regStack
+		if d.Init != nil {
+			if lit, ok := cast.Unparen(d.Init).(*cast.StringLit); ok {
+				vs.strl = Const(int64(len(lit.Value)))
+			}
+		}
+		return st.set(d.Sym.ID, vs)
+	case ctype.IsPointer(t):
+		if d.Init == nil {
+			return st.set(d.Sym.ID, topVar())
+		}
+		st = p.transferExpr(st, d.Init)
+		if vs, ok := evalPtr(st, d.Init); ok {
+			return st.set(d.Sym.ID, vs)
+		}
+		return st.set(d.Sym.ID, topVar())
+	case ctype.IsInteger(t):
+		if d.Init == nil {
+			return st.set(d.Sym.ID, topVar())
+		}
+		st = p.transferExpr(st, d.Init)
+		vs := topVar()
+		vs.val = evalInt(st, d.Init)
+		return st.set(d.Sym.ID, vs)
+	}
+	return st
+}
+
+// --- expression effects -----------------------------------------------------
+
+// transferExpr applies the state effects of evaluating e (assignments,
+// increments, library calls, havoc at user calls). Value computation is
+// the separate, pure evalInt/evalPtr pair.
+func (p *funcProblem) transferExpr(st state, e cast.Expr) state {
+	if e == nil {
+		return st
+	}
+	switch x := cast.Unparen(e).(type) {
+	case *cast.AssignExpr:
+		st = p.transferExpr(st, x.RHS)
+		return p.transferAssign(st, x)
+	case *cast.UnaryExpr:
+		switch x.Op {
+		case cast.UnaryPreInc:
+			return p.applyIncDec(st, x.Operand, +1)
+		case cast.UnaryPreDec:
+			return p.applyIncDec(st, x.Operand, -1)
+		}
+		return p.transferExpr(st, x.Operand)
+	case *cast.PostfixExpr:
+		switch x.Op {
+		case cast.PostfixInc:
+			return p.applyIncDec(st, x.Operand, +1)
+		case cast.PostfixDec:
+			return p.applyIncDec(st, x.Operand, -1)
+		}
+		return st
+	case *cast.CallExpr:
+		for _, a := range x.Args {
+			st = p.transferExpr(st, a)
+		}
+		return p.transferCall(st, x)
+	case *cast.CommaExpr:
+		st = p.transferExpr(st, x.X)
+		return p.transferExpr(st, x.Y)
+	case *cast.BinaryExpr:
+		st = p.transferExpr(st, x.X)
+		return p.transferExpr(st, x.Y)
+	case *cast.CondExpr:
+		st = p.transferExpr(st, x.Cond)
+		a := p.transferExpr(st, x.Then)
+		b := p.transferExpr(st, x.Else)
+		return a.join(b)
+	case *cast.CastExpr:
+		return p.transferExpr(st, x.Operand)
+	case *cast.IndexExpr:
+		st = p.transferExpr(st, x.Base)
+		return p.transferExpr(st, x.Index)
+	case *cast.MemberExpr:
+		return p.transferExpr(st, x.Base)
+	}
+	return st
+}
+
+func (p *funcProblem) transferAssign(st state, x *cast.AssignExpr) state {
+	lhs := cast.Unparen(x.LHS)
+	switch l := lhs.(type) {
+	case *cast.Ident:
+		if l.Sym == nil {
+			return st
+		}
+		switch {
+		case ctype.IsPointer(l.Sym.Type):
+			return p.assignPtr(st, l.Sym, x)
+		case isIntVar(l.Sym):
+			return p.assignInt(st, l.Sym, x)
+		}
+		return st
+	case *cast.IndexExpr:
+		return p.storeThrough(st, l.Base, evalInt(st, l.Index), x)
+	case *cast.UnaryExpr:
+		if l.Op == cast.UnaryDeref {
+			return p.storeThrough(st, l.Operand, Const(0), x)
+		}
+	}
+	return st
+}
+
+func (p *funcProblem) assignPtr(st state, sym *cast.Symbol, x *cast.AssignExpr) state {
+	old := st.get(sym.ID)
+	switch x.Op {
+	case cast.AssignPlain:
+		if vs, ok := evalPtr(st, x.RHS); ok {
+			return st.set(sym.ID, vs)
+		}
+		return st.set(sym.ID, topVar())
+	case cast.AssignAdd, cast.AssignSub:
+		delta := evalInt(st, x.RHS).MulConst(elemSize(sym.Type))
+		if x.Op == cast.AssignSub {
+			delta = delta.Neg()
+		}
+		old.off = old.off.Add(delta)
+		return st.set(sym.ID, old)
+	}
+	return st.set(sym.ID, topVar())
+}
+
+func (p *funcProblem) assignInt(st state, sym *cast.Symbol, x *cast.AssignExpr) state {
+	old := st.get(sym.ID)
+	rhs := evalInt(st, x.RHS)
+	vs := topVar()
+	switch x.Op {
+	case cast.AssignPlain:
+		vs.val = rhs
+	case cast.AssignAdd:
+		vs.val = old.val.Add(rhs)
+	case cast.AssignSub:
+		vs.val = old.val.Sub(rhs)
+	default:
+		vs.val = Top()
+	}
+	return st.set(sym.ID, vs)
+}
+
+func (p *funcProblem) applyIncDec(st state, operand cast.Expr, delta int64) state {
+	id, ok := cast.Unparen(operand).(*cast.Ident)
+	if !ok || id.Sym == nil {
+		return st
+	}
+	vs := st.get(id.Sym.ID)
+	switch {
+	case ctype.IsPointer(id.Sym.Type):
+		vs.off = vs.off.AddConst(delta * elemSize(id.Sym.Type))
+	case isIntVar(id.Sym):
+		vs.val = vs.val.AddConst(delta)
+	default:
+		return st
+	}
+	return st.set(id.Sym.ID, vs)
+}
+
+// storeThrough models a store base[idx] = v (or *base = v with idx 0): it
+// updates the first-NUL interval of the stored-through variable.
+func (p *funcProblem) storeThrough(st state, base cast.Expr, idx Interval, x *cast.AssignExpr) state {
+	sym, extra, ok := resolveVar(st, base)
+	if !ok {
+		return st
+	}
+	vs := st.get(sym.ID)
+	scale := int64(1)
+	if t := typeOf(cast.Unparen(base)); t != nil {
+		scale = elemSize(ctype.Decay(t))
+	}
+	if scale != 1 {
+		// Only byte stores move NUL terminators the analysis understands.
+		vs.strl = Range(0, PosInf)
+		return st.set(sym.ID, vs)
+	}
+	pos := vs.off.Add(extra).Add(idx)
+	v := Top()
+	if x.Op == cast.AssignPlain {
+		v = evalInt(st, x.RHS)
+	}
+	vs.strl = storeStrl(vs.strl, pos, v)
+	return st.set(sym.ID, vs)
+}
+
+// storeStrl applies the first-NUL transfer for a 1-byte store of value v
+// at object-relative position pos over the old first-NUL interval s.
+func storeStrl(s, pos, v Interval) Interval {
+	if pos.IsEmpty() {
+		return s
+	}
+	zero := false
+	nonzero := false
+	if n, ok := v.Exact(); ok {
+		zero = n == 0
+		nonzero = n != 0
+	} else if v.Lo > 0 || v.Hi < 0 {
+		nonzero = true
+	}
+	switch {
+	case zero:
+		// A NUL lands somewhere in [pos.Lo, pos.Hi]: the first NUL moves to
+		// min(old, written position).
+		return Interval{min64(s.Lo, pos.Lo), min64(s.Hi, pos.Hi)}.ClampMin(0)
+	case nonzero:
+		switch {
+		case pos.Hi < s.Lo:
+			return s // written strictly before the first NUL: unchanged
+		case pos.Lo == pos.Hi && pos.Lo == s.Lo:
+			// Definitely overwrites the earliest possible NUL position.
+			return Range(s.Lo+1, PosInf)
+		default:
+			return Range(s.Lo, PosInf)
+		}
+	default:
+		// Unknown byte: join of the zero and nonzero outcomes.
+		z := Interval{min64(s.Lo, pos.Lo), min64(s.Hi, pos.Hi)}.ClampMin(0)
+		return z.Join(Range(s.Lo, PosInf))
+	}
+}
+
+// --- library call effects ---------------------------------------------------
+
+func (p *funcProblem) transferCall(st state, call *cast.CallExpr) state {
+	arg := func(i int) cast.Expr { return argAt(call, i) }
+	switch call.Callee() {
+	case "memset":
+		return p.memsetEffect(st, arg(0), evalInt(st, arg(1)), evalInt(st, arg(2)))
+	case "strcpy", "stpcpy":
+		return p.setStrlFromCopy(st, arg(0), strlenOf(st, arg(1)))
+	case "strcat":
+		return p.strcatEffect(st, arg(0), strlenOf(st, arg(1)), Top())
+	case "strncat":
+		return p.strcatEffect(st, arg(0), strlenOf(st, arg(1)), evalInt(st, arg(2)))
+	case "sprintf":
+		return p.setStrlFromCopy(st, arg(0), formatLength(st, arg(1), call.Args, 2))
+	case "snprintf", "vsprintf", "vsnprintf",
+		"strncpy", "memcpy", "memmove", "gets", "fgets":
+		return p.havocStrl(st, arg(0))
+	case "strcmp", "strncmp", "strlen", "printf", "puts", "putchar",
+		"free", "malloc", "calloc", "realloc", "exit", "abort",
+		"getchar", "fopen", "fclose", "strchr", "strrchr", "rand", "srand":
+		return st
+	default:
+		return p.havocUserCall(st, call)
+	}
+}
+
+// setStrlFromCopy sets the destination's first NUL to off + len for a
+// terminating copy of len bytes (strcpy/sprintf families).
+func (p *funcProblem) setStrlFromCopy(st state, dst cast.Expr, length Interval) state {
+	sym, extra, ok := resolveVar(st, dst)
+	if !ok {
+		return st
+	}
+	vs := st.get(sym.ID)
+	base := vs.off.Add(extra)
+	if length.Hi >= PosInf || base.IsTop() {
+		vs.strl = Range(max64(0, base.Lo), PosInf)
+	} else {
+		vs.strl = base.Add(length.ClampMin(0)).ClampMin(0)
+	}
+	return st.set(sym.ID, vs)
+}
+
+// strcatEffect appends: the first NUL moves from strl to strl + len (or at
+// most strl + n for strncat).
+func (p *funcProblem) strcatEffect(st state, dst cast.Expr, srcLen, n Interval) state {
+	sym, _, ok := resolveVar(st, dst)
+	if !ok {
+		return st
+	}
+	vs := st.get(sym.ID)
+	add := srcLen
+	if n.Hi < PosInf && (add.Hi >= PosInf || add.Hi > n.Hi) {
+		add = Interval{max64(0, min64(add.Lo, n.Lo)), n.Hi}
+	}
+	if add.Hi >= PosInf || vs.strl.Hi >= PosInf {
+		vs.strl = Range(vs.strl.Lo, PosInf)
+	} else {
+		vs.strl = vs.strl.Add(add.ClampMin(0)).ClampMin(0)
+	}
+	return st.set(sym.ID, vs)
+}
+
+func (p *funcProblem) memsetEffect(st state, dst cast.Expr, c, n Interval) state {
+	sym, extra, ok := resolveVar(st, dst)
+	if !ok {
+		return st
+	}
+	vs := st.get(sym.ID)
+	start := vs.off.Add(extra)
+	cv, cExact := c.Exact()
+	nv, nExact := n.Exact()
+	sv, sExact := start.Exact()
+	switch {
+	case cExact && cv == 0:
+		// The first written byte is a NUL.
+		vs.strl = Interval{min64(vs.strl.Lo, start.Lo), min64(vs.strl.Hi, start.Hi)}.ClampMin(0)
+	case cExact && cv != 0 && nExact && sExact:
+		// Bytes [sv, sv+nv-1] are all nonzero: no first NUL among them.
+		end := sv + nv
+		switch {
+		case vs.strl.Hi < sv:
+			// NUL definitely before the region: unchanged.
+		case vs.strl.Lo >= sv:
+			vs.strl = Range(max64(vs.strl.Lo, end), PosInf)
+		default:
+			vs.strl = Range(vs.strl.Lo, PosInf)
+		}
+	default:
+		vs.strl = Range(0, PosInf)
+	}
+	return st.set(sym.ID, vs)
+}
+
+func (p *funcProblem) havocStrl(st state, dst cast.Expr) state {
+	sym, _, ok := resolveVar(st, dst)
+	if !ok {
+		return st
+	}
+	vs := st.get(sym.ID)
+	vs.strl = Range(0, PosInf)
+	return st.set(sym.ID, vs)
+}
+
+// havocUserCall conservatively forgets what a call to a user-defined (or
+// unmodeled) function may change: the contents of every buffer reachable
+// from a pointer argument, variables passed by address, and all globals'
+// values and string lengths. Sizes, offsets and regions are preserved —
+// the callee cannot re-allocate the caller's objects.
+func (p *funcProblem) havocUserCall(st state, call *cast.CallExpr) state {
+	for _, a := range call.Args {
+		ua := cast.Unparen(a)
+		if u, ok := ua.(*cast.UnaryExpr); ok && u.Op == cast.UnaryAddrOf {
+			if id, ok := cast.Unparen(u.Operand).(*cast.Ident); ok && id.Sym != nil {
+				vs := st.get(id.Sym.ID)
+				vs.strl = Range(0, PosInf)
+				vs.val = Top()
+				st = st.set(id.Sym.ID, vs)
+			}
+			continue
+		}
+		if sym, _, ok := resolveVar(st, ua); ok {
+			vs := st.get(sym.ID)
+			vs.strl = Range(0, PosInf)
+			st = st.set(sym.ID, vs)
+		}
+	}
+	// Globals may be rewritten by any call.
+	out := st.clone()
+	for id, vs := range out.vars {
+		if !p.globalIDs[id] {
+			continue
+		}
+		vs.strl = Range(0, PosInf)
+		vs.val = Top()
+		if vs.isTop() {
+			delete(out.vars, id)
+		} else {
+			out.vars[id] = vs
+		}
+	}
+	return out
+}
+
+// --- pure evaluation --------------------------------------------------------
+
+// resolveVar finds the variable a pointer expression is based on, plus any
+// byte offset accumulated through arithmetic on the way. It looks through
+// parens, casts, and ± of integer amounts.
+func resolveVar(st state, e cast.Expr) (*cast.Symbol, Interval, bool) {
+	switch x := cast.Unparen(e).(type) {
+	case *cast.Ident:
+		if x.Sym != nil && isPtrVar(x.Sym) {
+			return x.Sym, Const(0), true
+		}
+	case *cast.CastExpr:
+		return resolveVar(st, x.Operand)
+	case *cast.BinaryExpr:
+		if x.Op != cast.BinaryAdd && x.Op != cast.BinarySub {
+			return nil, Interval{}, false
+		}
+		scale := elemSize(x.Type())
+		if sym, extra, ok := resolveVar(st, x.X); ok {
+			d := evalInt(st, x.Y).MulConst(scale)
+			if x.Op == cast.BinarySub {
+				d = d.Neg()
+			}
+			return sym, extra.Add(d), true
+		}
+		if x.Op == cast.BinaryAdd {
+			if sym, extra, ok := resolveVar(st, x.Y); ok {
+				return sym, extra.Add(evalInt(st, x.X).MulConst(scale)), true
+			}
+		}
+	}
+	return nil, Interval{}, false
+}
+
+// evalPtr computes the abstract pointer value of e: the size, offset,
+// string length and region of the object it refers to.
+func evalPtr(st state, e cast.Expr) (varState, bool) {
+	if e == nil {
+		return varState{}, false
+	}
+	switch x := cast.Unparen(e).(type) {
+	case *cast.Ident:
+		if x.Sym == nil || !isPtrVar(x.Sym) {
+			return varState{}, false
+		}
+		vs := st.get(x.Sym.ID)
+		if ctype.IsArray(x.Sym.Type) && vs.isTop() {
+			// An array used before its CFG decl node is seen (e.g. via goto):
+			// its size is still known from the type.
+			if sz := x.Sym.Type.Size(); sz >= 0 {
+				vs.size = Const(int64(sz))
+				vs.off = Const(0)
+				vs.reg = regStack
+			}
+		}
+		return vs, true
+	case *cast.StringLit:
+		vs := topVar()
+		vs.size = Const(int64(len(x.Value)) + 1)
+		vs.off = Const(0)
+		vs.strl = Const(int64(len(x.Value)))
+		vs.reg = regStack
+		return vs, true
+	case *cast.CastExpr:
+		return evalPtr(st, x.Operand)
+	case *cast.AssignExpr:
+		if x.Op == cast.AssignPlain {
+			return evalPtr(st, x.RHS)
+		}
+	case *cast.BinaryExpr:
+		if x.Op != cast.BinaryAdd && x.Op != cast.BinarySub {
+			return varState{}, false
+		}
+		scale := elemSize(x.Type())
+		if vs, ok := evalPtr(st, x.X); ok {
+			d := evalInt(st, x.Y).MulConst(scale)
+			if x.Op == cast.BinarySub {
+				d = d.Neg()
+			}
+			vs.off = vs.off.Add(d)
+			return vs, true
+		}
+		if x.Op == cast.BinaryAdd {
+			if vs, ok := evalPtr(st, x.Y); ok {
+				vs.off = vs.off.Add(evalInt(st, x.X).MulConst(scale))
+				return vs, true
+			}
+		}
+	case *cast.UnaryExpr:
+		if x.Op == cast.UnaryAddrOf {
+			switch inner := cast.Unparen(x.Operand).(type) {
+			case *cast.IndexExpr:
+				if vs, ok := evalPtr(st, inner.Base); ok {
+					scale := elemSize(ctype.Decay(typeOf(cast.Unparen(inner.Base))))
+					vs.off = vs.off.Add(evalInt(st, inner.Index).MulConst(scale))
+					return vs, true
+				}
+			case *cast.Ident:
+				return evalPtr(st, inner)
+			}
+		}
+	case *cast.CallExpr:
+		switch x.Callee() {
+		case "malloc":
+			return heapVar(evalInt(st, argAt(x, 0))), true
+		case "calloc":
+			return heapVar(evalInt(st, argAt(x, 0)).Mul(evalInt(st, argAt(x, 1)))), true
+		case "realloc":
+			return heapVar(evalInt(st, argAt(x, 1))), true
+		}
+	case *cast.CondExpr:
+		a, okA := evalPtr(st, x.Then)
+		b, okB := evalPtr(st, x.Else)
+		if okA && okB {
+			return a.join(b), true
+		}
+	}
+	return varState{}, false
+}
+
+func heapVar(size Interval) varState {
+	vs := topVar()
+	vs.size = size.ClampMin(0)
+	vs.off = Const(0)
+	vs.reg = regHeap
+	return vs
+}
+
+func argAt(call *cast.CallExpr, i int) cast.Expr {
+	if i < len(call.Args) {
+		return call.Args[i]
+	}
+	return nil
+}
+
+// evalInt computes the integer interval of e under st.
+func evalInt(st state, e cast.Expr) Interval {
+	if e == nil {
+		return Top()
+	}
+	switch x := cast.Unparen(e).(type) {
+	case *cast.IntLit:
+		return Const(x.Value)
+	case *cast.CharLit:
+		return Const(int64(x.Value))
+	case *cast.Ident:
+		if x.Sym == nil {
+			return Top()
+		}
+		if x.Sym.Kind == cast.SymEnumConst {
+			if v, ok := constOf(x); ok {
+				return Const(v)
+			}
+		}
+		if isIntVar(x.Sym) {
+			return st.get(x.Sym.ID).val
+		}
+		return Top()
+	case *cast.UnaryExpr:
+		switch x.Op {
+		case cast.UnaryMinus:
+			return evalInt(st, x.Operand).Neg()
+		case cast.UnaryPlus:
+			return evalInt(st, x.Operand)
+		case cast.UnaryNot:
+			return Range(0, 1)
+		}
+		return Top()
+	case *cast.SizeofExpr:
+		if v, ok := constOf(x); ok {
+			return Const(v)
+		}
+		return Range(0, PosInf)
+	case *cast.BinaryExpr:
+		a, b := evalInt(st, x.X), evalInt(st, x.Y)
+		switch x.Op {
+		case cast.BinaryAdd:
+			return a.Add(b)
+		case cast.BinarySub:
+			return a.Sub(b)
+		case cast.BinaryMul:
+			return a.Mul(b)
+		case cast.BinaryLt, cast.BinaryGt, cast.BinaryLe, cast.BinaryGe,
+			cast.BinaryEq, cast.BinaryNe, cast.BinaryLAnd, cast.BinaryLOr:
+			return Range(0, 1)
+		case cast.BinaryRem:
+			if k, ok := b.Exact(); ok && k > 0 && a.Lo >= 0 {
+				return Range(0, k-1)
+			}
+		}
+		return Top()
+	case *cast.CastExpr:
+		return evalInt(st, x.Operand)
+	case *cast.AssignExpr:
+		return evalInt(st, x.RHS)
+	case *cast.CommaExpr:
+		return evalInt(st, x.Y)
+	case *cast.CondExpr:
+		return evalInt(st, x.Then).Join(evalInt(st, x.Else))
+	case *cast.CallExpr:
+		if x.Callee() == "strlen" {
+			return strlenOf(st, argAt(x, 0))
+		}
+		return Top()
+	}
+	return Top()
+}
+
+// strlenOf returns the interval of strlen(p): the first NUL relative to
+// the pointer, i.e. strl - off.
+func strlenOf(st state, p cast.Expr) Interval {
+	vs, ok := evalPtr(st, p)
+	if !ok || vs.strl.Hi >= PosInf || vs.off.IsTop() {
+		return Range(0, PosInf)
+	}
+	return vs.strl.Sub(vs.off).ClampMin(0)
+}
+
+// --- branch refinement ------------------------------------------------------
+
+// refine narrows st under the assumption that cond evaluates to truth.
+// Contradictory combinations return the unreached state.
+func refine(st state, cond cast.Expr, truth bool) state {
+	switch x := cast.Unparen(cond).(type) {
+	case *cast.IntLit:
+		if (x.Value != 0) != truth {
+			return unreached()
+		}
+		return st
+	case *cast.CharLit:
+		if (x.Value != 0) != truth {
+			return unreached()
+		}
+		return st
+	case *cast.UnaryExpr:
+		if x.Op == cast.UnaryNot {
+			return refine(st, x.Operand, !truth)
+		}
+		return st
+	case *cast.Ident:
+		if x.Sym == nil {
+			return st
+		}
+		if x.Sym.Kind == cast.SymEnumConst {
+			if v, ok := constOf(x); ok && (v != 0) != truth {
+				return unreached()
+			}
+			return st
+		}
+		if !isIntVar(x.Sym) {
+			return st
+		}
+		vs := st.get(x.Sym.ID)
+		if truth {
+			if z, ok := vs.val.Exact(); ok && z == 0 {
+				return unreached()
+			}
+			if vs.val.Lo == 0 {
+				vs.val.Lo = 1 // nonzero, and no negatives were possible
+				return st.set(x.Sym.ID, vs)
+			}
+			return st
+		}
+		nv := vs.val.Meet(Const(0))
+		if nv.IsEmpty() {
+			return unreached()
+		}
+		vs.val = nv
+		return st.set(x.Sym.ID, vs)
+	case *cast.BinaryExpr:
+		switch x.Op {
+		case cast.BinaryLAnd:
+			if truth {
+				return refine(refine(st, x.X, true), x.Y, true)
+			}
+			return st
+		case cast.BinaryLOr:
+			if !truth {
+				return refine(refine(st, x.X, false), x.Y, false)
+			}
+			return st
+		case cast.BinaryLt, cast.BinaryLe, cast.BinaryGt, cast.BinaryGe,
+			cast.BinaryEq, cast.BinaryNe:
+			return refineCompare(st, x, truth)
+		}
+	}
+	return st
+}
+
+func refineCompare(st state, x *cast.BinaryExpr, truth bool) state {
+	op := x.Op
+	if !truth {
+		op = negateCompare(op)
+	}
+	st = refineSide(st, x.X, op, evalInt(st, x.Y))
+	if !st.reach {
+		return st
+	}
+	return refineSide(st, x.Y, flipCompare(op), evalInt(st, x.X))
+}
+
+// refineSide narrows the integer variable e under "e op bound".
+func refineSide(st state, e cast.Expr, op cast.BinaryOp, bound Interval) state {
+	id, ok := cast.Unparen(e).(*cast.Ident)
+	if !ok || id.Sym == nil || !isIntVar(id.Sym) || id.Sym.Kind == cast.SymEnumConst {
+		return st
+	}
+	vs := st.get(id.Sym.ID)
+	v := vs.val
+	switch op {
+	case cast.BinaryLt:
+		v = v.Meet(Range(NegInf, satAdd(bound.Hi, -1)))
+	case cast.BinaryLe:
+		v = v.Meet(Range(NegInf, bound.Hi))
+	case cast.BinaryGt:
+		v = v.Meet(Range(satAdd(bound.Lo, 1), PosInf))
+	case cast.BinaryGe:
+		v = v.Meet(Range(bound.Lo, PosInf))
+	case cast.BinaryEq:
+		v = v.Meet(bound)
+	case cast.BinaryNe:
+		if z, exact := bound.Exact(); exact {
+			if cur, curExact := v.Exact(); curExact && cur == z {
+				return unreached()
+			}
+			if v.Lo == z {
+				v.Lo = z + 1
+			} else if v.Hi == z {
+				v.Hi = z - 1
+			}
+		}
+	default:
+		return st
+	}
+	if v.IsEmpty() {
+		return unreached()
+	}
+	vs.val = v
+	return st.set(id.Sym.ID, vs)
+}
+
+func negateCompare(op cast.BinaryOp) cast.BinaryOp {
+	switch op {
+	case cast.BinaryLt:
+		return cast.BinaryGe
+	case cast.BinaryLe:
+		return cast.BinaryGt
+	case cast.BinaryGt:
+		return cast.BinaryLe
+	case cast.BinaryGe:
+		return cast.BinaryLt
+	case cast.BinaryEq:
+		return cast.BinaryNe
+	case cast.BinaryNe:
+		return cast.BinaryEq
+	}
+	return op
+}
+
+func flipCompare(op cast.BinaryOp) cast.BinaryOp {
+	switch op {
+	case cast.BinaryLt:
+		return cast.BinaryGt
+	case cast.BinaryLe:
+		return cast.BinaryGe
+	case cast.BinaryGt:
+		return cast.BinaryLt
+	case cast.BinaryGe:
+		return cast.BinaryLe
+	}
+	return op
+}
+
+// --- helpers ----------------------------------------------------------------
+
+func elemSize(t ctype.Type) int64 {
+	if el := ctype.Elem(t); el != nil {
+		if s := el.Size(); s > 0 {
+			return int64(s)
+		}
+	}
+	return 1
+}
+
+func typeOf(e cast.Expr) ctype.Type {
+	if e == nil {
+		return nil
+	}
+	return e.Type()
+}
+
+// constOf evaluates compile-time integer constants (literals, sizeof, enum
+// constants).
+func constOf(e cast.Expr) (int64, bool) {
+	switch x := cast.Unparen(e).(type) {
+	case *cast.IntLit:
+		return x.Value, true
+	case *cast.CharLit:
+		return int64(x.Value), true
+	case *cast.SizeofExpr:
+		if x.OfType != nil && x.OfType.Size() >= 0 {
+			return int64(x.OfType.Size()), true
+		}
+		if x.Operand != nil && x.Operand.Type() != nil && x.Operand.Type().Size() >= 0 {
+			return int64(x.Operand.Type().Size()), true
+		}
+	case *cast.Ident:
+		if x.Sym != nil && x.Sym.Kind == cast.SymEnumConst {
+			if en, ok := ctype.Unqualify(x.Sym.Type).(*ctype.Enum); ok {
+				for _, c := range en.Consts {
+					if c.Name == x.Name {
+						return c.Value, true
+					}
+				}
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,675 @@
+package overflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/buflen"
+	"repro/internal/callgraph"
+	"repro/internal/cast"
+	"repro/internal/cfg"
+	"repro/internal/ctoken"
+	"repro/internal/ctype"
+	"repro/internal/dataflow"
+)
+
+// Severity grades a finding.
+type Severity int
+
+// Severity levels, ordered so the maximum of two can be kept at dedup.
+const (
+	SevPossible Severity = iota + 1 // intervals overlap the object end
+	SevDefinite                     // max access provably exceeds max size
+)
+
+// String renders the severity.
+func (s Severity) String() string {
+	switch s {
+	case SevPossible:
+		return "possible"
+	case SevDefinite:
+		return "definite"
+	default:
+		return "unknown"
+	}
+}
+
+// Finding is one statically diagnosed buffer overflow.
+type Finding struct {
+	// CWE is the classified weakness: 121 (stack overflow), 122 (heap
+	// overflow), 124 (underwrite), 126 (over-read), 127 (under-read), or
+	// 242 (inherently dangerous function).
+	CWE      int
+	Severity Severity
+	// Function is the name of the function containing the access.
+	Function string
+	// Object names the overflowed buffer variable when the analysis could
+	// resolve the access base to a single symbol ("" otherwise). SLR/STR
+	// use it to attach verdicts to their candidate sites.
+	Object string
+	// Extent is the source range of the offending expression.
+	Extent ctoken.Extent
+	// Pos is the human-readable location of the extent start.
+	Pos ctoken.Position
+	// Msg describes the violation in terms of the computed intervals.
+	Msg string
+	// SuggestedFix names the would-be SLR/STR repair.
+	SuggestedFix string
+	// Contexts lists interprocedural call chains under which the finding
+	// was (re)derived; empty for purely intraprocedural findings.
+	Contexts []string
+}
+
+// String renders the finding in a compiler-diagnostic style.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s overflow [CWE-%d] in %s: %s (fix: %s)",
+		f.Pos, f.Severity, f.CWE, f.Function, f.Msg, f.SuggestedFix)
+}
+
+// CWEName returns the short official name of a supported CWE id.
+func CWEName(cwe int) string {
+	switch cwe {
+	case 121:
+		return "Stack-based Buffer Overflow"
+	case 122:
+		return "Heap-based Buffer Overflow"
+	case 124:
+		return "Buffer Underwrite"
+	case 126:
+		return "Buffer Over-read"
+	case 127:
+		return "Buffer Under-read"
+	case 242:
+		return "Use of Inherently Dangerous Function"
+	default:
+		return fmt.Sprintf("CWE-%d", cwe)
+	}
+}
+
+// safeReplacement maps an unsafe libc routine to the bounded replacement
+// SLR would introduce. This mirrors (but must not import) internal/slr.
+var safeReplacement = map[string]string{
+	"strcpy":   "g_strlcpy",
+	"stpcpy":   "g_strlcpy",
+	"strcat":   "g_strlcat",
+	"strncat":  "g_strlcat",
+	"sprintf":  "g_snprintf",
+	"vsprintf": "g_vsnprintf",
+	"gets":     "fgets",
+	"memcpy":   "a size-clamped memcpy",
+	"memmove":  "a size-clamped memmove",
+	"memset":   "a size-clamped memset",
+	"strncpy":  "a size-clamped strncpy",
+	"snprintf": "a size-clamped snprintf",
+	"fgets":    "a size-clamped fgets",
+}
+
+func fixFor(callee string) string {
+	if r, ok := safeReplacement[callee]; ok {
+		return "replace " + callee + " with " + r + " (SLR)"
+	}
+	return "guard the access with a bounds check (STR)"
+}
+
+// Options configures the analyzer.
+type Options struct {
+	// ContextDepth bounds how many call edges argument intervals are
+	// propagated along from each call-graph root. 0 disables the
+	// interprocedural pass.
+	ContextDepth int
+	// SeedFromBuflen falls back to the symbolic buffer-length analysis
+	// (internal/buflen) when the interval analysis does not know an
+	// object's size at an access site.
+	SeedFromBuflen bool
+}
+
+// DefaultOptions returns the standard configuration.
+func DefaultOptions() Options {
+	return Options{ContextDepth: 2, SeedFromBuflen: true}
+}
+
+// Analyzer runs the static overflow oracle over one translation unit. It
+// is not safe for concurrent use.
+type Analyzer struct {
+	unit *cast.TranslationUnit
+	opts Options
+
+	cg        *callgraph.Graph
+	buf       *buflen.Analyzer
+	globals   map[int]varState
+	globalIDs map[int]bool
+	cfgs      map[string]*cfg.Graph
+	memo      map[string]*solveEntry
+	ready     bool
+}
+
+type solveEntry struct {
+	g   *cfg.Graph
+	sol *dataflow.Solution[state]
+}
+
+// New creates an analyzer with default options.
+func New(unit *cast.TranslationUnit) *Analyzer {
+	return NewWithOptions(unit, DefaultOptions())
+}
+
+// NewWithOptions creates an analyzer with explicit options.
+func NewWithOptions(unit *cast.TranslationUnit, opts Options) *Analyzer {
+	return &Analyzer{unit: unit, opts: opts}
+}
+
+func (a *Analyzer) ensure() {
+	if a.ready {
+		return
+	}
+	a.ready = true
+	a.cg = callgraph.Build(a.unit)
+	a.buf = buflen.NewAnalyzer(a.unit)
+	a.cfgs = make(map[string]*cfg.Graph)
+	a.memo = make(map[string]*solveEntry)
+	a.globals = make(map[int]varState)
+	a.globalIDs = make(map[int]bool)
+	for _, sym := range a.unit.Symbols {
+		if sym == nil || sym.Kind != cast.SymVar || !sym.IsGlobal {
+			continue
+		}
+		a.globalIDs[sym.ID] = true
+		if !ctype.IsArray(sym.Type) {
+			continue
+		}
+		vs := topVar()
+		if sz := sym.Type.Size(); sz >= 0 {
+			vs.size = Const(int64(sz))
+		}
+		vs.off = Const(0)
+		vs.reg = regStack
+		a.globals[sym.ID] = vs
+	}
+}
+
+func (a *Analyzer) cfgFor(fn *cast.FuncDef) *cfg.Graph {
+	if g, ok := a.cfgs[fn.Name]; ok {
+		return g
+	}
+	g := cfg.Build(fn)
+	a.cfgs[fn.Name] = g
+	return g
+}
+
+// solve runs (or recalls) the interval analysis of fn under the given
+// parameter seed.
+func (a *Analyzer) solve(fn *cast.FuncDef, seed map[int]varState) (*cfg.Graph, *dataflow.Solution[state]) {
+	key := fn.Name + "|" + seedKey(seed)
+	if ent, ok := a.memo[key]; ok {
+		return ent.g, ent.sol
+	}
+	g := a.cfgFor(fn)
+	p := &funcProblem{fn: fn, seed: seed, globals: a.globals, globalIDs: a.globalIDs}
+	sol := dataflow.SolveForward[state](g, p)
+	a.memo[key] = &solveEntry{g: g, sol: sol}
+	return g, sol
+}
+
+func seedKey(seed map[int]varState) string {
+	if len(seed) == 0 {
+		return ""
+	}
+	ids := make([]int, 0, len(seed))
+	for id := range seed {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var sb strings.Builder
+	for _, id := range ids {
+		vs := seed[id]
+		fmt.Fprintf(&sb, "%d:%d,%d,%d,%d,%d,%d,%d,%d,%d;", id,
+			vs.size.Lo, vs.size.Hi, vs.off.Lo, vs.off.Hi,
+			vs.strl.Lo, vs.strl.Hi, vs.val.Lo, vs.val.Hi, vs.reg)
+	}
+	return sb.String()
+}
+
+// Analyze runs the oracle and returns the deduplicated findings in source
+// order.
+func (a *Analyzer) Analyze() []Finding {
+	a.ensure()
+	var all []Finding
+	// Pass 1: every function with unknown parameters. Unknown sizes
+	// suppress reports, so this pass is quiet exactly where only a caller
+	// could make the access concrete.
+	for _, fn := range a.unit.Funcs {
+		g, sol := a.solve(fn, nil)
+		all = append(all, a.check(fn, g, sol, nil)...)
+	}
+	// Pass 2: propagate argument intervals from the call-graph roots.
+	if a.opts.ContextDepth > 0 {
+		for _, root := range a.cg.Roots() {
+			all = append(all, a.propagate(root, nil, []string{root.Name}, a.opts.ContextDepth)...)
+		}
+	}
+	return dedup(all)
+}
+
+func (a *Analyzer) propagate(fn *cast.FuncDef, seed map[int]varState, chain []string, depth int) []Finding {
+	g, sol := a.solve(fn, seed)
+	var out []Finding
+	if len(chain) > 1 {
+		// Pass 1 already checked the empty-seed root context.
+		out = a.check(fn, g, sol, chain)
+	}
+	if depth == 0 {
+		return out
+	}
+	for _, e := range a.cg.CallsFrom(fn.Name) {
+		if e.Callee == nil || inChain(chain, e.CalleeName) {
+			continue
+		}
+		n := g.NodeContaining(e.Call)
+		if n == nil || !sol.Reached[n.ID] {
+			continue
+		}
+		next := a.argSeed(sol.In[n.ID], e)
+		sub := append(append([]string(nil), chain...), e.CalleeName)
+		out = append(out, a.propagate(e.Callee, next, sub, depth-1)...)
+	}
+	return out
+}
+
+func inChain(chain []string, name string) bool {
+	for _, c := range chain {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// argSeed evaluates the call's arguments under the caller's state at the
+// call site and binds the resulting intervals to the callee's parameters.
+func (a *Analyzer) argSeed(st state, e callgraph.Edge) map[int]varState {
+	seed := make(map[int]varState)
+	for i, p := range e.Callee.Params {
+		if p.Sym == nil || i >= len(e.Call.Args) {
+			break
+		}
+		arg := e.Call.Args[i]
+		switch {
+		case isPtrVar(p.Sym):
+			if vs, ok := evalPtr(st, arg); ok && !vs.isTop() {
+				seed[p.Sym.ID] = vs
+			}
+		case isIntVar(p.Sym):
+			if iv := evalInt(st, arg); !iv.IsTop() {
+				vs := topVar()
+				vs.val = iv
+				seed[p.Sym.ID] = vs
+			}
+		}
+	}
+	return seed
+}
+
+// --- per-function checking --------------------------------------------------
+
+type checker struct {
+	a     *Analyzer
+	fn    *cast.FuncDef
+	chain []string
+	out   []Finding
+}
+
+func (a *Analyzer) check(fn *cast.FuncDef, g *cfg.Graph, sol *dataflow.Solution[state], chain []string) []Finding {
+	c := &checker{a: a, fn: fn, chain: chain}
+	for _, n := range g.Nodes {
+		if !sol.Reached[n.ID] {
+			continue
+		}
+		st := sol.In[n.ID]
+		switch n.Kind {
+		case cfg.KindDecl:
+			if n.Decl != nil && n.Decl.Init != nil {
+				c.expr(st, n.Decl.Init)
+			}
+		case cfg.KindStmt:
+			switch s := n.Stmt.(type) {
+			case *cast.ExprStmt:
+				c.expr(st, s.X)
+			case *cast.ReturnStmt:
+				if s.Result != nil {
+					c.expr(st, s.Result)
+				}
+			}
+		case cfg.KindCond, cfg.KindPost:
+			if n.Expr != nil {
+				c.expr(st, n.Expr)
+			}
+		}
+	}
+	return c.out
+}
+
+// expr walks one expression tree, checking every memory access against the
+// in-state of its program point.
+func (c *checker) expr(st state, e cast.Expr) {
+	if e == nil {
+		return
+	}
+	switch x := cast.Unparen(e).(type) {
+	case *cast.AssignExpr:
+		switch l := cast.Unparen(x.LHS).(type) {
+		case *cast.IndexExpr:
+			c.checkIndex(st, l, true)
+			c.expr(st, l.Base)
+			c.expr(st, l.Index)
+		case *cast.UnaryExpr:
+			if l.Op == cast.UnaryDeref {
+				c.checkDeref(st, l, true)
+				c.expr(st, l.Operand)
+			} else {
+				c.expr(st, x.LHS)
+			}
+		default:
+			c.expr(st, x.LHS)
+		}
+		c.expr(st, x.RHS)
+	case *cast.IndexExpr:
+		c.checkIndex(st, x, false)
+		c.expr(st, x.Base)
+		c.expr(st, x.Index)
+	case *cast.UnaryExpr:
+		switch x.Op {
+		case cast.UnaryDeref:
+			c.checkDeref(st, x, false)
+			c.expr(st, x.Operand)
+		case cast.UnaryAddrOf:
+			// &a[i] computes an address without touching memory; check only
+			// the subexpressions of the address computation.
+			if inner, ok := cast.Unparen(x.Operand).(*cast.IndexExpr); ok {
+				c.expr(st, inner.Base)
+				c.expr(st, inner.Index)
+			} else {
+				c.expr(st, x.Operand)
+			}
+		default:
+			c.expr(st, x.Operand)
+		}
+	case *cast.PostfixExpr:
+		c.expr(st, x.Operand)
+	case *cast.BinaryExpr:
+		c.expr(st, x.X)
+		c.expr(st, x.Y)
+	case *cast.CondExpr:
+		c.expr(st, x.Cond)
+		c.expr(st, x.Then)
+		c.expr(st, x.Else)
+	case *cast.CastExpr:
+		c.expr(st, x.Operand)
+	case *cast.CommaExpr:
+		c.expr(st, x.X)
+		c.expr(st, x.Y)
+	case *cast.CallExpr:
+		c.checkCall(st, x)
+		for _, arg := range x.Args {
+			c.expr(st, arg)
+		}
+	case *cast.MemberExpr:
+		c.expr(st, x.Base)
+	case *cast.InitListExpr:
+		for _, el := range x.Elems {
+			c.expr(st, el)
+		}
+	case *cast.SizeofExpr:
+		// sizeof does not evaluate its operand.
+	}
+}
+
+func (c *checker) checkIndex(st state, x *cast.IndexExpr, write bool) {
+	if t := x.Type(); t != nil && ctype.IsArray(t) {
+		return // row selection of a multi-dimensional array, not an access
+	}
+	sym, extra, ok := resolveVar(st, x.Base)
+	if !ok {
+		return
+	}
+	vs := st.get(sym.ID)
+	scale := elemSize(ctype.Decay(typeOf(cast.Unparen(x.Base))))
+	start := vs.off.Add(extra).Add(evalInt(st, x.Index).MulConst(scale))
+	c.report(st, x, x.Base, vs, start, start.AddConst(scale), write, false, fixFor(""))
+}
+
+func (c *checker) checkDeref(st state, x *cast.UnaryExpr, write bool) {
+	sym, extra, ok := resolveVar(st, x.Operand)
+	if !ok {
+		return
+	}
+	vs := st.get(sym.ID)
+	scale := elemSize(ctype.Decay(typeOf(cast.Unparen(x.Operand))))
+	start := vs.off.Add(extra)
+	c.report(st, x, x.Operand, vs, start, start.AddConst(scale), write, false, fixFor(""))
+}
+
+// checkCall models the write (and for memcpy, read) extents of unsafe
+// library routines.
+func (c *checker) checkCall(st state, call *cast.CallExpr) {
+	name := call.Callee()
+	arg := func(i int) cast.Expr { return argAt(call, i) }
+	switch name {
+	case "gets":
+		f := Finding{
+			CWE:          242,
+			Severity:     SevDefinite,
+			Msg:          "gets cannot bound its write",
+			SuggestedFix: fixFor("gets"),
+		}
+		if sym, _, ok := resolveVar(st, arg(0)); ok && sym != nil {
+			f.Object = sym.Name
+		}
+		c.add(f, call)
+		return
+	case "strcpy", "stpcpy":
+		if vs, base, ok := ptrArg(st, arg(0)); ok {
+			end := base.Add(strlenOf(st, arg(1))).AddConst(1)
+			c.report(st, call, arg(0), vs, base, end, true, true, fixFor(name))
+		}
+	case "strcat", "strncat":
+		if vs, _, ok := ptrArg(st, arg(0)); ok {
+			add := strlenOf(st, arg(1))
+			if name == "strncat" {
+				n := evalInt(st, arg(2))
+				if n.Hi < PosInf && (add.Hi >= PosInf || add.Hi > n.Hi) {
+					add = Interval{max64(0, min64(add.Lo, n.Lo)), n.Hi}
+				}
+			}
+			end := vs.strl.Add(add).AddConst(1)
+			c.report(st, call, arg(0), vs, vs.strl, end, true, true, fixFor(name))
+		}
+	case "sprintf":
+		if vs, base, ok := ptrArg(st, arg(0)); ok {
+			end := base.Add(formatLength(st, arg(1), call.Args, 2)).AddConst(1)
+			c.report(st, call, arg(0), vs, base, end, true, true, fixFor(name))
+		}
+	case "vsprintf":
+		if vs, base, ok := ptrArg(st, arg(0)); ok {
+			end := Range(base.Lo, PosInf)
+			c.report(st, call, arg(0), vs, base, end, true, true, fixFor(name))
+		}
+	case "strncpy", "memset":
+		if vs, base, ok := ptrArg(st, arg(0)); ok {
+			end := base.Add(evalInt(st, arg(2)).ClampMin(0))
+			c.report(st, call, arg(0), vs, base, end, true, true, fixFor(name))
+		}
+	case "snprintf", "fgets":
+		if vs, base, ok := ptrArg(st, arg(0)); ok {
+			end := base.Add(evalInt(st, arg(1)).ClampMin(0))
+			c.report(st, call, arg(0), vs, base, end, true, true, fixFor(name))
+		}
+	case "memcpy", "memmove":
+		n := evalInt(st, arg(2)).ClampMin(0)
+		if vs, base, ok := ptrArg(st, arg(0)); ok {
+			c.report(st, call, arg(0), vs, base, base.Add(n), true, true, fixFor(name))
+		}
+		if vs, base, ok := ptrArg(st, arg(1)); ok {
+			c.report(st, call, arg(1), vs, base, base.Add(n), false, true, fixFor(name))
+		}
+	}
+}
+
+// ptrArg resolves a pointer argument to its variable state and absolute
+// base offset.
+func ptrArg(st state, e cast.Expr) (varState, Interval, bool) {
+	sym, extra, ok := resolveVar(st, e)
+	if !ok {
+		return varState{}, Interval{}, false
+	}
+	vs := st.get(sym.ID)
+	return vs, vs.off.Add(extra), true
+}
+
+// report classifies an access of bytes [start, end) against the object's
+// size interval and records a finding when it can violate bounds.
+func (c *checker) report(st state, site cast.Expr, base cast.Expr, vs varState, start, end Interval, write, viaLib bool, fix string) {
+	sz, reg := vs.size, vs.reg
+	if sz.Hi >= PosInf && c.a.opts.SeedFromBuflen && base != nil {
+		if bsz, fail := c.a.buf.BufferLength(c.fn, base); fail == nil {
+			if n, known := bsz.KnownBytes(); known {
+				sz = Const(n)
+			}
+			if bsz.Kind == buflen.SizeHeap {
+				reg = regHeap
+			}
+		}
+	}
+	sev, under, ok := classify(start, end, sz, viaLib)
+	if !ok {
+		return
+	}
+	var cwe int
+	var msg string
+	switch {
+	case under && write:
+		cwe = 124
+		msg = fmt.Sprintf("write starts at byte %s, before the object", start)
+	case under:
+		cwe = 127
+		msg = fmt.Sprintf("read starts at byte %s, before the object", start)
+	case write:
+		cwe = 121
+		if reg == regHeap {
+			cwe = 122
+		}
+		msg = fmt.Sprintf("write of bytes [%d,%s) exceeds object size %s",
+			max64(start.Lo, 0), boundStr(end.Hi), sz)
+	default:
+		cwe = 126
+		msg = fmt.Sprintf("read of bytes [%d,%s) exceeds object size %s",
+			max64(start.Lo, 0), boundStr(end.Hi), sz)
+	}
+	f := Finding{CWE: cwe, Severity: sev, Msg: msg, SuggestedFix: fix}
+	if sym, _, ok := resolveVar(st, base); ok && sym != nil {
+		f.Object = sym.Name
+	}
+	c.add(f, site)
+}
+
+func boundStr(n int64) string {
+	if n >= PosInf {
+		return "+inf"
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// classify applies the severity rules:
+//
+//	definite — the access provably leaves the object for every size the
+//	  object can have (min access start past max size, or max write end
+//	  past max size per the lint contract), or lands before it;
+//	possible — the access and the out-of-bounds region merely overlap.
+//
+// Accesses with unbounded start offsets, and accesses to objects of
+// unknown size, are skipped: with top intervals every access would be
+// flagged, drowning real findings.
+func classify(start, end, sz Interval, viaLib bool) (Severity, bool, bool) {
+	if start.Lo <= NegInf {
+		return 0, false, false
+	}
+	if start.Hi < 0 {
+		return SevDefinite, true, true
+	}
+	if start.Lo < 0 {
+		return SevPossible, true, true
+	}
+	if sz.Hi >= PosInf || sz.Lo <= NegInf {
+		return 0, false, false
+	}
+	switch {
+	case end.Lo > sz.Hi:
+		return SevDefinite, false, true
+	case end.Hi >= PosInf:
+		// Unbounded writes through unsafe library calls (strcpy of an
+		// unknown string) are the paper's canonical "possible" overflows;
+		// unbounded raw index accesses are almost always widening noise.
+		if viaLib {
+			return SevPossible, false, true
+		}
+		return 0, false, false
+	case end.Hi > sz.Hi:
+		return SevDefinite, false, true
+	case end.Hi > sz.Lo:
+		return SevPossible, false, true
+	}
+	return 0, false, false
+}
+
+func (c *checker) add(f Finding, site cast.Expr) {
+	f.Function = c.fn.Name
+	f.Extent = site.Extent()
+	if c.a.unit.File != nil {
+		f.Pos = c.a.unit.File.Position(f.Extent.Pos)
+	}
+	if len(c.chain) > 1 {
+		f.Contexts = []string{strings.Join(c.chain, " -> ")}
+	}
+	c.out = append(c.out, f)
+}
+
+// dedup merges findings that name the same extent and CWE, keeping the
+// maximum severity and the union of contexts, and sorts by position.
+func dedup(all []Finding) []Finding {
+	type key struct {
+		pos, end ctoken.Pos
+		cwe      int
+	}
+	idx := make(map[key]int)
+	var out []Finding
+	for _, f := range all {
+		k := key{f.Extent.Pos, f.Extent.End, f.CWE}
+		if i, ok := idx[k]; ok {
+			if f.Severity > out[i].Severity {
+				out[i].Severity = f.Severity
+				out[i].Msg = f.Msg
+			}
+			for _, ctx := range f.Contexts {
+				if !inChain(out[i].Contexts, ctx) {
+					out[i].Contexts = append(out[i].Contexts, ctx)
+				}
+			}
+			continue
+		}
+		idx[k] = len(out)
+		out = append(out, f)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Extent.Pos != out[j].Extent.Pos {
+			return out[i].Extent.Pos < out[j].Extent.Pos
+		}
+		return out[i].CWE < out[j].CWE
+	})
+	return out
+}
+
+// Analyze is the package-level convenience entry point: run the oracle
+// with default options.
+func Analyze(unit *cast.TranslationUnit) []Finding {
+	return New(unit).Analyze()
+}

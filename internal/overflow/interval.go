@@ -1,0 +1,195 @@
+// Package overflow implements a static buffer-overflow oracle: an
+// interprocedural interval analysis over buffer sizes, pointer offsets and
+// string lengths, plus a diagnostics pass that classifies unsafe accesses
+// into the CWEs of Table III (121/122/124/126/127/242) with a
+// definite/possible severity. It is the second client of the generic
+// internal/dataflow solver (the first being reaching definitions) and
+// complements the checked interpreter (internal/cinterp): the interpreter
+// proves an overflow by executing it, this package predicts one without
+// running the program.
+package overflow
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval bounds. Sentinels sit well inside the int64 range so saturating
+// arithmetic cannot wrap.
+const (
+	NegInf = int64(math.MinInt64 / 4)
+	PosInf = int64(math.MaxInt64 / 4)
+)
+
+// Interval is a closed integer interval [Lo, Hi] with infinities encoded
+// as the NegInf/PosInf sentinels. Lo > Hi encodes the empty interval.
+type Interval struct {
+	Lo, Hi int64
+}
+
+// Top returns the unconstrained interval.
+func Top() Interval { return Interval{NegInf, PosInf} }
+
+// Const returns the singleton interval [n, n].
+func Const(n int64) Interval { return Interval{clamp(n), clamp(n)} }
+
+// Range returns [lo, hi] with sentinel clamping.
+func Range(lo, hi int64) Interval { return Interval{clamp(lo), clamp(hi)} }
+
+// IsTop reports whether the interval carries no information.
+func (iv Interval) IsTop() bool { return iv.Lo <= NegInf && iv.Hi >= PosInf }
+
+// IsEmpty reports an empty (contradictory) interval.
+func (iv Interval) IsEmpty() bool { return iv.Lo > iv.Hi }
+
+// Exact reports a finite singleton and returns its value.
+func (iv Interval) Exact() (int64, bool) {
+	if iv.Lo == iv.Hi && iv.Lo > NegInf && iv.Hi < PosInf {
+		return iv.Lo, true
+	}
+	return 0, false
+}
+
+// String renders the interval for diagnostics.
+func (iv Interval) String() string {
+	if iv.IsEmpty() {
+		return "[]"
+	}
+	lo, hi := "-inf", "+inf"
+	if iv.Lo > NegInf {
+		lo = fmt.Sprintf("%d", iv.Lo)
+	}
+	if iv.Hi < PosInf {
+		hi = fmt.Sprintf("%d", iv.Hi)
+	}
+	return "[" + lo + "," + hi + "]"
+}
+
+func clamp(n int64) int64 {
+	if n <= NegInf {
+		return NegInf
+	}
+	if n >= PosInf {
+		return PosInf
+	}
+	return n
+}
+
+// satAdd adds with saturation; +inf dominates a conflicting -inf, which is
+// the conservative choice for the end-of-write computations it feeds.
+func satAdd(a, b int64) int64 {
+	if a >= PosInf || b >= PosInf {
+		return PosInf
+	}
+	if a <= NegInf || b <= NegInf {
+		return NegInf
+	}
+	return clamp(a + b)
+}
+
+// Add returns the interval sum.
+func (iv Interval) Add(o Interval) Interval {
+	return Interval{satAdd(iv.Lo, o.Lo), satAdd(iv.Hi, o.Hi)}
+}
+
+// AddConst shifts the interval by n.
+func (iv Interval) AddConst(n int64) Interval { return iv.Add(Const(n)) }
+
+// Sub returns the interval difference iv - o.
+func (iv Interval) Sub(o Interval) Interval {
+	return Interval{satAdd(iv.Lo, -o.Hi), satAdd(iv.Hi, -o.Lo)}
+}
+
+// Neg returns the negated interval.
+func (iv Interval) Neg() Interval {
+	return Interval{satAdd(0, -iv.Hi), satAdd(0, -iv.Lo)}
+}
+
+// MulConst scales the interval by k.
+func (iv Interval) MulConst(k int64) Interval {
+	if k == 0 {
+		return Const(0)
+	}
+	a, b := satMul(iv.Lo, k), satMul(iv.Hi, k)
+	if k < 0 {
+		a, b = b, a
+	}
+	return Interval{a, b}
+}
+
+func satMul(a, k int64) int64 {
+	if a <= NegInf || a >= PosInf {
+		if (a >= PosInf) == (k > 0) {
+			return PosInf
+		}
+		return NegInf
+	}
+	r := a * k
+	if a != 0 && r/a != k {
+		if (a > 0) == (k > 0) {
+			return PosInf
+		}
+		return NegInf
+	}
+	return clamp(r)
+}
+
+// Mul returns the interval product, precise only when one side is exact.
+func (iv Interval) Mul(o Interval) Interval {
+	if k, ok := o.Exact(); ok {
+		return iv.MulConst(k)
+	}
+	if k, ok := iv.Exact(); ok {
+		return o.MulConst(k)
+	}
+	return Top()
+}
+
+// Join returns the smallest interval covering both.
+func (iv Interval) Join(o Interval) Interval {
+	if iv.IsEmpty() {
+		return o
+	}
+	if o.IsEmpty() {
+		return iv
+	}
+	return Interval{min64(iv.Lo, o.Lo), max64(iv.Hi, o.Hi)}
+}
+
+// Meet intersects the intervals; the result may be empty.
+func (iv Interval) Meet(o Interval) Interval {
+	return Interval{max64(iv.Lo, o.Lo), min64(iv.Hi, o.Hi)}
+}
+
+// Widen extrapolates: bounds that moved since prev jump to infinity, so
+// ascending chains stabilize. The next state is joined in first.
+func (iv Interval) Widen(next Interval) Interval {
+	n := iv.Join(next)
+	out := iv
+	if n.Lo < iv.Lo {
+		out.Lo = NegInf
+	}
+	if n.Hi > iv.Hi {
+		out.Hi = PosInf
+	}
+	return out
+}
+
+// ClampMin raises the lower bound to at least n.
+func (iv Interval) ClampMin(n int64) Interval {
+	return Interval{max64(iv.Lo, n), iv.Hi}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,288 @@
+package overflow
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/cparse"
+	"repro/internal/typecheck"
+)
+
+func analyzeSrc(t *testing.T, src string) []Finding {
+	t.Helper()
+	tu, err := cparse.Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	typecheck.Check(tu)
+	return Analyze(tu)
+}
+
+// one asserts exactly one finding with the given CWE and severity.
+func one(t *testing.T, fs []Finding, cwe int, sev Severity) Finding {
+	t.Helper()
+	if len(fs) != 1 {
+		t.Fatalf("want exactly 1 finding, got %d: %v", len(fs), fs)
+	}
+	f := fs[0]
+	if f.CWE != cwe || f.Severity != sev {
+		t.Fatalf("want CWE-%d %s, got CWE-%d %s (%s)", cwe, sev, f.CWE, f.Severity, f.Msg)
+	}
+	return f
+}
+
+func TestStackStrcpyDefinite(t *testing.T) {
+	fs := analyzeSrc(t, `
+void f(void) {
+    char buf[10];
+    char src[20];
+    memset(src, 'A', 15);
+    src[15] = '\0';
+    strcpy(buf, src);
+}`)
+	one(t, fs, 121, SevDefinite)
+}
+
+func TestStackStrcpyBoundedIsQuiet(t *testing.T) {
+	fs := analyzeSrc(t, `
+void f(void) {
+    char buf[10];
+    char src[20];
+    memset(src, 'A', 5);
+    src[5] = '\0';
+    strcpy(buf, src);
+}`)
+	if len(fs) != 0 {
+		t.Fatalf("bounded strcpy flagged: %v", fs)
+	}
+}
+
+func TestStrcpyUnknownSourcePossible(t *testing.T) {
+	fs := analyzeSrc(t, `
+void f(char *s) {
+    char buf[8];
+    strcpy(buf, s);
+}`)
+	one(t, fs, 121, SevPossible)
+}
+
+func TestHeapIndexWriteDefinite(t *testing.T) {
+	fs := analyzeSrc(t, `
+void f(void) {
+    char *b;
+    b = malloc(10);
+    b[14] = 'Z';
+}`)
+	one(t, fs, 122, SevDefinite)
+}
+
+func TestPointerDecrementUnderwrite(t *testing.T) {
+	fs := analyzeSrc(t, `
+void f(void) {
+    char buf[10];
+    char *p;
+    p = buf;
+    p -= 8;
+    *p = 'Z';
+}`)
+	one(t, fs, 124, SevDefinite)
+}
+
+func TestIndexOverread(t *testing.T) {
+	fs := analyzeSrc(t, `
+void f(void) {
+    char buf[10];
+    char c;
+    c = buf[14];
+    printf("%c", c);
+}`)
+	one(t, fs, 126, SevDefinite)
+}
+
+func TestNegativeIndexUnderread(t *testing.T) {
+	fs := analyzeSrc(t, `
+void f(void) {
+    char buf[10];
+    int i;
+    char c;
+    i = -2;
+    c = buf[i];
+    printf("%c", c);
+}`)
+	one(t, fs, 127, SevDefinite)
+}
+
+func TestGetsDangerous(t *testing.T) {
+	fs := analyzeSrc(t, `
+void f(void) {
+    char buf[8];
+    gets(buf);
+}`)
+	f := one(t, fs, 242, SevDefinite)
+	if !strings.Contains(f.SuggestedFix, "fgets") {
+		t.Fatalf("fix should suggest fgets: %q", f.SuggestedFix)
+	}
+}
+
+func TestLoopFillWidensToDefinite(t *testing.T) {
+	fs := analyzeSrc(t, `
+void f(void) {
+    char buf[10];
+    int i;
+    for (i = 0; i < 15; i++) {
+        buf[i] = 'F';
+    }
+}`)
+	one(t, fs, 121, SevDefinite)
+}
+
+func TestLoopFillInBoundsIsQuiet(t *testing.T) {
+	fs := analyzeSrc(t, `
+void f(void) {
+    char buf[10];
+    int i;
+    for (i = 0; i < 10; i++) {
+        buf[i] = 'F';
+    }
+}`)
+	if len(fs) != 0 {
+		t.Fatalf("in-bounds loop flagged: %v", fs)
+	}
+}
+
+func TestBoundedStrncpySizeofIsQuiet(t *testing.T) {
+	fs := analyzeSrc(t, `
+void f(void) {
+    char buf[10];
+    char src[20];
+    memset(src, 'A', 15);
+    src[15] = '\0';
+    strncpy(buf, src, sizeof(buf));
+}`)
+	if len(fs) != 0 {
+		t.Fatalf("sizeof-bounded strncpy flagged: %v", fs)
+	}
+}
+
+func TestInterproceduralContextFindsCalleeOverflow(t *testing.T) {
+	fs := analyzeSrc(t, `
+void sink(char *dst, char *s) {
+    strcpy(dst, s);
+}
+void root(void) {
+    char small[4];
+    char big[20];
+    memset(big, 'A', 9);
+    big[9] = '\0';
+    sink(small, big);
+}`)
+	f := one(t, fs, 121, SevDefinite)
+	if f.Function != "sink" {
+		t.Fatalf("finding should be in sink, got %s", f.Function)
+	}
+	if len(f.Contexts) == 0 || !strings.Contains(f.Contexts[0], "root -> sink") {
+		t.Fatalf("finding should carry the root -> sink context, got %v", f.Contexts)
+	}
+}
+
+func TestInterproceduralQuietWithoutBadCaller(t *testing.T) {
+	// The callee alone is not diagnosable (unknown sizes), and the only
+	// caller passes fitting buffers: nothing may be reported.
+	fs := analyzeSrc(t, `
+void sink(char *dst, char *s) {
+    strcpy(dst, s);
+}
+void root(void) {
+    char big[20];
+    char msg[4];
+    msg[0] = 'h';
+    msg[1] = 'i';
+    msg[2] = '\0';
+    sink(big, msg);
+}`)
+	if len(fs) != 0 {
+		t.Fatalf("fitting interprocedural strcpy flagged: %v", fs)
+	}
+}
+
+func TestLibtiffCVEFlaggedCWE121Definite(t *testing.T) {
+	tu, err := cparse.Parse("tiff2pdf.c", corpus.LibtiffCVESource)
+	if err != nil {
+		t.Fatalf("parse corpus: %v", err)
+	}
+	typecheck.Check(tu)
+	fs := Analyze(tu)
+	var hit *Finding
+	for i := range fs {
+		src := tu.File.Slice(fs[i].Extent)
+		if strings.Contains(src, "sprintf") {
+			hit = &fs[i]
+			break
+		}
+	}
+	if hit == nil {
+		t.Fatalf("sprintf CVE site not flagged; findings: %v", fs)
+	}
+	if hit.CWE != 121 || hit.Severity != SevDefinite {
+		t.Fatalf("CVE site should be CWE-121 definite, got CWE-%d %s", hit.CWE, hit.Severity)
+	}
+	// Noise control: the guarded t2p_emit writes and the param-sized reads
+	// must not be reported — the sprintf is the only finding.
+	if len(fs) != 1 {
+		t.Fatalf("want exactly the CVE finding, got %d: %v", len(fs), fs)
+	}
+}
+
+func TestStoreStrlTransfer(t *testing.T) {
+	top := Range(0, PosInf)
+	// A NUL store bounds the first NUL from above (one may exist earlier).
+	if got := storeStrl(top, Const(5), Const(0)); got != Range(0, 5) {
+		t.Fatalf("zero store over unknown: got %v", got)
+	}
+	// When the old first NUL was provably later, the store pins it exactly.
+	if got := storeStrl(Range(9, PosInf), Const(5), Const(0)); got != Const(5) {
+		t.Fatalf("zero store below known NUL: got %v", got)
+	}
+	// Non-zero store before the first NUL changes nothing.
+	if got := storeStrl(Const(7), Const(3), Const(65)); got != Const(7) {
+		t.Fatalf("store before NUL: got %v", got)
+	}
+	// Non-zero store exactly on the unique first NUL pushes it right.
+	if got := storeStrl(Const(7), Const(7), Const(65)); got != Range(8, PosInf) {
+		t.Fatalf("store on NUL: got %v", got)
+	}
+	// Unknown byte joins both outcomes.
+	got := storeStrl(Const(7), Const(2), Top())
+	if got.Lo != 2 || got.Hi != PosInf {
+		t.Fatalf("unknown store: got %v", got)
+	}
+}
+
+func TestIntervalWiden(t *testing.T) {
+	a := Range(0, 4)
+	if w := a.Widen(Range(0, 9)); w != Range(0, PosInf) {
+		t.Fatalf("upper widen: got %v", w)
+	}
+	if w := a.Widen(Range(-3, 4)); w != Range(NegInf, 4) {
+		t.Fatalf("lower widen: got %v", w)
+	}
+	if w := a.Widen(Range(1, 3)); w != a {
+		t.Fatalf("contained widen should be stable: got %v", w)
+	}
+}
+
+func TestFormatLengthEstimates(t *testing.T) {
+	tu, err := cparse.Parse("t.c", `
+void f(void) {
+    char out[16];
+    sprintf(out, "ab%d", 123);
+}`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	typecheck.Check(tu)
+	if fs := Analyze(tu); len(fs) != 0 {
+		t.Fatalf("exact short sprintf flagged: %v", fs)
+	}
+}

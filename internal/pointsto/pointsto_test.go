@@ -464,3 +464,49 @@ void f(void) {
 	}
 	_ = gF
 }
+
+// TestParallelDeterministicUnderRace re-solves the same unit many times
+// with the parallel engine and asserts every run reaches the sequential
+// fixpoint. Run under -race, this doubles as the regression test for the
+// unsynchronized path compression the parallel map phase used to do.
+func TestParallelDeterministicUnderRace(t *testing.T) {
+	src := `
+struct holder { char *buf; };
+void f(int c) {
+    char a[10], b[20], d[30];
+    char *p, *q, *r, *s;
+    char **pp, **qq;
+    struct holder h;
+    p = a;
+    q = b;
+    s = d;
+    pp = &p;
+    qq = pp;
+    *qq = b;
+    r = c ? p : q;
+    r = c ? r : s;
+    h.buf = r;
+    p = h.buf;
+}
+`
+	names := []string{"p", "q", "r", "s", "pp", "qq", "h"}
+	tuSeq, gSeq, _ := analyze(t, src, Options{})
+	want := make(map[string]map[string]bool)
+	for _, name := range names {
+		want[name] = pointsToNames(gSeq, symNamed(t, tuSeq, name))
+	}
+	for round := 0; round < 20; round++ {
+		tuPar, gPar, _ := analyze(t, src, Options{Parallel: true, Workers: 8})
+		for _, name := range names {
+			got := pointsToNames(gPar, symNamed(t, tuPar, name))
+			if len(got) != len(want[name]) {
+				t.Fatalf("round %d: %s: parallel %v vs sequential %v", round, name, got, want[name])
+			}
+			for k := range want[name] {
+				if !got[k] {
+					t.Fatalf("round %d: %s: parallel %v vs sequential %v", round, name, got, want[name])
+				}
+			}
+		}
+	}
+}

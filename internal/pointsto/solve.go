@@ -279,15 +279,21 @@ func (g *Graph) solveParallel(succs []map[int]struct{}, loadsBySrc, storesByDst 
 			edges [][2]int
 		}
 		deltas := make([]delta, len(frontier))
+		// Resolve representatives before fanning out: find path-compresses
+		// g.rep, so calling it from the workers would race.
+		reps := make([]int, len(frontier))
+		for idx, vRaw := range frontier {
+			reps[idx] = g.find(vRaw)
+		}
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, workers)
-		for idx, vRaw := range frontier {
+		for idx := range frontier {
 			wg.Add(1)
 			sem <- struct{}{}
-			go func(idx, vRaw int) {
+			go func(idx int) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				v := g.find(vRaw)
+				v := reps[idx]
 				var edges [][2]int
 				mu.Lock()
 				pts := g.pts[v].Clone()
@@ -301,7 +307,7 @@ func (g *Graph) solveParallel(succs []map[int]struct{}, loadsBySrc, storesByDst 
 					}
 				})
 				deltas[idx] = delta{edges: edges}
-			}(idx, vRaw)
+			}(idx)
 		}
 		wg.Wait()
 

@@ -2,11 +2,13 @@ package slr
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/buflen"
 	"repro/internal/cast"
 	"repro/internal/ctoken"
+	"repro/internal/overflow"
 	"repro/internal/pointsto"
 	"repro/internal/rewrite"
 	"repro/internal/typecheck"
@@ -18,12 +20,17 @@ type SiteResult struct {
 	Function string
 	// Pos locates the call in the source.
 	Pos ctoken.Position
+	// Extent is the source range of the call expression.
+	Extent ctoken.Extent
 	// Applied reports whether the site was transformed.
 	Applied bool
 	// Size is the computed buffer size (valid when Applied).
 	Size buflen.Size
 	// Failure explains a precondition failure (set when !Applied).
 	Failure *buflen.Failure
+	// Risk is the static overflow verdict covering this call, if the
+	// overflow oracle reported one (see FileResult.AttachFindings).
+	Risk *overflow.Finding
 }
 
 // FileResult is the outcome of running SLR over a translation unit.
@@ -51,6 +58,46 @@ func (r *FileResult) AppliedCount() int {
 		}
 	}
 	return n
+}
+
+// AttachFindings pairs each candidate site with the most severe overflow
+// oracle finding whose extent overlaps the call expression. The findings
+// must come from analyzing the same source text the transformer parsed,
+// so that extents are comparable.
+func (r *FileResult) AttachFindings(fs []overflow.Finding) {
+	for i := range r.Sites {
+		s := &r.Sites[i]
+		for j := range fs {
+			f := &fs[j]
+			if f.Extent.Pos >= s.Extent.End || s.Extent.Pos >= f.Extent.End {
+				continue
+			}
+			if s.Risk == nil || f.Severity > s.Risk.Severity {
+				s.Risk = f
+			}
+		}
+	}
+}
+
+// RankedSites returns the candidate sites ordered by static risk:
+// definite overflows first, then possible, then unflagged sites, each
+// group in source order. It does not modify r.Sites.
+func (r *FileResult) RankedSites() []SiteResult {
+	out := append([]SiteResult(nil), r.Sites...)
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := overflow.Severity(0), overflow.Severity(0)
+		if out[i].Risk != nil {
+			si = out[i].Risk.Severity
+		}
+		if out[j].Risk != nil {
+			sj = out[j].Risk.Severity
+		}
+		if si != sj {
+			return si > sj
+		}
+		return out[i].Extent.Pos < out[j].Extent.Pos
+	})
+	return out
 }
 
 // Transformer applies SLR to one translation unit.
@@ -205,6 +252,7 @@ func (t *Transformer) apply(filter func(candidate) bool) (*FileResult, error) {
 		site := SiteResult{
 			Function: c.call.Callee(),
 			Pos:      t.unit.File.Position(c.call.Extent().Pos),
+			Extent:   c.call.Extent(),
 		}
 		size, fail := t.applyOne(c, &edits)
 		if fail != nil {

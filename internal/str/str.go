@@ -2,11 +2,13 @@ package str
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cast"
 	"repro/internal/ctoken"
 	"repro/internal/ctype"
 	"repro/internal/interproc"
+	"repro/internal/overflow"
 	"repro/internal/pointsto"
 	"repro/internal/rewrite"
 	"repro/internal/typecheck"
@@ -47,7 +49,9 @@ func (r FailReason) String() string { return _failNames[r] }
 
 // VarResult records the outcome for one candidate variable.
 type VarResult struct {
-	Name    string
+	Name string
+	// Func is the function the variable is declared in.
+	Func    string
 	Pos     ctoken.Position
 	Applied bool
 	Reason  FailReason
@@ -57,6 +61,9 @@ type VarResult struct {
 	// local scope"); arrays are also transformable (precondition 1 allows
 	// both) but reported separately.
 	IsPointer bool
+	// Risk is the static overflow verdict involving this variable, if the
+	// overflow oracle reported one (see FileResult.AttachFindings).
+	Risk *overflow.Finding
 }
 
 // FileResult is the outcome of running STR over a translation unit.
@@ -84,6 +91,50 @@ func (r *FileResult) AppliedCount() int {
 		}
 	}
 	return n
+}
+
+// AttachFindings pairs each candidate variable with the most severe
+// overflow oracle finding that names it as the overflowed object in the
+// same function. Matching is by (function, variable) name because STR
+// may run on transformed text whose extents no longer line up with the
+// source the oracle analyzed.
+func (r *FileResult) AttachFindings(fs []overflow.Finding) {
+	for i := range r.Vars {
+		v := &r.Vars[i]
+		for j := range fs {
+			f := &fs[j]
+			if f.Object == "" || f.Object != v.Name || f.Function != v.Func {
+				continue
+			}
+			if v.Risk == nil || f.Severity > v.Risk.Severity {
+				v.Risk = f
+			}
+		}
+	}
+}
+
+// RankedVars returns the candidate variables ordered by static risk:
+// definite overflows first, then possible, then unflagged variables,
+// each group in source order. It does not modify r.Vars.
+func (r *FileResult) RankedVars() []VarResult {
+	out := append([]VarResult(nil), r.Vars...)
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := overflow.Severity(0), overflow.Severity(0)
+		if out[i].Risk != nil {
+			si = out[i].Risk.Severity
+		}
+		if out[j].Risk != nil {
+			sj = out[j].Risk.Severity
+		}
+		if si != sj {
+			return si > sj
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Pos.Col < out[j].Pos.Col
+	})
+	return out
 }
 
 // candidate is one local char pointer/array declaration.
@@ -219,6 +270,7 @@ func (t *Transformer) apply(filter func(*candidate) bool) (*FileResult, error) {
 	for _, c := range selected {
 		vr := VarResult{
 			Name:      c.decl.Name,
+			Func:      c.fn.Name,
 			Pos:       t.unit.File.Position(c.decl.Extent().Pos),
 			IsPointer: ctype.IsCharPointer(c.decl.Type),
 		}

@@ -14,6 +14,10 @@
 //     violations (classified by CWE) — the oracle used to demonstrate
 //     that a fix removed an overflow without changing normal behavior.
 //
+//   - Analyze runs the static overflow oracle — an interprocedural
+//     interval analysis — and returns CWE-classified findings without
+//     executing or transforming the program.
+//
 // A typical quickstart:
 //
 //	report, err := cfix.Fix("prog.c", source, cfix.Options{})
@@ -29,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cparse"
 	"repro/internal/harness"
+	"repro/internal/overflow"
 	"repro/internal/slr"
 	"repro/internal/stralloc"
 	"repro/internal/typecheck"
@@ -49,6 +54,10 @@ type Options struct {
 	// EmitSupport prepends the stralloc library and glib prototypes so
 	// the output is a self-contained translation unit.
 	EmitSupport bool
+	// Lint additionally runs the static overflow oracle on the input and
+	// attaches its verdicts to the SLR/STR candidate reports, ranking the
+	// summary by risk. The findings land in Report.Findings.
+	Lint bool
 }
 
 // Report is the outcome of Fix. See core.Report for field semantics.
@@ -66,7 +75,39 @@ func Fix(filename, source string, opts Options) (*Report, error) {
 		DisableSTR:   opts.DisableSTR,
 		SelectOffset: sel,
 		EmitSupport:  opts.EmitSupport,
+		Lint:         opts.Lint,
 	})
+}
+
+// Finding is one statically diagnosed buffer overflow: a CWE class
+// (121/122/124/126/127/242), a severity (definite when the access
+// provably exceeds every size the object can have, possible when the
+// computed intervals merely overlap), the source extent, and the
+// would-be SLR/STR repair.
+type Finding = overflow.Finding
+
+// Severity re-exports the finding severity scale.
+type Severity = overflow.Severity
+
+// Severity levels.
+const (
+	SevPossible = overflow.SevPossible
+	SevDefinite = overflow.SevDefinite
+)
+
+// CWEName returns the short official name of a supported CWE id.
+func CWEName(cwe int) string { return overflow.CWEName(cwe) }
+
+// Analyze statically diagnoses buffer overflows in source (a preprocessed
+// C translation unit) without transforming or executing it. Findings come
+// back deduplicated, in source order. filename is used in diagnostics
+// only.
+func Analyze(filename, source string) ([]Finding, error) {
+	fs, err := core.Analyze(filename, source)
+	if err != nil {
+		return nil, fmt.Errorf("cfix: %w", err)
+	}
+	return fs, nil
 }
 
 // RunResult is the outcome of executing a program under the checked

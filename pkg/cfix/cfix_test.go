@@ -170,3 +170,41 @@ func TestSupportSourceParses(t *testing.T) {
 		t.Fatalf("support source must run standalone: %v", err)
 	}
 }
+
+func TestAnalyzeStaticOracle(t *testing.T) {
+	findings, err := Analyze("v.c", vulnerable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit *Finding
+	for i := range findings {
+		if findings[i].CWE == 121 && findings[i].Severity == SevDefinite {
+			hit = &findings[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("definite CWE-121 expected, got %v", findings)
+	}
+	if hit.Function != "copy_input" {
+		t.Fatalf("finding in %s, want copy_input", hit.Function)
+	}
+	if !strings.Contains(hit.SuggestedFix, "g_strlcpy") {
+		t.Fatalf("suggested fix should name the SLR replacement: %q", hit.SuggestedFix)
+	}
+	if CWEName(121) != "Stack-based Buffer Overflow" {
+		t.Fatalf("CWEName: %q", CWEName(121))
+	}
+}
+
+func TestFixLintOptionRanksSummary(t *testing.T) {
+	rep, err := Fix("v.c", vulnerable, Options{Lint: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("findings expected with Lint")
+	}
+	if !strings.Contains(rep.Summary(), "[CWE-121 definite:") {
+		t.Fatalf("summary should carry the verdict:\n%s", rep.Summary())
+	}
+}
