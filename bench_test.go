@@ -14,6 +14,8 @@ import (
 	"strings"
 	"testing"
 
+	"runtime"
+
 	"repro/internal/cinterp"
 	"repro/internal/corpus"
 	"repro/internal/cparse"
@@ -22,6 +24,7 @@ import (
 	"repro/internal/pointsto"
 	"repro/internal/samate"
 	"repro/internal/typecheck"
+	"repro/pkg/cfix"
 )
 
 // --- Table and figure benchmarks -------------------------------------------
@@ -381,6 +384,68 @@ func BenchmarkScaleTransform(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(totalLines)/1000, "KLOC/op")
+}
+
+// --- Batch pipeline benchmarks ----------------------------------------------
+
+// samateInputs samples the SAMATE corpus into batch inputs for the
+// snapshot/batch benchmarks (~200 programs at stride covering every CWE).
+func samateInputs(n int) []cfix.FileInput {
+	var inputs []cfix.FileInput
+	per := n/len(samate.CWEs) + 1
+	for _, cwe := range samate.CWEs {
+		for _, p := range samate.Generate(cwe, per) {
+			inputs = append(inputs, cfix.FileInput{Filename: p.ID + ".c", Source: p.Source})
+		}
+	}
+	return inputs
+}
+
+// BenchmarkFixSingleVsSnapshot compares the historical lint-then-fix flow
+// (two separate entry points, two parses) against the snapshot-backed Fix
+// with Lint enabled (one parse, shared facts) on the same program.
+func BenchmarkFixSingleVsSnapshot(b *testing.B) {
+	p := samate.Generate(122, 1)[0]
+	b.Run("separate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cfix.Analyze(p.ID+".c", p.Source); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := cfix.Fix(p.ID+".c", p.Source, cfix.Options{SelectAll: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("snapshot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rep, err := cfix.Fix(p.ID+".c", p.Source, cfix.Options{SelectAll: true, Lint: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = rep.Findings
+		}
+	})
+}
+
+// BenchmarkFixAllParallel measures the batch pipeline over ~200 SAMATE
+// programs: one worker (sequential baseline) vs one worker per CPU. The
+// acceptance claim is >= 2x on >= 4 cores.
+func BenchmarkFixAllParallel(b *testing.B) {
+	inputs := samateInputs(200)
+	opts := cfix.Options{SelectAll: true, Lint: true}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				outs := cfix.FixAll(inputs, opts, workers)
+				for _, out := range outs {
+					if out.Err != nil {
+						b.Fatal(out.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(inputs)), "programs/op")
+		})
+	}
 }
 
 // BenchmarkAblationAliasPrecision quantifies the paper's §IV-B precision

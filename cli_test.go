@@ -151,6 +151,71 @@ func TestCfixCLIBatchDirectory(t *testing.T) {
 	}
 }
 
+// TestCfixCLIParallelJobs checks the -j worker flag: parallel batch runs
+// must produce exactly the files and bytes of a sequential run, and the
+// stderr summaries must come out in input order.
+func TestCfixCLIParallelJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "cmd/cfix")
+	src := t.TempDir()
+	var names []string
+	for i := 0; i < 6; i++ {
+		name := string(rune('a'+i)) + ".c"
+		names = append(names, name)
+		body := "void f" + string(rune('a'+i)) + "(void){ char b[4]; strcpy(b, \"much too long for four\"); }\n"
+		if err := os.WriteFile(filepath.Join(src, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	run := func(jobs string) (map[string]string, string) {
+		outdir := t.TempDir()
+		cmd := exec.Command(bin, "-j", jobs, "-outdir", outdir, src)
+		var stderr strings.Builder
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("-j %s: %v\n%s", jobs, err, stderr.String())
+		}
+		got := map[string]string{}
+		for _, name := range names {
+			data, err := os.ReadFile(filepath.Join(outdir, name))
+			if err != nil {
+				t.Fatalf("-j %s: %v", jobs, err)
+			}
+			got[name] = string(data)
+		}
+		return got, stderr.String()
+	}
+
+	seq, seqLog := run("1")
+	par, parLog := run("4")
+	for _, name := range names {
+		if seq[name] != par[name] {
+			t.Fatalf("%s: -j 4 output differs from -j 1", name)
+		}
+		if !strings.Contains(seq[name], "g_strl") {
+			t.Fatalf("%s not transformed:\n%s", name, seq[name])
+		}
+	}
+	if seqLog != parLog {
+		t.Fatalf("summaries diverge:\n-j 1:\n%s\n-j 4:\n%s", seqLog, parLog)
+	}
+	// Summaries must appear in input order even with parallel workers.
+	last := -1
+	for _, name := range names {
+		idx := strings.Index(parLog, "== "+filepath.Join(src, name)+" ==")
+		if idx < 0 {
+			t.Fatalf("summary for %s missing:\n%s", name, parLog)
+		}
+		if idx < last {
+			t.Fatalf("summaries out of input order:\n%s", parLog)
+		}
+		last = idx
+	}
+}
+
 func TestCfixCLILintExitCodes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds binaries")

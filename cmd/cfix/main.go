@@ -59,6 +59,7 @@ type options struct {
 	diff    bool
 	lint    bool
 	json    bool
+	jobs    int
 }
 
 func run() int {
@@ -74,6 +75,7 @@ func run() int {
 	flag.BoolVar(&opts.diff, "diff", false, "print a unified diff instead of the full source")
 	flag.BoolVar(&opts.lint, "lint", false, "run the static overflow oracle only; exit 3 on a definite overflow")
 	flag.BoolVar(&opts.json, "json", false, "with -lint, print findings as JSON lines")
+	flag.IntVar(&opts.jobs, "j", 0, "parallel workers for batch mode (0 = one per CPU)")
 	flag.Parse()
 
 	paths, err := expandArgs(flag.Args())
@@ -92,7 +94,7 @@ func run() int {
 		return 2
 	}
 	if opts.lint {
-		return lintFiles(paths, opts.json)
+		return lintFiles(paths, opts)
 	}
 	if len(paths) > 1 && opts.out != "" {
 		fmt.Fprintln(os.Stderr, "cfix: -o needs a single input; use -outdir for batches")
@@ -102,8 +104,37 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "cfix: -at needs a single input")
 		return 2
 	}
-	for _, path := range paths {
-		if code := fixOne(path, opts, len(paths) > 1); code != 0 {
+	return fixFiles(paths, opts)
+}
+
+// fixFiles reads every input, fixes them through the parallel batch
+// pipeline (cfix.FixAll), and emits the results in input order.
+func fixFiles(paths []string, opts options) int {
+	inputs := make([]cfix.FileInput, len(paths))
+	for i, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cfix: %v\n", err)
+			return 1
+		}
+		inputs[i] = cfix.FileInput{Filename: path, Source: string(data)}
+	}
+	outs := cfix.FixAll(inputs, cfix.Options{
+		DisableSLR:   !opts.doSLR,
+		DisableSTR:   !opts.doSTR,
+		SelectOffset: opts.at,
+		SelectAll:    opts.at < 0,
+		EmitSupport:  opts.support,
+		// The summary ranks and justifies candidate sites with the static
+		// oracle's verdicts when they are available.
+		Lint: opts.summary,
+	}, opts.jobs)
+	for i, out := range outs {
+		if out.Err != nil {
+			fmt.Fprintf(os.Stderr, "cfix: %s: %v\n", out.Filename, out.Err)
+			return 1
+		}
+		if code := emitOne(paths[i], inputs[i].Source, out.Report, opts, len(paths) > 1); code != 0 {
 			return code
 		}
 	}
@@ -125,29 +156,36 @@ type lintFinding struct {
 	Contexts []string `json:"contexts,omitempty"`
 }
 
-// lintFiles runs the static overflow oracle over every input and prints
-// the findings. It returns 3 when any finding is definite, 0 when all
-// files are clean or merely possible, 1 on processing errors.
-func lintFiles(paths []string, jsonOut bool) int {
-	enc := json.NewEncoder(os.Stdout)
-	definite := false
-	for _, path := range paths {
+// lintFiles runs the static overflow oracle over every input — through
+// the parallel batch pipeline — and prints the findings in input order.
+// It returns 3 when any finding is definite, 0 when all files are clean
+// or merely possible, 1 on processing errors.
+func lintFiles(paths []string, opts options) int {
+	inputs := make([]cfix.FileInput, len(paths))
+	for i, path := range paths {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cfix: %v\n", err)
 			return 1
 		}
-		findings, err := cfix.Analyze(path, string(data))
-		if err != nil {
+		inputs[i] = cfix.FileInput{Filename: path, Source: string(data)}
+	}
+	results := cfix.AnalyzeAll(inputs, opts.jobs)
+
+	enc := json.NewEncoder(os.Stdout)
+	definite := false
+	for _, res := range results {
+		path, findings := res.Filename, res.Findings
+		if res.Err != nil {
 			// Parse errors already carry file:line:col.
-			fmt.Fprintf(os.Stderr, "%v\n", err)
+			fmt.Fprintf(os.Stderr, "%v\n", res.Err)
 			return 1
 		}
 		for _, f := range findings {
 			if f.Severity == cfix.SevDefinite {
 				definite = true
 			}
-			if jsonOut {
+			if opts.json {
 				if err := enc.Encode(lintFinding{
 					File:     f.Pos.File,
 					Line:     f.Pos.Line,
@@ -168,7 +206,7 @@ func lintFiles(paths []string, jsonOut bool) int {
 				fmt.Println(f)
 			}
 		}
-		if !jsonOut && len(findings) == 0 {
+		if !opts.json && len(findings) == 0 {
 			fmt.Fprintf(os.Stderr, "%s: no overflows found\n", path)
 		}
 	}
@@ -206,15 +244,10 @@ func expandArgs(args []string) ([]string, error) {
 	return out, nil
 }
 
-// fixOne processes a single file.
-func fixOne(path string, opts options, batch bool) int {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "cfix: %v\n", err)
-		return 1
-	}
-	source := string(data)
-
+// emitOne reports and writes the fix outcome for a single file: pre/post
+// verification runs, the change summary, the diff view, and the output
+// file. Output ordering matches the historical sequential pipeline.
+func emitOne(path, source string, rep *cfix.Report, opts options, batch bool) int {
 	if opts.verify != "" {
 		res, err := cfix.Run(path, source, opts.verify, nil)
 		if err != nil {
@@ -227,20 +260,6 @@ func fixOne(path string, opts options, batch bool) int {
 		}
 	}
 
-	rep, err := cfix.Fix(path, source, cfix.Options{
-		DisableSLR:   !opts.doSLR,
-		DisableSTR:   !opts.doSTR,
-		SelectOffset: opts.at,
-		SelectAll:    opts.at < 0,
-		EmitSupport:  opts.support,
-		// The summary ranks and justifies candidate sites with the static
-		// oracle's verdicts when they are available.
-		Lint: opts.summary,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "cfix: %s: %v\n", path, err)
-		return 1
-	}
 	if opts.summary {
 		if batch {
 			fmt.Fprintf(os.Stderr, "== %s ==\n", path)

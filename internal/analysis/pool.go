@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Map runs f over every item through a bounded pool of workers and
+// returns the results in input order, regardless of completion order —
+// the deterministic fan-out primitive behind core.FixAll, cfix -j, and
+// the experiment harness. workers <= 0 means runtime.NumCPU(). f receives
+// the item's index alongside the item.
+func Map[T, R any](workers int, items []T, f func(int, T) R) []R {
+	out := make([]R, len(items))
+	if len(items) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers == 1 {
+		for i, item := range items {
+			out[i] = f(i, item)
+		}
+		return out
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				out[i] = f(i, items[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapPreservesInputOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{0, 1, 3, 8, 1000} {
+		got := Map(workers, items, func(i, v int) int { return v * v })
+		for i, r := range got {
+			if r != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, r, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmptyAndNil(t *testing.T) {
+	if got := Map(4, nil, func(i, v int) int { return v }); len(got) != 0 {
+		t.Fatalf("nil input: got %d results", len(got))
+	}
+	if got := Map(4, []int{}, func(i, v int) int { return v }); len(got) != 0 {
+		t.Fatalf("empty input: got %d results", len(got))
+	}
+}
+
+func TestMapCallsEachItemOnce(t *testing.T) {
+	const n = 257
+	var calls [n]atomic.Int32
+	items := make([]int, n)
+	for i := range items {
+		items[i] = i
+	}
+	Map(7, items, func(i, v int) struct{} {
+		calls[v].Add(1)
+		return struct{}{}
+	})
+	for i := range calls {
+		if c := calls[i].Load(); c != 1 {
+			t.Fatalf("item %d processed %d times", i, c)
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int32
+	items := make([]int, 64)
+	Map(workers, items, func(i, v int) int {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		runtime.Gosched()
+		inFlight.Add(-1)
+		return v
+	})
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent calls, want <= %d", p, workers)
+	}
+}
+
+func TestMapIndexMatchesItem(t *testing.T) {
+	items := []string{"a", "b", "c", "d", "e"}
+	got := Map(2, items, func(i int, v string) bool { return items[i] == v })
+	for i, ok := range got {
+		if !ok {
+			t.Fatalf("callback index mismatch at %d", i)
+		}
+	}
+}

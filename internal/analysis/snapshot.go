@@ -1,0 +1,208 @@
+// Package analysis provides the shared analysis-facts layer every client
+// of the pipeline sits on — the reproduction of OpenRefactory/C's single
+// analysis substrate (DESIGN §1): type analysis, control-flow graphs,
+// reaching definitions, points-to and alias sets, the call graph, the
+// interprocedural may-modify facts, and the static overflow oracle's
+// findings.
+//
+// A Snapshot is built once per parsed translation unit. Every fact is
+// computed lazily on first request, memoized, and safe for concurrent
+// access, so SLR, STR, the overflow oracle and the composition root can
+// all consume one snapshot instead of re-deriving the same facts from a
+// bare *cast.TranslationUnit. The package also hosts the bounded worker
+// pool (pool.go) behind the batch pipeline (core.FixAll, cfix -j).
+package analysis
+
+import (
+	"sync"
+
+	"repro/internal/buflen"
+	"repro/internal/callgraph"
+	"repro/internal/cast"
+	"repro/internal/cfg"
+	"repro/internal/cparse"
+	"repro/internal/dataflow"
+	"repro/internal/interproc"
+	"repro/internal/overflow"
+	"repro/internal/pointsto"
+	"repro/internal/typecheck"
+)
+
+// Config selects non-default analysis configurations for a snapshot.
+type Config struct {
+	// PointsTo configures the points-to solver; the zero value is the
+	// paper's aggregate model.
+	PointsTo pointsto.Options
+	// Overflow configures the static overflow oracle; nil means
+	// overflow.DefaultOptions().
+	Overflow *overflow.Options
+}
+
+// Snapshot is the per-translation-unit facts store. All accessors are
+// lazy, memoized, and safe for concurrent use; repeated calls return the
+// same cached value.
+type Snapshot struct {
+	unit *cast.TranslationUnit
+	conf Config
+
+	typeOnce sync.Once
+	typeErrs []error
+
+	ptOnce sync.Once
+	pt     *pointsto.Graph
+
+	aliasOnce sync.Once
+	aliases   *pointsto.AliasSets
+
+	cgOnce sync.Once
+	cg     *callgraph.Graph
+
+	interOnce sync.Once
+	inter     *interproc.Result
+
+	bufOnce sync.Once
+	buf     *buflen.Analyzer
+
+	findOnce sync.Once
+	findings []overflow.Finding
+
+	cfgMu sync.Mutex
+	cfgs  map[*cast.FuncDef]*cfg.Graph
+
+	rdMu sync.Mutex
+	rds  map[*cast.FuncDef]*dataflow.ReachingDefs
+}
+
+// New wraps an already parsed translation unit in a snapshot with the
+// default analysis configuration.
+func New(unit *cast.TranslationUnit) *Snapshot {
+	return NewWithConfig(unit, Config{})
+}
+
+// NewWithConfig wraps a parsed translation unit with an explicit
+// configuration (the precision ablations pass a field-sensitive
+// points-to model).
+func NewWithConfig(unit *cast.TranslationUnit, conf Config) *Snapshot {
+	return &Snapshot{
+		unit: unit,
+		conf: conf,
+		cfgs: make(map[*cast.FuncDef]*cfg.Graph, len(unit.Funcs)),
+		rds:  make(map[*cast.FuncDef]*dataflow.ReachingDefs, len(unit.Funcs)),
+	}
+}
+
+// Parse parses one preprocessed C translation unit and wraps it in a
+// snapshot — the parse-once entry point of the pipeline.
+func Parse(filename, source string) (*Snapshot, error) {
+	unit, err := cparse.Parse(filename, source)
+	if err != nil {
+		return nil, err
+	}
+	return New(unit), nil
+}
+
+// Unit returns the underlying translation unit.
+func (s *Snapshot) Unit() *cast.TranslationUnit { return s.unit }
+
+// Typecheck runs type analysis exactly once and returns its diagnostics.
+// Every other accessor calls it first, so facts are always computed over
+// a typed unit.
+func (s *Snapshot) Typecheck() []error {
+	s.typeOnce.Do(func() {
+		s.typeErrs = typecheck.Check(s.unit)
+	})
+	return s.typeErrs
+}
+
+// CFG returns the control-flow graph for fn, built once.
+func (s *Snapshot) CFG(fn *cast.FuncDef) *cfg.Graph {
+	s.Typecheck()
+	s.cfgMu.Lock()
+	defer s.cfgMu.Unlock()
+	g, ok := s.cfgs[fn]
+	if !ok {
+		g = cfg.Build(fn)
+		s.cfgs[fn] = g
+	}
+	return g
+}
+
+// Reaching returns the reaching-definitions solution for fn, solved once
+// over the shared CFG and alias sets.
+func (s *Snapshot) Reaching(fn *cast.FuncDef) *dataflow.ReachingDefs {
+	g, aliases := s.CFG(fn), s.Aliases()
+	s.rdMu.Lock()
+	defer s.rdMu.Unlock()
+	rd, ok := s.rds[fn]
+	if !ok {
+		rd = dataflow.ComputeReaching(g, aliases)
+		s.rds[fn] = rd
+	}
+	return rd
+}
+
+// PointsTo returns the unit-wide points-to graph, solved once.
+func (s *Snapshot) PointsTo() *pointsto.Graph {
+	s.ptOnce.Do(func() {
+		s.Typecheck()
+		s.pt = pointsto.Analyze(s.unit, s.conf.PointsTo)
+	})
+	return s.pt
+}
+
+// Aliases returns the alias sets derived from the points-to graph.
+func (s *Snapshot) Aliases() *pointsto.AliasSets {
+	s.aliasOnce.Do(func() {
+		s.aliases = pointsto.ComputeAliases(s.PointsTo())
+	})
+	return s.aliases
+}
+
+// CallGraph returns the unit call graph, built once.
+func (s *Snapshot) CallGraph() *callgraph.Graph {
+	s.cgOnce.Do(func() {
+		s.Typecheck()
+		s.cg = callgraph.Build(s.unit)
+	})
+	return s.cg
+}
+
+// MayModify returns the interprocedural may-modify facts (Section III-C),
+// computed once over the shared call graph.
+func (s *Snapshot) MayModify() *interproc.Result {
+	s.interOnce.Do(func() {
+		s.inter = interproc.AnalyzeWith(s.unit, s.CallGraph())
+	})
+	return s.inter
+}
+
+// BufLenAnalyzer returns the symbolic buffer-length analyzer (Algorithm 1)
+// backed by this snapshot's CFGs, reaching definitions and alias sets.
+func (s *Snapshot) BufLenAnalyzer() *buflen.Analyzer {
+	s.bufOnce.Do(func() {
+		s.Typecheck()
+		s.buf = buflen.NewAnalyzerFacts(s.unit, s)
+	})
+	return s.buf
+}
+
+// Findings runs the static overflow oracle exactly once — reusing the
+// snapshot's call graph, CFGs and buffer-length analysis — and returns
+// its CWE-classified findings in source order.
+func (s *Snapshot) Findings() []overflow.Finding {
+	s.findOnce.Do(func() {
+		s.Typecheck()
+		opts := overflow.DefaultOptions()
+		if s.conf.Overflow != nil {
+			opts = *s.conf.Overflow
+		}
+		s.findings = overflow.NewWithFacts(s.unit, opts, s).Analyze()
+	})
+	return s.findings
+}
+
+// Snapshot implements the facts interfaces of its consumers.
+var (
+	_ buflen.Facts   = (*Snapshot)(nil)
+	_ overflow.Facts = (*Snapshot)(nil)
+)

@@ -146,14 +146,22 @@ func (f *Failure) Error() string {
 	return fmt.Sprintf("%s: %s", f.Reason, f.Detail)
 }
 
-// Analyzer computes buffer lengths within one translation unit. It owns
-// the per-function CFGs and reaching-definition solutions plus the
-// unit-wide alias sets, building them lazily and caching them.
+// Facts is the subset of shared analysis facts the buffer-length
+// computation consumes. *analysis.Snapshot implements it; the default
+// constructors fall back to a private per-analyzer instance so existing
+// callers keep working unchanged.
+type Facts interface {
+	CFG(fn *cast.FuncDef) *cfg.Graph
+	Reaching(fn *cast.FuncDef) *dataflow.ReachingDefs
+	Aliases() *pointsto.AliasSets
+}
+
+// Analyzer computes buffer lengths within one translation unit, consuming
+// per-function CFGs and reaching-definition solutions plus the unit-wide
+// alias sets from its Facts provider.
 type Analyzer struct {
-	unit    *cast.TranslationUnit
-	aliases *pointsto.AliasSets
-	graphs  map[*cast.FuncDef]*cfg.Graph
-	rds     map[*cast.FuncDef]*dataflow.ReachingDefs
+	unit  *cast.TranslationUnit
+	facts Facts
 }
 
 // NewAnalyzer prepares an analyzer for the unit with the paper's default
@@ -164,39 +172,66 @@ func NewAnalyzer(unit *cast.TranslationUnit) *Analyzer {
 }
 
 // NewAnalyzerOpts prepares an analyzer with an explicit points-to
-// configuration (the field-sensitive precision ablation uses this).
+// configuration (the field-sensitive precision ablation uses this). The
+// facts are private to this analyzer; use NewAnalyzerFacts to share them.
 func NewAnalyzerOpts(unit *cast.TranslationUnit, opts pointsto.Options) *Analyzer {
-	ptGraph := pointsto.Analyze(unit, opts)
-	return &Analyzer{
-		unit:    unit,
-		aliases: pointsto.ComputeAliases(ptGraph),
+	return NewAnalyzerFacts(unit, newLocalFacts(unit, opts))
+}
+
+// NewAnalyzerFacts prepares an analyzer on externally owned facts — the
+// shared snapshot path, where points-to, CFGs and reaching definitions
+// are computed once per translation unit and reused by every client.
+func NewAnalyzerFacts(unit *cast.TranslationUnit, facts Facts) *Analyzer {
+	return &Analyzer{unit: unit, facts: facts}
+}
+
+// localFacts is the analyzer-private Facts provider: eager alias sets
+// (matching the historical constructor behavior) and lazily cached
+// per-function CFGs and reaching-definitions solutions.
+type localFacts struct {
+	aliases *pointsto.AliasSets
+	graphs  map[*cast.FuncDef]*cfg.Graph
+	rds     map[*cast.FuncDef]*dataflow.ReachingDefs
+}
+
+func newLocalFacts(unit *cast.TranslationUnit, opts pointsto.Options) *localFacts {
+	return &localFacts{
+		aliases: pointsto.ComputeAliases(pointsto.Analyze(unit, opts)),
 		graphs:  make(map[*cast.FuncDef]*cfg.Graph, len(unit.Funcs)),
 		rds:     make(map[*cast.FuncDef]*dataflow.ReachingDefs, len(unit.Funcs)),
 	}
 }
 
-// Aliases exposes the alias sets (used by the transformations'
-// precondition checks and diagnostics).
-func (a *Analyzer) Aliases() *pointsto.AliasSets { return a.aliases }
+func (f *localFacts) Aliases() *pointsto.AliasSets { return f.aliases }
 
-// CFG returns the cached control-flow graph for fn.
-func (a *Analyzer) CFG(fn *cast.FuncDef) *cfg.Graph {
-	g, ok := a.graphs[fn]
+func (f *localFacts) CFG(fn *cast.FuncDef) *cfg.Graph {
+	g, ok := f.graphs[fn]
 	if !ok {
 		g = cfg.Build(fn)
-		a.graphs[fn] = g
+		f.graphs[fn] = g
 	}
 	return g
 }
 
-// Reaching returns the cached reaching-definitions solution for fn.
-func (a *Analyzer) Reaching(fn *cast.FuncDef) *dataflow.ReachingDefs {
-	rd, ok := a.rds[fn]
+func (f *localFacts) Reaching(fn *cast.FuncDef) *dataflow.ReachingDefs {
+	rd, ok := f.rds[fn]
 	if !ok {
-		rd = dataflow.ComputeReaching(a.CFG(fn), a.aliases)
-		a.rds[fn] = rd
+		rd = dataflow.ComputeReaching(f.CFG(fn), f.aliases)
+		f.rds[fn] = rd
 	}
 	return rd
+}
+
+// Aliases exposes the alias sets (used by the transformations'
+// precondition checks and diagnostics).
+func (a *Analyzer) Aliases() *pointsto.AliasSets { return a.facts.Aliases() }
+
+// CFG returns the cached control-flow graph for fn.
+func (a *Analyzer) CFG(fn *cast.FuncDef) *cfg.Graph { return a.facts.CFG(fn) }
+
+// Reaching returns the cached reaching-definitions solution for fn.
+func (a *Analyzer) Reaching(fn *cast.FuncDef) *dataflow.ReachingDefs {
+	return a.facts.Reaching(fn)
 }
 
 // BufferLength computes the size of the destination-buffer expression b
@@ -430,7 +465,7 @@ func (a *Analyzer) identLength(fn *cast.FuncDef, at *cfg.Node, x *cast.Ident, de
 	// Lines 26-34: pointer type.
 	case ctype.IsPointer(t):
 		// Line 27: aliased pointers are refused.
-		if a.aliases.IsAliased(x.Sym) {
+		if a.Aliases().IsAliased(x.Sym) {
 			return Size{}, &Failure{Reason: FailAliased, Detail: x.Name}
 		}
 		// Parameters have no local definition: their storage is owned by
@@ -532,7 +567,7 @@ func (a *Analyzer) memberLength(fn *cast.FuncDef, at *cfg.Node, x *cast.MemberEx
 		// Line 39: under the paper's aggregate model the struct node
 		// carries the aliasing; the field-sensitive ablation asks about
 		// the member itself.
-		if a.aliases.IsAliasedMember(baseID.Sym, x.Member) {
+		if a.Aliases().IsAliasedMember(baseID.Sym, x.Member) {
 			return Size{}, &Failure{Reason: FailAliased, Detail: a.text(x)}
 		}
 		rd := a.Reaching(fn)

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/overflow"
+)
+
+// FileInput names one preprocessed C translation unit for batch
+// processing.
+type FileInput struct {
+	// Filename is used in diagnostics and carried through to the output.
+	Filename string
+	// Source is the unit's text.
+	Source string
+}
+
+// FileOutput pairs one batch input with its fix outcome. Exactly one of
+// Report and Err is set.
+type FileOutput struct {
+	Filename string
+	Report   *Report
+	Err      error
+}
+
+// FileFindings pairs one batch input with its lint outcome.
+type FileFindings struct {
+	Filename string
+	Findings []overflow.Finding
+	Err      error
+}
+
+// FixAll applies Fix to every input through a bounded worker pool — the
+// parse-once, analyze-once, fix-many pipeline. Each file is processed
+// independently (its own snapshot), so per-file results are identical to
+// sequential Fix calls. workers <= 0 means one worker per CPU. Results
+// come back in input order regardless of completion order.
+func FixAll(files []FileInput, opts Options, workers int) []FileOutput {
+	return analysis.Map(workers, files, func(_ int, in FileInput) FileOutput {
+		rep, err := Fix(in.Filename, in.Source, opts)
+		return FileOutput{Filename: in.Filename, Report: rep, Err: err}
+	})
+}
+
+// AnalyzeAll runs the static overflow oracle over every input through the
+// same bounded worker pool. workers <= 0 means one worker per CPU.
+// Results come back in input order.
+func AnalyzeAll(files []FileInput, workers int) []FileFindings {
+	return analysis.Map(workers, files, func(_ int, in FileInput) FileFindings {
+		fs, err := Analyze(in.Filename, in.Source)
+		return FileFindings{Filename: in.Filename, Findings: fs, Err: err}
+	})
+}

@@ -14,13 +14,12 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/cparse"
+	"repro/internal/analysis"
 	"repro/internal/ctoken"
 	"repro/internal/overflow"
 	"repro/internal/slr"
 	"repro/internal/str"
 	"repro/internal/stralloc"
-	"repro/internal/typecheck"
 )
 
 // Options selects which transformations run and how.
@@ -115,33 +114,35 @@ func (r *Report) Summary() string {
 // translation unit without transforming it, returning the CWE-classified
 // findings in source order.
 func Analyze(filename, source string) ([]overflow.Finding, error) {
-	unit, err := cparse.Parse(filename, source)
+	snap, err := analysis.Parse(filename, source)
 	if err != nil {
 		return nil, fmt.Errorf("core: parse for lint: %w", err)
 	}
-	typecheck.Check(unit)
-	return overflow.Analyze(unit), nil
+	return snap.Findings(), nil
 }
 
 // Fix applies the transformations to one preprocessed C translation unit.
+//
+// The input is parsed exactly once into a shared analysis-facts snapshot
+// (internal/analysis); lint and SLR consume the same parse, typecheck and
+// derived analyses. Only when SLR actually rewrites the text does STR
+// re-parse — it must analyze the post-SLR source.
 func Fix(filename, source string, opts Options) (*Report, error) {
 	rep := &Report{Source: source}
 
+	snap, err := analysis.Parse(filename, source)
+	if err != nil {
+		return nil, fmt.Errorf("core: parse for SLR: %w", err)
+	}
+
 	if opts.Lint {
-		fs, err := Analyze(filename, source)
-		if err != nil {
-			return nil, err
-		}
-		rep.Findings = fs
+		rep.Findings = snap.Findings()
 	}
 
 	if !opts.DisableSLR {
-		unit, err := cparse.Parse(filename, rep.Source)
-		if err != nil {
-			return nil, fmt.Errorf("core: parse for SLR: %w", err)
-		}
-		tr := slr.NewTransformer(unit)
+		tr := slr.NewTransformerSnap(snap)
 		var res *slr.FileResult
+		var err error
 		if opts.SelectOffset >= 0 {
 			res, err = tr.ApplyAt(ctoken.Pos(opts.SelectOffset))
 		} else {
@@ -153,23 +154,28 @@ func Fix(filename, source string, opts Options) (*Report, error) {
 		rep.SLR = res
 		rep.Source = res.NewSource
 		rep.NeedsGlib = res.NeedsGlib
-		// SLR parsed the original text, so extents are comparable.
+		// SLR analyzed the original text, so extents are comparable.
 		res.AttachFindings(rep.Findings)
 	}
 
 	if !opts.DisableSTR && opts.SelectOffset < 0 {
-		unit, err := cparse.Parse(filename, rep.Source)
-		if err != nil {
-			return nil, fmt.Errorf("core: parse for STR: %w", err)
+		// STR reuses the snapshot when the text is unchanged; otherwise it
+		// must analyze the post-SLR source, which requires a fresh parse.
+		strSnap := snap
+		if rep.Source != source {
+			strSnap, err = analysis.Parse(filename, rep.Source)
+			if err != nil {
+				return nil, fmt.Errorf("core: parse for STR: %w", err)
+			}
 		}
-		res, err := str.NewTransformer(unit).ApplyAll()
+		res, err := str.NewTransformerSnap(strSnap).ApplyAll()
 		if err != nil {
 			return nil, fmt.Errorf("core: STR: %w", err)
 		}
 		rep.STR = res
 		rep.Source = res.NewSource
 		rep.NeedsStralloc = res.NeedsStralloc
-		// STR may have parsed post-SLR text; AttachFindings matches by
+		// STR may have analyzed post-SLR text; AttachFindings matches by
 		// (function, variable) name, which survives the rewrite.
 		res.AttachFindings(rep.Findings)
 	}

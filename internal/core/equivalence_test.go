@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/cparse"
+	"repro/internal/samate"
+	"repro/internal/slr"
+	"repro/internal/str"
+)
+
+// equivCorpus returns at least min SAMATE programs as batch inputs,
+// sampling every CWE class round-robin so all transformation shapes are
+// covered.
+func equivCorpus(t testing.TB, min int) []FileInput {
+	t.Helper()
+	for per := min/len(samate.CWEs) + 1; per < 1000; per++ {
+		var inputs []FileInput
+		for _, cwe := range samate.CWEs {
+			n := per
+			if max := samate.TableIIICounts[cwe]; n > max {
+				n = max
+			}
+			for _, p := range samate.Generate(cwe, n) {
+				inputs = append(inputs, FileInput{Filename: p.ID + ".c", Source: p.Source})
+			}
+		}
+		if len(inputs) >= min {
+			return inputs
+		}
+	}
+	t.Fatalf("cannot assemble %d SAMATE programs", min)
+	return nil
+}
+
+// TestFixAllMatchesSequentialFix: the parallel batch pipeline must be
+// byte-identical to sequential per-file Fix over >= 200 SAMATE programs.
+func TestFixAllMatchesSequentialFix(t *testing.T) {
+	inputs := equivCorpus(t, 200)
+	opts := Options{SelectOffset: -1, Lint: true}
+
+	outs := FixAll(inputs, opts, 0)
+	if len(outs) != len(inputs) {
+		t.Fatalf("got %d outputs for %d inputs", len(outs), len(inputs))
+	}
+	for i, in := range inputs {
+		want, err := Fix(in.Filename, in.Source, opts)
+		if err != nil {
+			t.Fatalf("%s: sequential: %v", in.Filename, err)
+		}
+		out := outs[i]
+		if out.Filename != in.Filename {
+			t.Fatalf("output %d is %s, want %s (order lost)", i, out.Filename, in.Filename)
+		}
+		if out.Err != nil {
+			t.Fatalf("%s: batch: %v", in.Filename, out.Err)
+		}
+		if out.Report.Source != want.Source {
+			t.Fatalf("%s: batch output differs from sequential Fix", in.Filename)
+		}
+		if len(out.Report.Findings) != len(want.Findings) {
+			t.Fatalf("%s: findings diverge: %d vs %d",
+				in.Filename, len(out.Report.Findings), len(want.Findings))
+		}
+	}
+}
+
+// TestSnapshotPipelineMatchesSeedPipeline: the snapshot-backed SLR and STR
+// must make exactly the decisions of the seed pipeline (fresh transformer
+// per parse) — same sites, same variables, same outcomes, same text.
+func TestSnapshotPipelineMatchesSeedPipeline(t *testing.T) {
+	inputs := equivCorpus(t, 200)
+	for _, in := range inputs {
+		got, err := Fix(in.Filename, in.Source, Options{SelectOffset: -1})
+		if err != nil {
+			t.Fatalf("%s: %v", in.Filename, err)
+		}
+
+		// The seed pipeline: parse, SLR, re-parse, STR.
+		unit, err := cparse.Parse(in.Filename, in.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", in.Filename, err)
+		}
+		slrRes, err := slr.NewTransformer(unit).ApplyAll()
+		if err != nil {
+			t.Fatalf("%s: seed SLR: %v", in.Filename, err)
+		}
+		unit2, err := cparse.Parse(in.Filename, slrRes.NewSource)
+		if err != nil {
+			t.Fatalf("%s: %v", in.Filename, err)
+		}
+		strRes, err := str.NewTransformer(unit2).ApplyAll()
+		if err != nil {
+			t.Fatalf("%s: seed STR: %v", in.Filename, err)
+		}
+
+		if got.Source != strRes.NewSource {
+			t.Fatalf("%s: final source diverges from seed pipeline", in.Filename)
+		}
+		if len(got.SLR.Sites) != len(slrRes.Sites) {
+			t.Fatalf("%s: SLR candidate sets differ: %d vs %d",
+				in.Filename, len(got.SLR.Sites), len(slrRes.Sites))
+		}
+		for i, s := range got.SLR.Sites {
+			want := slrRes.Sites[i]
+			if s.Function != want.Function || s.Pos != want.Pos || s.Applied != want.Applied ||
+				fmt.Sprint(s.Failure) != fmt.Sprint(want.Failure) {
+				t.Fatalf("%s: SLR site %d decision diverges:\n got %+v\nwant %+v",
+					in.Filename, i, s, want)
+			}
+		}
+		if len(got.STR.Vars) != len(strRes.Vars) {
+			t.Fatalf("%s: STR candidate sets differ: %d vs %d",
+				in.Filename, len(got.STR.Vars), len(strRes.Vars))
+		}
+		for i, v := range got.STR.Vars {
+			want := strRes.Vars[i]
+			if v.Name != want.Name || v.Func != want.Func || v.Applied != want.Applied ||
+				v.Reason != want.Reason {
+				t.Fatalf("%s: STR var %d decision diverges:\n got %+v\nwant %+v",
+					in.Filename, i, v, want)
+			}
+		}
+	}
+}
+
+// TestFixAllParallelSpeedup is a smoke check of the acceptance claim that
+// the pool beats sequential processing on a multicore box. The strict 2x
+// bar lives in BenchmarkFixAllParallel; here we only require a clear win
+// to keep CI stable under load.
+func TestFixAllParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup measurement skipped in -short")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs, have %d", runtime.NumCPU())
+	}
+	inputs := equivCorpus(t, 200)
+	opts := Options{SelectOffset: -1, Lint: true}
+
+	start := time.Now()
+	FixAll(inputs, opts, 1)
+	seq := time.Since(start)
+
+	start = time.Now()
+	FixAll(inputs, opts, 0)
+	par := time.Since(start)
+
+	speedup := float64(seq) / float64(par)
+	t.Logf("sequential %v, parallel %v, speedup %.2fx on %d CPUs", seq, par, speedup, runtime.NumCPU())
+	if speedup < 1.3 {
+		t.Fatalf("parallel FixAll only %.2fx faster than sequential", speedup)
+	}
+}

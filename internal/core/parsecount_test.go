@@ -1,0 +1,84 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cparse"
+)
+
+// overflowing is a variant of sample whose strcpy provably overflows, so
+// the lint oracle produces findings.
+const overflowing = `
+void f(void) {
+    char buf[8];
+    char *p;
+    strcpy(buf, "this literal exceeds eight bytes");
+    p = malloc(8);
+    p[0] = 'x';
+}
+`
+
+// parseDelta runs f and returns how many times cparse.Parse executed.
+func parseDelta(f func()) int64 {
+	before := cparse.Parses()
+	f()
+	return cparse.Parses() - before
+}
+
+// TestFixLintParsesOnce is the regression test for the redundant parse the
+// snapshot layer removed: with Lint and SLR both enabled, the input is
+// parsed exactly once — lint and SLR share the snapshot.
+func TestFixLintParsesOnce(t *testing.T) {
+	delta := parseDelta(func() {
+		rep, err := Fix("s.c", overflowing, Options{Lint: true, DisableSTR: true, SelectOffset: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Findings) == 0 {
+			t.Fatal("lint must have run")
+		}
+		if rep.SLR == nil || rep.SLR.AppliedCount() == 0 {
+			t.Fatal("SLR must have applied")
+		}
+	})
+	if delta != 1 {
+		t.Fatalf("lint+SLR parsed %d times, want exactly 1", delta)
+	}
+}
+
+// TestFixFullPipelineParseCount pins the whole pipeline's parse budget:
+// one parse shared by lint and SLR, plus one re-parse for STR only because
+// SLR rewrote the text.
+func TestFixFullPipelineParseCount(t *testing.T) {
+	delta := parseDelta(func() {
+		rep, err := Fix("s.c", overflowing, Options{Lint: true, SelectOffset: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Source == overflowing {
+			t.Fatal("SLR should have rewritten the sample")
+		}
+	})
+	if delta != 2 {
+		t.Fatalf("full pipeline parsed %d times, want 2 (shared snapshot + post-SLR re-parse)", delta)
+	}
+}
+
+// TestFixUnchangedSourceSkipsReparse: when SLR applies nothing, STR reuses
+// the original snapshot instead of re-parsing identical text.
+func TestFixUnchangedSourceSkipsReparse(t *testing.T) {
+	src := strings.ReplaceAll(sample, "strcpy(buf, \"hello\");", "buf[0] = 'h';")
+	delta := parseDelta(func() {
+		rep, err := Fix("s.c", src, Options{Lint: true, SelectOffset: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.SLR != nil && rep.SLR.AppliedCount() != 0 {
+			t.Fatal("sample variant should have no SLR sites")
+		}
+	})
+	if delta != 1 {
+		t.Fatalf("no-op SLR parsed %d times, want 1 (snapshot reused for STR)", delta)
+	}
+}

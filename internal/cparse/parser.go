@@ -9,6 +9,7 @@ package cparse
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/cast"
 	"repro/internal/clex"
@@ -44,10 +45,18 @@ type Parser struct {
 	nextID int
 }
 
+// parses counts Parse calls process-wide. The batch pipeline's
+// parse-once guarantee is asserted against this counter in tests.
+var parses atomic.Int64
+
+// Parses returns the number of Parse calls made since process start.
+func Parses() int64 { return parses.Load() }
+
 // Parse parses a complete translation unit from src. The name is used for
 // diagnostics only. On error the partially built unit is returned alongside
 // the error when possible.
 func Parse(name, src string) (*cast.TranslationUnit, error) {
+	parses.Add(1)
 	toks, err := clex.TokenizeForParser(src)
 	if err != nil {
 		return nil, fmt.Errorf("tokenize %s: %w", name, err)

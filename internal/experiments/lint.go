@@ -2,10 +2,9 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
 	"strings"
-	"sync"
 
+	"repro/internal/analysis"
 	"repro/internal/cinterp"
 	"repro/internal/cparse"
 	"repro/internal/overflow"
@@ -58,7 +57,7 @@ func (r LintRow) Recall() float64 {
 type LintOptions struct {
 	// Stride processes every Stride-th program (1 = the full corpus).
 	Stride int
-	// Workers bounds parallelism (0 = GOMAXPROCS).
+	// Workers bounds the shared pool (internal/analysis); 0 = one per CPU.
 	Workers int
 }
 
@@ -69,36 +68,18 @@ func RunLint(opts LintOptions) ([]LintRow, error) {
 	if opts.Stride < 1 {
 		opts.Stride = 1
 	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 
 	var rows []LintRow
 	for _, cwe := range samate.CWEs {
 		progs := samate.Generate(cwe, samate.TableIIICounts[cwe])
 		row := LintRow{CWE: cwe, Name: samate.CWENames[cwe]}
 
-		sem := make(chan struct{}, workers)
-		results := make([]lintOutcome, 0, len(progs)/opts.Stride+1)
-		var (
-			mu sync.Mutex
-			wg sync.WaitGroup
-		)
+		picked := make([]samate.Program, 0, len(progs)/opts.Stride+1)
 		for i := 0; i < len(progs); i += opts.Stride {
-			p := progs[i]
-			wg.Add(1)
-			sem <- struct{}{}
-			go func() {
-				defer wg.Done()
-				defer func() { <-sem }()
-				o := lintOne(p)
-				mu.Lock()
-				results = append(results, o)
-				mu.Unlock()
-			}()
+			picked = append(picked, progs[i])
 		}
-		wg.Wait()
+		results := analysis.Map(opts.Workers, picked,
+			func(_ int, p samate.Program) lintOutcome { return lintOne(p) })
 
 		for _, o := range results {
 			row.Programs++
@@ -138,13 +119,12 @@ type lintOutcome struct {
 
 // lintOne runs both oracles on one program.
 func lintOne(p samate.Program) (o lintOutcome) {
-	unit, err := cparse.Parse(p.ID+".c", p.Source)
+	snap, err := analysis.Parse(p.ID+".c", p.Source)
 	if err != nil {
 		o.err = err
 		return o
 	}
-	typecheck.Check(unit)
-	for _, f := range overflow.Analyze(unit) {
+	for _, f := range snap.Findings() {
 		if attributed(f, p.ID+"_bad") {
 			o.badFlag = true
 			if f.CWE == p.CWE {

@@ -9,10 +9,9 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
 	"strings"
-	"sync"
 
+	"repro/internal/analysis"
 	"repro/internal/harness"
 	"repro/internal/samate"
 	"repro/internal/stralloc"
@@ -45,7 +44,7 @@ type CWEResult struct {
 type TableIIIOptions struct {
 	// Stride processes every Stride-th program (1 = the full 4,505).
 	Stride int
-	// Workers bounds parallelism (0 = GOMAXPROCS).
+	// Workers bounds the shared pool (internal/analysis); 0 = one per CPU.
 	Workers int
 }
 
@@ -54,10 +53,6 @@ type TableIIIOptions struct {
 func RunTableIII(opts TableIIIOptions) ([]CWEResult, error) {
 	if opts.Stride < 1 {
 		opts.Stride = 1
-	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
 	}
 
 	ppOverhead := strings.Count(stralloc.FullSource(), "\n") + 1
@@ -72,27 +67,15 @@ func RunTableIII(opts TableIIIOptions) ([]CWEResult, error) {
 			err error
 			loc int
 		}
-		sem := make(chan struct{}, workers)
-		results := make([]verdictOrErr, 0, len(progs)/opts.Stride+1)
-		var (
-			mu sync.Mutex
-			wg sync.WaitGroup
-		)
+		picked := make([]samate.Program, 0, len(progs)/opts.Stride+1)
 		for i := 0; i < len(progs); i += opts.Stride {
-			p := progs[i]
-			wg.Add(1)
-			sem <- struct{}{}
-			go func() {
-				defer wg.Done()
-				defer func() { <-sem }()
-				v, err := harness.Verify(p.ID, p.Source, p.ID+"_good", p.ID+"_bad",
-					harness.Options{Stdin: stdinFor(p)})
-				mu.Lock()
-				results = append(results, verdictOrErr{v: v, err: err, loc: p.LOC()})
-				mu.Unlock()
-			}()
+			picked = append(picked, progs[i])
 		}
-		wg.Wait()
+		results := analysis.Map(opts.Workers, picked, func(_ int, p samate.Program) verdictOrErr {
+			v, err := harness.Verify(p.ID, p.Source, p.ID+"_good", p.ID+"_bad",
+				harness.Options{Stdin: stdinFor(p)})
+			return verdictOrErr{v: v, err: err, loc: p.LOC()}
+		})
 
 		for _, r := range results {
 			row.Programs++

@@ -79,9 +79,19 @@ type Result struct {
 // Analyze computes may-modify facts for every defined function in the
 // unit, iterating over the call graph to a fixpoint.
 func Analyze(unit *cast.TranslationUnit) *Result {
+	return AnalyzeWith(unit, nil)
+}
+
+// AnalyzeWith is Analyze reusing a prebuilt call graph (nil builds one);
+// the shared facts snapshot (internal/analysis) passes its own so the
+// graph is constructed once per translation unit.
+func AnalyzeWith(unit *cast.TranslationUnit, cg *callgraph.Graph) *Result {
+	if cg == nil {
+		cg = callgraph.Build(unit)
+	}
 	r := &Result{
 		unit: unit,
-		cg:   callgraph.Build(unit),
+		cg:   cg,
 		mods: make(map[string][]bool, len(unit.Funcs)),
 	}
 	for _, f := range unit.Funcs {

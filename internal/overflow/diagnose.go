@@ -129,11 +129,22 @@ func DefaultOptions() Options {
 	return Options{ContextDepth: 2, SeedFromBuflen: true}
 }
 
+// Facts is the subset of shared analysis facts the oracle consumes when a
+// facts snapshot (internal/analysis) is threaded in: the unit call graph,
+// per-function CFGs, and the symbolic buffer-length analyzer. Without a
+// provider the oracle derives private copies, as it always has.
+type Facts interface {
+	CallGraph() *callgraph.Graph
+	CFG(fn *cast.FuncDef) *cfg.Graph
+	BufLenAnalyzer() *buflen.Analyzer
+}
+
 // Analyzer runs the static overflow oracle over one translation unit. It
 // is not safe for concurrent use.
 type Analyzer struct {
-	unit *cast.TranslationUnit
-	opts Options
+	unit  *cast.TranslationUnit
+	opts  Options
+	facts Facts
 
 	cg        *callgraph.Graph
 	buf       *buflen.Analyzer
@@ -159,13 +170,24 @@ func NewWithOptions(unit *cast.TranslationUnit, opts Options) *Analyzer {
 	return &Analyzer{unit: unit, opts: opts}
 }
 
+// NewWithFacts creates an analyzer that reuses shared analysis facts
+// instead of rebuilding the call graph, CFGs and buffer-length analysis.
+func NewWithFacts(unit *cast.TranslationUnit, opts Options, facts Facts) *Analyzer {
+	return &Analyzer{unit: unit, opts: opts, facts: facts}
+}
+
 func (a *Analyzer) ensure() {
 	if a.ready {
 		return
 	}
 	a.ready = true
-	a.cg = callgraph.Build(a.unit)
-	a.buf = buflen.NewAnalyzer(a.unit)
+	if a.facts != nil {
+		a.cg = a.facts.CallGraph()
+		a.buf = a.facts.BufLenAnalyzer()
+	} else {
+		a.cg = callgraph.Build(a.unit)
+		a.buf = buflen.NewAnalyzer(a.unit)
+	}
 	a.cfgs = make(map[string]*cfg.Graph)
 	a.memo = make(map[string]*solveEntry)
 	a.globals = make(map[int]varState)
@@ -189,6 +211,9 @@ func (a *Analyzer) ensure() {
 }
 
 func (a *Analyzer) cfgFor(fn *cast.FuncDef) *cfg.Graph {
+	if a.facts != nil {
+		return a.facts.CFG(fn)
+	}
 	if g, ok := a.cfgs[fn.Name]; ok {
 		return g
 	}

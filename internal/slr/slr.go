@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/buflen"
 	"repro/internal/cast"
 	"repro/internal/ctoken"
@@ -120,9 +121,21 @@ func NewTransformer(unit *cast.TranslationUnit) *Transformer {
 // configuration; the precision ablation passes FieldSensitive.
 func NewTransformerOpts(unit *cast.TranslationUnit, ptOpts pointsto.Options) *Transformer {
 	typecheck.Check(unit)
+	return newTransformer(unit, buflen.NewAnalyzerOpts(unit, ptOpts))
+}
+
+// NewTransformerSnap prepares a transformer on a shared analysis-facts
+// snapshot: type analysis, points-to, alias sets, CFGs and reaching
+// definitions are reused rather than re-derived from the bare unit.
+func NewTransformerSnap(s *analysis.Snapshot) *Transformer {
+	s.Typecheck()
+	return newTransformer(s.Unit(), s.BufLenAnalyzer())
+}
+
+func newTransformer(unit *cast.TranslationUnit, analyzer *buflen.Analyzer) *Transformer {
 	t := &Transformer{
 		unit:      unit,
-		analyzer:  buflen.NewAnalyzerOpts(unit, ptOpts),
+		analyzer:  analyzer,
 		usedNames: make(map[string]struct{}),
 	}
 	for _, s := range unit.Symbols {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/analysis"
 	"repro/internal/cast"
 	"repro/internal/ctoken"
 	"repro/internal/ctype"
@@ -161,9 +162,21 @@ type Transformer struct {
 // NewTransformer prepares STR for the unit.
 func NewTransformer(unit *cast.TranslationUnit) *Transformer {
 	typecheck.Check(unit)
+	return newTransformer(unit, interproc.Analyze(unit))
+}
+
+// NewTransformerSnap prepares STR on a shared analysis-facts snapshot:
+// type analysis, the call graph and the interprocedural may-modify facts
+// are reused rather than re-derived from the bare unit.
+func NewTransformerSnap(s *analysis.Snapshot) *Transformer {
+	s.Typecheck()
+	return newTransformer(s.Unit(), s.MayModify())
+}
+
+func newTransformer(unit *cast.TranslationUnit, inter *interproc.Result) *Transformer {
 	t := &Transformer{
 		unit:      unit,
-		inter:     interproc.Analyze(unit),
+		inter:     inter,
 		parents:   buildParents(unit),
 		targets:   make(map[*cast.Symbol]bool),
 		declOf:    make(map[*cast.Symbol]*candidate),

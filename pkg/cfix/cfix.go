@@ -63,20 +63,52 @@ type Options struct {
 // Report is the outcome of Fix. See core.Report for field semantics.
 type Report = core.Report
 
-// Fix applies the transformations to source (a preprocessed C translation
-// unit). filename is used in diagnostics only.
-func Fix(filename, source string, opts Options) (*Report, error) {
+// coreOptions translates the public options to the composition root's.
+func coreOptions(opts Options) core.Options {
 	sel := -1
 	if !opts.SelectAll && opts.SelectOffset > 0 {
 		sel = opts.SelectOffset
 	}
-	return core.Fix(filename, source, core.Options{
+	return core.Options{
 		DisableSLR:   opts.DisableSLR,
 		DisableSTR:   opts.DisableSTR,
 		SelectOffset: sel,
 		EmitSupport:  opts.EmitSupport,
 		Lint:         opts.Lint,
-	})
+	}
+}
+
+// Fix applies the transformations to source (a preprocessed C translation
+// unit). filename is used in diagnostics only. The input is parsed exactly
+// once into a shared analysis-facts snapshot that lint, SLR and (when SLR
+// leaves the text unchanged) STR all consume.
+func Fix(filename, source string, opts Options) (*Report, error) {
+	return core.Fix(filename, source, coreOptions(opts))
+}
+
+// FileInput names one translation unit for batch processing.
+type FileInput = core.FileInput
+
+// FileOutput pairs one batch input with its fix outcome.
+type FileOutput = core.FileOutput
+
+// FileFindings pairs one batch input with its lint outcome.
+type FileFindings = core.FileFindings
+
+// FixAll applies Fix to every input through a bounded worker pool and
+// returns per-file outcomes in input order — the whole-project batch mode
+// behind `cfix -j N file1.c file2.c ...`. Each file gets its own analysis
+// snapshot, so outputs are byte-identical to sequential Fix calls.
+// workers <= 0 means one worker per CPU.
+func FixAll(files []FileInput, opts Options, workers int) []FileOutput {
+	return core.FixAll(files, coreOptions(opts), workers)
+}
+
+// AnalyzeAll runs the static overflow oracle over every input through the
+// same bounded worker pool, returning per-file findings in input order.
+// workers <= 0 means one worker per CPU.
+func AnalyzeAll(files []FileInput, workers int) []FileFindings {
+	return core.AnalyzeAll(files, workers)
 }
 
 // Finding is one statically diagnosed buffer overflow: a CWE class
