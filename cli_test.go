@@ -282,6 +282,123 @@ int main(void) { work(); return 0; }
 	}
 }
 
+func TestCfixCLIKeepGoingAndBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "cmd/cfix")
+	dir := t.TempDir()
+
+	good1 := filepath.Join(dir, "a.c")
+	good2 := filepath.Join(dir, "c.c")
+	broken := filepath.Join(dir, "b.c")
+	goodSrc := `
+void work(void) {
+    char buf[8];
+    strcpy(buf, "a string that is clearly too long");
+}
+`
+	for _, f := range []string{good1, good2} {
+		if err := os.WriteFile(f, []byte(goodSrc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(broken, []byte("void oops( {"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Without -keep-going the batch stops at the first failure: nothing
+	// lands in the output directory for the files after it.
+	outdir := filepath.Join(dir, "out-fail-fast")
+	err := exec.Command(bin, "-summary=false", "-outdir", outdir, good1, broken, good2).Run()
+	if code := exitCode(err); code != 1 {
+		t.Fatalf("fail-fast batch: exit %d, want 1", code)
+	}
+	if _, err := os.Stat(filepath.Join(outdir, "c.c")); err == nil {
+		t.Fatal("fail-fast batch wrote output past the failing file")
+	}
+
+	// With -keep-going every healthy file is transformed and written,
+	// the broken one is reported, and the run still exits 1.
+	outdir = filepath.Join(dir, "out-keep-going")
+	cmd := exec.Command(bin, "-summary=false", "-keep-going", "-outdir", outdir, good1, broken, good2)
+	combined, err := cmd.CombinedOutput()
+	if code := exitCode(err); code != 1 {
+		t.Fatalf("keep-going batch: exit %d, want 1\n%s", code, combined)
+	}
+	if !strings.Contains(string(combined), "b.c") {
+		t.Fatalf("keep-going batch did not report the broken file:\n%s", combined)
+	}
+	for _, name := range []string{"a.c", "c.c"} {
+		fixed, err := os.ReadFile(filepath.Join(outdir, name))
+		if err != nil {
+			t.Fatalf("keep-going batch lost a healthy file: %v", err)
+		}
+		if !strings.Contains(string(fixed), "g_strlcpy") {
+			t.Fatalf("%s missing rewrite:\n%s", name, fixed)
+		}
+	}
+	// Atomic writes must not leave temp files behind.
+	entries, err := os.ReadDir(outdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("stale temporary file in outdir: %s", e.Name())
+		}
+	}
+
+	// Lint keep-going: the definite-overflow gate (3) dominates the
+	// per-file error (1) so CI reads the security signal first.
+	vuln := filepath.Join(dir, "vuln.c")
+	if err := os.WriteFile(vuln, []byte(`
+void work(void) {
+    char buf[8];
+    char src[40];
+    memset(src, 'A', 30);
+    src[30] = '\0';
+    strcpy(buf, src);
+}
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = exec.Command(bin, "-lint", "-keep-going", broken, vuln).Run()
+	if code := exitCode(err); code != 3 {
+		t.Fatalf("lint keep-going with definite: exit %d, want 3", code)
+	}
+	// Errors alone (no definite finding) exit 1.
+	clean := filepath.Join(dir, "clean.c")
+	if err := os.WriteFile(clean, []byte(`
+void work(void) {
+    char buf[8];
+    strcpy(buf, "ok");
+}
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = exec.Command(bin, "-lint", "-keep-going", broken, clean).Run()
+	if code := exitCode(err); code != 1 {
+		t.Fatalf("lint keep-going errors only: exit %d, want 1", code)
+	}
+
+	// An exhausted -budget degrades loudly: the oracle reports the
+	// affected functions as unverified instead of passing them silently.
+	out, err := exec.Command(bin, "-lint", "-budget", "1", vuln).Output()
+	if code := exitCode(err); code != 0 && code != 3 {
+		t.Fatalf("lint -budget: exit %d, want 0 or 3", code)
+	}
+	if !strings.Contains(string(out), "degraded") {
+		t.Fatalf("budget-exhausted lint not marked degraded:\n%s", out)
+	}
+
+	// The timeout flags parse and a comfortable deadline changes nothing.
+	if err := exec.Command(bin, "-summary=false", "-timeout", "30s", "-total-timeout", "1m",
+		"-o", filepath.Join(dir, "t.c"), good1).Run(); err != nil {
+		t.Fatalf("timeout flags: %v", err)
+	}
+}
+
 // exitCode extracts the process exit status (0 when err is nil).
 func exitCode(err error) int {
 	if err == nil {

@@ -19,6 +19,12 @@
 //	-lint           do not transform; run the static overflow oracle and
 //	                print CWE-classified findings
 //	-json           with -lint, print findings as JSON lines
+//	-timeout d      per-file processing deadline (e.g. 30s; 0 = none)
+//	-total-timeout d  overall deadline for the whole invocation (0 = none)
+//	-budget n       per-file solver iteration/context budget; exhausted
+//	                budgets degrade to conservative results, never silence
+//	-keep-going     process every file even when one fails; report each
+//	                error and exit nonzero at the end
 //
 // A directory argument expands to every .c file directly inside it — the
 // paper's maintenance scenario of batch-hardening a legacy tree.
@@ -26,12 +32,15 @@
 // Exit codes:
 //
 //	0  success; with -lint, no definite overflow was found
-//	1  a file could not be read, parsed, or transformed
+//	1  a file could not be read, parsed, or transformed (with -keep-going,
+//	   at least one file failed)
 //	2  usage error
-//	3  -lint found at least one definite overflow (CI gate signal)
+//	3  -lint found at least one definite overflow (CI gate signal; with
+//	   -keep-going this dominates per-file errors)
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -39,6 +48,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/textdiff"
 	"repro/pkg/cfix"
@@ -48,18 +58,39 @@ func main() { os.Exit(run()) }
 
 // options collects the parsed flags.
 type options struct {
-	out     string
-	outdir  string
-	doSLR   bool
-	doSTR   bool
-	at      int
-	support bool
-	verify  string
-	summary bool
-	diff    bool
-	lint    bool
-	json    bool
-	jobs    int
+	out          string
+	outdir       string
+	doSLR        bool
+	doSTR        bool
+	at           int
+	support      bool
+	verify       string
+	summary      bool
+	diff         bool
+	lint         bool
+	json         bool
+	jobs         int
+	timeout      time.Duration
+	totalTimeout time.Duration
+	budget       int
+	keepGoing    bool
+}
+
+// fixOptions translates the CLI flags into library options.
+func (o options) fixOptions() cfix.Options {
+	return cfix.Options{
+		DisableSLR:   !o.doSLR,
+		DisableSTR:   !o.doSTR,
+		SelectOffset: o.at,
+		SelectAll:    o.at < 0,
+		EmitSupport:  o.support,
+		// The summary ranks and justifies candidate sites with the static
+		// oracle's verdicts when they are available.
+		Lint:      o.summary,
+		Timeout:   o.timeout,
+		Budget:    o.budget,
+		KeepGoing: o.keepGoing,
+	}
 }
 
 func run() int {
@@ -76,7 +107,18 @@ func run() int {
 	flag.BoolVar(&opts.lint, "lint", false, "run the static overflow oracle only; exit 3 on a definite overflow")
 	flag.BoolVar(&opts.json, "json", false, "with -lint, print findings as JSON lines")
 	flag.IntVar(&opts.jobs, "j", 0, "parallel workers for batch mode (0 = one per CPU)")
+	flag.DurationVar(&opts.timeout, "timeout", 0, "per-file processing deadline (0 = none)")
+	flag.DurationVar(&opts.totalTimeout, "total-timeout", 0, "overall deadline for the whole invocation (0 = none)")
+	flag.IntVar(&opts.budget, "budget", 0, "per-file solver iteration/context budget (0 = unlimited); exhaustion degrades, never silences")
+	flag.BoolVar(&opts.keepGoing, "keep-going", false, "process every file even when one fails; exit nonzero at the end")
 	flag.Parse()
+
+	ctx := context.Background()
+	if opts.totalTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.totalTimeout)
+		defer cancel()
+	}
 
 	paths, err := expandArgs(flag.Args())
 	if err != nil {
@@ -94,7 +136,7 @@ func run() int {
 		return 2
 	}
 	if opts.lint {
-		return lintFiles(paths, opts)
+		return lintFiles(ctx, paths, opts)
 	}
 	if len(paths) > 1 && opts.out != "" {
 		fmt.Fprintln(os.Stderr, "cfix: -o needs a single input; use -outdir for batches")
@@ -104,12 +146,14 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "cfix: -at needs a single input")
 		return 2
 	}
-	return fixFiles(paths, opts)
+	return fixFiles(ctx, paths, opts)
 }
 
 // fixFiles reads every input, fixes them through the parallel batch
-// pipeline (cfix.FixAll), and emits the results in input order.
-func fixFiles(paths []string, opts options) int {
+// pipeline (cfix.FixAll), and emits the results in input order. Without
+// -keep-going the first failure stops the run; with it, every file is
+// processed and reported and the run exits 1 at the end if any failed.
+func fixFiles(ctx context.Context, paths []string, opts options) int {
 	inputs := make([]cfix.FileInput, len(paths))
 	for i, path := range paths {
 		data, err := os.ReadFile(path)
@@ -119,24 +163,26 @@ func fixFiles(paths []string, opts options) int {
 		}
 		inputs[i] = cfix.FileInput{Filename: path, Source: string(data)}
 	}
-	outs := cfix.FixAll(inputs, cfix.Options{
-		DisableSLR:   !opts.doSLR,
-		DisableSTR:   !opts.doSTR,
-		SelectOffset: opts.at,
-		SelectAll:    opts.at < 0,
-		EmitSupport:  opts.support,
-		// The summary ranks and justifies candidate sites with the static
-		// oracle's verdicts when they are available.
-		Lint: opts.summary,
-	}, opts.jobs)
+	outs := cfix.FixAllContext(ctx, inputs, opts.fixOptions(), opts.jobs)
+	failed := false
 	for i, out := range outs {
 		if out.Err != nil {
 			fmt.Fprintf(os.Stderr, "cfix: %s: %v\n", out.Filename, out.Err)
-			return 1
+			if !opts.keepGoing {
+				return 1
+			}
+			failed = true
+			continue
 		}
 		if code := emitOne(paths[i], inputs[i].Source, out.Report, opts, len(paths) > 1); code != 0 {
-			return code
+			if !opts.keepGoing {
+				return code
+			}
+			failed = true
 		}
+	}
+	if failed {
+		return 1
 	}
 	return 0
 }
@@ -154,13 +200,16 @@ type lintFinding struct {
 	Message  string   `json:"message"`
 	Fix      string   `json:"fix"`
 	Contexts []string `json:"contexts,omitempty"`
+	Degraded bool     `json:"degraded,omitempty"`
 }
 
 // lintFiles runs the static overflow oracle over every input — through
 // the parallel batch pipeline — and prints the findings in input order.
 // It returns 3 when any finding is definite, 0 when all files are clean
-// or merely possible, 1 on processing errors.
-func lintFiles(paths []string, opts options) int {
+// or merely possible, 1 on processing errors. With -keep-going a
+// per-file error no longer stops the run; the definite-overflow gate (3)
+// dominates per-file errors (1) so CI reads the security signal first.
+func lintFiles(ctx context.Context, paths []string, opts options) int {
 	inputs := make([]cfix.FileInput, len(paths))
 	for i, path := range paths {
 		data, err := os.ReadFile(path)
@@ -170,16 +219,20 @@ func lintFiles(paths []string, opts options) int {
 		}
 		inputs[i] = cfix.FileInput{Filename: path, Source: string(data)}
 	}
-	results := cfix.AnalyzeAll(inputs, opts.jobs)
+	results := cfix.AnalyzeAllContext(ctx, inputs, opts.fixOptions(), opts.jobs)
 
 	enc := json.NewEncoder(os.Stdout)
-	definite := false
+	definite, failed := false, false
 	for _, res := range results {
 		path, findings := res.Filename, res.Findings
 		if res.Err != nil {
 			// Parse errors already carry file:line:col.
 			fmt.Fprintf(os.Stderr, "%v\n", res.Err)
-			return 1
+			if !opts.keepGoing {
+				return 1
+			}
+			failed = true
+			continue
 		}
 		for _, f := range findings {
 			if f.Severity == cfix.SevDefinite {
@@ -198,6 +251,7 @@ func lintFiles(paths []string, opts options) int {
 					Message:  f.Msg,
 					Fix:      f.SuggestedFix,
 					Contexts: f.Contexts,
+					Degraded: f.Degraded,
 				}); err != nil {
 					fmt.Fprintf(os.Stderr, "cfix: %v\n", err)
 					return 1
@@ -210,8 +264,11 @@ func lintFiles(paths []string, opts options) int {
 			fmt.Fprintf(os.Stderr, "%s: no overflows found\n", path)
 		}
 	}
-	if definite {
+	switch {
+	case definite:
 		return 3
+	case failed:
+		return 1
 	}
 	return 0
 }
@@ -297,12 +354,12 @@ func emitOne(path, source string, rep *cfix.Report, opts options, batch bool) in
 			return 1
 		}
 		dst := filepath.Join(opts.outdir, filepath.Base(path))
-		if err := os.WriteFile(dst, []byte(rep.Source), 0o644); err != nil {
+		if err := writeFileAtomic(dst, []byte(rep.Source), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "cfix: %v\n", err)
 			return 1
 		}
 	case opts.out != "":
-		if err := os.WriteFile(opts.out, []byte(rep.Source), 0o644); err != nil {
+		if err := writeFileAtomic(opts.out, []byte(rep.Source), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "cfix: %v\n", err)
 			return 1
 		}
@@ -310,4 +367,38 @@ func emitOne(path, source string, rep *cfix.Report, opts options, batch bool) in
 		os.Stdout.WriteString(rep.Source)
 	}
 	return 0
+}
+
+// writeFileAtomic writes data to path through a temporary file in the
+// same directory followed by a rename, so a crash, full disk, or
+// concurrent reader never observes a truncated output — the transformed
+// source either fully replaces the destination or leaves it untouched.
+func writeFileAtomic(path string, data []byte, mode os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := tmp.Write(data); err != nil {
+		return err
+	}
+	if err := tmp.Chmod(mode); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	name := tmp.Name()
+	tmp = nil // the deferred cleanup no longer owns the file
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
 }

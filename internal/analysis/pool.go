@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -12,6 +13,17 @@ import (
 // the experiment harness. workers <= 0 means runtime.NumCPU(). f receives
 // the item's index alongside the item.
 func Map[T, R any](workers int, items []T, f func(int, T) R) []R {
+	return MapCtx(context.Background(), workers, items,
+		func(_ context.Context, i int, item T) R { return f(i, item) })
+}
+
+// MapCtx is Map with cooperative cancellation. f is invoked exactly once
+// per item even after ctx is done — the result slice always has one
+// entry per input, in input order — but implementations are expected to
+// short-circuit on a done context (core.Fix returns the context error as
+// the file's outcome), so a cancelled batch drains in microseconds
+// instead of finishing every file.
+func MapCtx[T, R any](ctx context.Context, workers int, items []T, f func(context.Context, int, T) R) []R {
 	out := make([]R, len(items))
 	if len(items) == 0 {
 		return out
@@ -24,7 +36,7 @@ func Map[T, R any](workers int, items []T, f func(int, T) R) []R {
 	}
 	if workers == 1 {
 		for i, item := range items {
-			out[i] = f(i, item)
+			out[i] = f(ctx, i, item)
 		}
 		return out
 	}
@@ -41,7 +53,7 @@ func Map[T, R any](workers int, items []T, f func(int, T) R) []R {
 				if i >= len(items) {
 					return
 				}
-				out[i] = f(i, items[i])
+				out[i] = f(ctx, i, items[i])
 			}
 		}()
 	}

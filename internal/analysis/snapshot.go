@@ -14,6 +14,8 @@
 package analysis
 
 import (
+	"context"
+	"fmt"
 	"sync"
 
 	"repro/internal/buflen"
@@ -22,6 +24,7 @@ import (
 	"repro/internal/cfg"
 	"repro/internal/cparse"
 	"repro/internal/dataflow"
+	"repro/internal/fault"
 	"repro/internal/interproc"
 	"repro/internal/overflow"
 	"repro/internal/pointsto"
@@ -36,6 +39,12 @@ type Config struct {
 	// Overflow configures the static overflow oracle; nil means
 	// overflow.DefaultOptions().
 	Overflow *overflow.Options
+	// Limits bounds every fixpoint solve derived from this snapshot
+	// (DESIGN.md Section 9): the context is polled at iteration
+	// boundaries and exhausted budgets degrade the affected analysis to
+	// its conservative result, recorded in Degradations. The zero value
+	// imposes nothing.
+	Limits fault.Limits
 }
 
 // Snapshot is the per-translation-unit facts store. All accessors are
@@ -71,6 +80,9 @@ type Snapshot struct {
 
 	rdMu sync.Mutex
 	rds  map[*cast.FuncDef]*dataflow.ReachingDefs
+
+	degMu    sync.Mutex
+	degraded []string
 }
 
 // New wraps an already parsed translation unit in a snapshot with the
@@ -94,11 +106,45 @@ func NewWithConfig(unit *cast.TranslationUnit, conf Config) *Snapshot {
 // Parse parses one preprocessed C translation unit and wraps it in a
 // snapshot — the parse-once entry point of the pipeline.
 func Parse(filename, source string) (*Snapshot, error) {
+	return ParseCtx(context.Background(), filename, source, Config{})
+}
+
+// ParseCtx is Parse under fault containment: ctx (stored in the
+// snapshot's limits) is polled at every solver iteration derived from
+// the snapshot, and conf carries the analysis budgets. ParseCtx is also
+// the seam where test-only injected faults fire (see InjectFault).
+func ParseCtx(ctx context.Context, filename, source string, conf Config) (*Snapshot, error) {
+	if ctx != nil {
+		conf.Limits.Ctx = ctx
+	}
+	applyInjectedFault(ctx, filename, &conf)
+	fault.CheckCtx(ctx)
 	unit, err := cparse.Parse(filename, source)
 	if err != nil {
 		return nil, err
 	}
-	return New(unit), nil
+	return NewWithConfig(unit, conf), nil
+}
+
+// noteDegraded records budget degradations for Degradations().
+func (s *Snapshot) noteDegraded(notes ...string) {
+	if len(notes) == 0 {
+		return
+	}
+	s.degMu.Lock()
+	s.degraded = append(s.degraded, notes...)
+	s.degMu.Unlock()
+}
+
+// Degradations lists every analysis that had to degrade to its
+// conservative result because a budget ran out, in the order the lazy
+// accessors discovered them. Empty for unbudgeted or in-budget runs.
+func (s *Snapshot) Degradations() []string {
+	s.degMu.Lock()
+	defer s.degMu.Unlock()
+	out := make([]string, len(s.degraded))
+	copy(out, s.degraded)
+	return out
 }
 
 // Unit returns the underlying translation unit.
@@ -135,7 +181,10 @@ func (s *Snapshot) Reaching(fn *cast.FuncDef) *dataflow.ReachingDefs {
 	defer s.rdMu.Unlock()
 	rd, ok := s.rds[fn]
 	if !ok {
-		rd = dataflow.ComputeReaching(g, aliases)
+		rd = dataflow.ComputeReachingLimits(g, aliases, s.conf.Limits)
+		if rd.Degraded {
+			s.noteDegraded(fmt.Sprintf("reaching definitions budget exhausted in %s", fn.Name))
+		}
 		s.rds[fn] = rd
 	}
 	return rd
@@ -145,7 +194,14 @@ func (s *Snapshot) Reaching(fn *cast.FuncDef) *dataflow.ReachingDefs {
 func (s *Snapshot) PointsTo() *pointsto.Graph {
 	s.ptOnce.Do(func() {
 		s.Typecheck()
-		s.pt = pointsto.Analyze(s.unit, s.conf.PointsTo)
+		opts := s.conf.PointsTo
+		if opts.Limits == (fault.Limits{}) {
+			opts.Limits = s.conf.Limits
+		}
+		s.pt = pointsto.Analyze(s.unit, opts)
+		if s.pt.Stats.Degraded {
+			s.noteDegraded("points-to budget exhausted; alias sets degraded to everything-aliases")
+		}
 	})
 	return s.pt
 }
@@ -196,7 +252,12 @@ func (s *Snapshot) Findings() []overflow.Finding {
 		if s.conf.Overflow != nil {
 			opts = *s.conf.Overflow
 		}
-		s.findings = overflow.NewWithFacts(s.unit, opts, s).Analyze()
+		if opts.Limits == (fault.Limits{}) {
+			opts.Limits = s.conf.Limits
+		}
+		an := overflow.NewWithFacts(s.unit, opts, s)
+		s.findings = an.Analyze()
+		s.noteDegraded(an.Degradations()...)
 	})
 	return s.findings
 }

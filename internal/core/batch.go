@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/analysis"
 	"repro/internal/overflow"
 )
@@ -15,7 +17,10 @@ type FileInput struct {
 }
 
 // FileOutput pairs one batch input with its fix outcome. Exactly one of
-// Report and Err is set.
+// Report and Err is set. A panic inside the file's unit of work arrives
+// here as a *fault.PanicError carrying the stack; a cancelled or timed
+// out file carries the context error. Either way the rest of the batch
+// is unaffected.
 type FileOutput struct {
 	Filename string
 	Report   *Report
@@ -31,22 +36,25 @@ type FileFindings struct {
 
 // FixAll applies Fix to every input through a bounded worker pool — the
 // parse-once, analyze-once, fix-many pipeline. Each file is processed
-// independently (its own snapshot), so per-file results are identical to
-// sequential Fix calls. workers <= 0 means one worker per CPU. Results
-// come back in input order regardless of completion order.
-func FixAll(files []FileInput, opts Options, workers int) []FileOutput {
-	return analysis.Map(workers, files, func(_ int, in FileInput) FileOutput {
-		rep, err := Fix(in.Filename, in.Source, opts)
+// independently (its own snapshot and its own fault boundary), so
+// per-file results are identical to sequential Fix calls and one file's
+// crash or timeout cannot take down its batch-mates. ctx cancels the
+// whole batch: files not yet started fail fast with the context error.
+// workers <= 0 means one worker per CPU. Results come back in input
+// order regardless of completion order.
+func FixAll(ctx context.Context, files []FileInput, opts Options, workers int) []FileOutput {
+	return analysis.MapCtx(ctx, workers, files, func(ctx context.Context, _ int, in FileInput) FileOutput {
+		rep, err := Fix(ctx, in.Filename, in.Source, opts)
 		return FileOutput{Filename: in.Filename, Report: rep, Err: err}
 	})
 }
 
 // AnalyzeAll runs the static overflow oracle over every input through the
-// same bounded worker pool. workers <= 0 means one worker per CPU.
-// Results come back in input order.
-func AnalyzeAll(files []FileInput, workers int) []FileFindings {
-	return analysis.Map(workers, files, func(_ int, in FileInput) FileFindings {
-		fs, err := Analyze(in.Filename, in.Source)
+// same bounded worker pool and fault boundary. workers <= 0 means one
+// worker per CPU. Results come back in input order.
+func AnalyzeAll(ctx context.Context, files []FileInput, opts Options, workers int) []FileFindings {
+	return analysis.MapCtx(ctx, workers, files, func(ctx context.Context, _ int, in FileInput) FileFindings {
+		fs, err := Analyze(ctx, in.Filename, in.Source, opts)
 		return FileFindings{Filename: in.Filename, Findings: fs, Err: err}
 	})
 }

@@ -11,11 +11,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/ctoken"
+	"repro/internal/fault"
 	"repro/internal/overflow"
 	"repro/internal/slr"
 	"repro/internal/str"
@@ -40,6 +43,24 @@ type Options struct {
 	// reports (SiteResult.Risk / VarResult.Risk), so the summary can rank
 	// and justify the repairs.
 	Lint bool
+	// Timeout bounds the processing of one file; 0 means none. On
+	// expiry the in-flight solve is interrupted at its next iteration
+	// boundary and Fix returns context.DeadlineExceeded.
+	Timeout time.Duration
+	// Budget bounds every fixpoint solve's iterations and the number of
+	// interprocedural contexts the overflow oracle explores; 0 means
+	// unlimited. Exhausted budgets degrade to conservative results and
+	// are recorded in Report.Degraded — the overflow oracle additionally
+	// emits a SevPossible CWEIncomplete finding per affected function,
+	// so a cut analysis never reads as a clean file.
+	Budget int
+	// KeepGoing degrades instead of failing when a later pipeline stage
+	// errs or panics: if STR fails after SLR succeeded, Fix returns the
+	// SLR-only report with the failure explained in Report.Degraded; if
+	// SLR fails, the original text flows on to STR. Cancellation and
+	// deadline expiry are never downgraded — they always abort the file
+	// with the context's error.
+	KeepGoing bool
 }
 
 // Report is the combined outcome.
@@ -57,6 +78,11 @@ type Report struct {
 	// Findings holds the static overflow oracle's verdicts on the input
 	// source (set when Options.Lint was true).
 	Findings []overflow.Finding
+	// Degraded explains every way this report is weaker than a full
+	// run: pipeline stages skipped under Options.KeepGoing and analysis
+	// budgets that ran out (Options.Budget). Empty for a full-fidelity
+	// report.
+	Degraded []string
 }
 
 // Changed reports whether any edit was applied.
@@ -107,18 +133,62 @@ func (r *Report) Summary() string {
 			}
 		}
 	}
+	for _, d := range r.Degraded {
+		fmt.Fprintf(&sb, "degraded: %s\n", d)
+	}
 	return sb.String()
+}
+
+// limits translates Options into solver limits for the analysis layer.
+func (o Options) limits(ctx context.Context) fault.Limits {
+	return fault.Limits{Ctx: ctx, Steps: o.Budget, Contexts: o.Budget}
+}
+
+// fileCtx applies the per-file timeout of opts to ctx.
+func fileCtx(ctx context.Context, opts Options) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Timeout > 0 {
+		return context.WithTimeout(ctx, opts.Timeout)
+	}
+	return ctx, func() {}
 }
 
 // Analyze runs the static overflow oracle on one preprocessed C
 // translation unit without transforming it, returning the CWE-classified
-// findings in source order.
-func Analyze(filename, source string) ([]overflow.Finding, error) {
-	snap, err := analysis.Parse(filename, source)
+// findings in source order. Only opts.Timeout and opts.Budget are
+// consulted; ctx cancellation aborts the analysis at the next solver
+// iteration with the context's error. A panic anywhere in the analysis
+// is contained and returned as a *fault.PanicError carrying the stack.
+func Analyze(ctx context.Context, filename, source string, opts Options) (fs []overflow.Finding, err error) {
+	defer fault.Recover(&err)
+	ctx, cancel := fileCtx(ctx, opts)
+	defer cancel()
+	snap, err := analysis.ParseCtx(ctx, filename, source, analysis.Config{Limits: opts.limits(ctx)})
 	if err != nil {
 		return nil, fmt.Errorf("core: parse for lint: %w", err)
 	}
 	return snap.Findings(), nil
+}
+
+// stage runs one pipeline stage, converting a panic inside it into an
+// error so the caller can decide between failing and degrading.
+// Cancellation sentinels are re-panicked: a deadline must abort the
+// whole file with the context's error, never degrade into a partial
+// report.
+func stage(f func() error) (err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if fault.AsCancellation(r) != nil {
+			panic(r)
+		}
+		err = fault.NewPanicError(r)
+	}()
+	return f()
 }
 
 // Fix applies the transformations to one preprocessed C translation unit.
@@ -127,58 +197,105 @@ func Analyze(filename, source string) ([]overflow.Finding, error) {
 // (internal/analysis); lint and SLR consume the same parse, typecheck and
 // derived analyses. Only when SLR actually rewrites the text does STR
 // re-parse — it must analyze the post-SLR source.
-func Fix(filename, source string, opts Options) (*Report, error) {
-	rep := &Report{Source: source}
+//
+// Fix is the pipeline's fault boundary (DESIGN.md Section 9): a panic in
+// any stage is contained and returned as a *fault.PanicError carrying
+// the stack, ctx cancellation or an expired Options.Timeout aborts at
+// the next solver iteration with the context's error, and under
+// Options.KeepGoing a failed stage degrades the report instead of
+// failing the file.
+func Fix(ctx context.Context, filename, source string, opts Options) (rep *Report, err error) {
+	defer fault.Recover(&err)
+	ctx, cancel := fileCtx(ctx, opts)
+	defer cancel()
 
-	snap, err := analysis.Parse(filename, source)
+	rep = &Report{Source: source}
+	conf := analysis.Config{Limits: opts.limits(ctx)}
+
+	snap, err := analysis.ParseCtx(ctx, filename, source, conf)
 	if err != nil {
 		return nil, fmt.Errorf("core: parse for SLR: %w", err)
 	}
 
 	if opts.Lint {
-		rep.Findings = snap.Findings()
+		if lintErr := stage(func() error {
+			rep.Findings = snap.Findings()
+			return nil
+		}); lintErr != nil {
+			if !opts.KeepGoing {
+				return nil, fmt.Errorf("core: lint: %w", lintErr)
+			}
+			rep.Degraded = append(rep.Degraded, "lint skipped: "+firstLine(lintErr))
+		}
 	}
 
 	if !opts.DisableSLR {
-		tr := slr.NewTransformerSnap(snap)
-		var res *slr.FileResult
-		var err error
-		if opts.SelectOffset >= 0 {
-			res, err = tr.ApplyAt(ctoken.Pos(opts.SelectOffset))
-		} else {
-			res, err = tr.ApplyAll()
+		slrErr := stage(func() error {
+			tr := slr.NewTransformerSnap(snap)
+			var res *slr.FileResult
+			var err error
+			if opts.SelectOffset >= 0 {
+				res, err = tr.ApplyAt(ctoken.Pos(opts.SelectOffset))
+			} else {
+				res, err = tr.ApplyAll()
+			}
+			if err != nil {
+				return err
+			}
+			rep.SLR = res
+			rep.Source = res.NewSource
+			rep.NeedsGlib = res.NeedsGlib
+			// SLR analyzed the original text, so extents are comparable.
+			res.AttachFindings(rep.Findings)
+			return nil
+		})
+		if slrErr != nil {
+			if !opts.KeepGoing {
+				return nil, fmt.Errorf("core: SLR: %w", slrErr)
+			}
+			// Degrade: the original text flows on to STR.
+			rep.SLR = nil
+			rep.Source = source
+			rep.Degraded = append(rep.Degraded, "SLR skipped: "+firstLine(slrErr))
 		}
-		if err != nil {
-			return nil, fmt.Errorf("core: SLR: %w", err)
-		}
-		rep.SLR = res
-		rep.Source = res.NewSource
-		rep.NeedsGlib = res.NeedsGlib
-		// SLR analyzed the original text, so extents are comparable.
-		res.AttachFindings(rep.Findings)
 	}
 
 	if !opts.DisableSTR && opts.SelectOffset < 0 {
-		// STR reuses the snapshot when the text is unchanged; otherwise it
-		// must analyze the post-SLR source, which requires a fresh parse.
-		strSnap := snap
-		if rep.Source != source {
-			strSnap, err = analysis.Parse(filename, rep.Source)
-			if err != nil {
-				return nil, fmt.Errorf("core: parse for STR: %w", err)
+		strErr := stage(func() error {
+			// STR reuses the snapshot when the text is unchanged; otherwise it
+			// must analyze the post-SLR source, which requires a fresh parse.
+			strSnap := snap
+			if rep.Source != source {
+				var err error
+				strSnap, err = analysis.ParseCtx(ctx, filename, rep.Source, conf)
+				if err != nil {
+					return fmt.Errorf("parse for STR: %w", err)
+				}
 			}
+			res, err := str.NewTransformerSnap(strSnap).ApplyAll()
+			if err != nil {
+				return err
+			}
+			rep.STR = res
+			rep.Source = res.NewSource
+			rep.NeedsStralloc = res.NeedsStralloc
+			// STR may have analyzed post-SLR text; AttachFindings matches by
+			// (function, variable) name, which survives the rewrite.
+			res.AttachFindings(rep.Findings)
+			rep.Degraded = append(rep.Degraded, strSnap.Degradations()...)
+			return nil
+		})
+		if strErr != nil {
+			if !opts.KeepGoing {
+				return nil, fmt.Errorf("core: STR: %w", strErr)
+			}
+			// Degrade to the SLR-only (or untransformed) report.
+			rep.STR = nil
+			rep.Degraded = append(rep.Degraded, "STR skipped: "+firstLine(strErr))
 		}
-		res, err := str.NewTransformerSnap(strSnap).ApplyAll()
-		if err != nil {
-			return nil, fmt.Errorf("core: STR: %w", err)
-		}
-		rep.STR = res
-		rep.Source = res.NewSource
-		rep.NeedsStralloc = res.NeedsStralloc
-		// STR may have analyzed post-SLR text; AttachFindings matches by
-		// (function, variable) name, which survives the rewrite.
-		res.AttachFindings(rep.Findings)
 	}
+	rep.Degraded = append(rep.Degraded, snap.Degradations()...)
+	rep.Degraded = dedupStrings(rep.Degraded)
 
 	if opts.EmitSupport {
 		var support strings.Builder
@@ -195,4 +312,33 @@ func Fix(filename, source string, opts Options) (*Report, error) {
 		}
 	}
 	return rep, nil
+}
+
+// firstLine truncates an error to its first line: panic errors carry a
+// multi-line stack that belongs in logs, not in a one-line degradation
+// note (the full text stays available to callers that keep the error).
+func firstLine(err error) string {
+	s := err.Error()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i] + " (stack elided)"
+	}
+	return s
+}
+
+// dedupStrings removes duplicates while preserving first-seen order
+// (the STR snapshot can repeat the SLR snapshot's degradations when the
+// text was unchanged and the snapshot was shared).
+func dedupStrings(in []string) []string {
+	if len(in) < 2 {
+		return in
+	}
+	seen := make(map[string]bool, len(in))
+	out := in[:0]
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
 }

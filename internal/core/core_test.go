@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -20,7 +21,7 @@ void f(void) {
 `
 
 func TestFixBoth(t *testing.T) {
-	rep, err := Fix("s.c", sample, Options{SelectOffset: -1})
+	rep, err := Fix(context.Background(), "s.c", sample, Options{SelectOffset: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestFixBoth(t *testing.T) {
 }
 
 func TestFixEmitSupportSelfContained(t *testing.T) {
-	rep, err := Fix("s.c", sample, Options{SelectOffset: -1, EmitSupport: true})
+	rep, err := Fix(context.Background(), "s.c", sample, Options{SelectOffset: -1, EmitSupport: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestFixEmitSupportSelfContained(t *testing.T) {
 }
 
 func TestFixDisableSLR(t *testing.T) {
-	rep, err := Fix("s.c", sample, Options{DisableSLR: true, SelectOffset: -1})
+	rep, err := Fix(context.Background(), "s.c", sample, Options{DisableSLR: true, SelectOffset: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestFixDisableSLR(t *testing.T) {
 
 func TestFixSelectedSiteSkipsSTR(t *testing.T) {
 	off := strings.Index(sample, "strcpy")
-	rep, err := Fix("s.c", sample, Options{SelectOffset: off})
+	rep, err := Fix(context.Background(), "s.c", sample, Options{SelectOffset: off})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestFixSelectedSiteSkipsSTR(t *testing.T) {
 }
 
 func TestFixParseErrorWrapped(t *testing.T) {
-	_, err := Fix("bad.c", "void f( {", Options{SelectOffset: -1})
+	_, err := Fix(context.Background(), "bad.c", "void f( {", Options{SelectOffset: -1})
 	if err == nil || !strings.Contains(err.Error(), "core: parse") {
 		t.Fatalf("error: %v", err)
 	}
@@ -101,7 +102,7 @@ void f(void) {
 }
 int main(void) { f(); return 0; }
 `
-	rep, err := Fix("s.c", src, Options{SelectOffset: -1, Lint: true})
+	rep, err := Fix(context.Background(), "s.c", src, Options{SelectOffset: -1, Lint: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ int main(void) { f(); return 0; }
 }
 
 func TestFixWithoutLintHasNoFindings(t *testing.T) {
-	rep, err := Fix("s.c", sample, Options{SelectOffset: -1})
+	rep, err := Fix(context.Background(), "s.c", sample, Options{SelectOffset: -1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -42,12 +43,12 @@ func TestFixAllMatchesSequentialFix(t *testing.T) {
 	inputs := equivCorpus(t, 200)
 	opts := Options{SelectOffset: -1, Lint: true}
 
-	outs := FixAll(inputs, opts, 0)
+	outs := FixAll(context.Background(), inputs, opts, 0)
 	if len(outs) != len(inputs) {
 		t.Fatalf("got %d outputs for %d inputs", len(outs), len(inputs))
 	}
 	for i, in := range inputs {
-		want, err := Fix(in.Filename, in.Source, opts)
+		want, err := Fix(context.Background(), in.Filename, in.Source, opts)
 		if err != nil {
 			t.Fatalf("%s: sequential: %v", in.Filename, err)
 		}
@@ -74,7 +75,7 @@ func TestFixAllMatchesSequentialFix(t *testing.T) {
 func TestSnapshotPipelineMatchesSeedPipeline(t *testing.T) {
 	inputs := equivCorpus(t, 200)
 	for _, in := range inputs {
-		got, err := Fix(in.Filename, in.Source, Options{SelectOffset: -1})
+		got, err := Fix(context.Background(), in.Filename, in.Source, Options{SelectOffset: -1})
 		if err != nil {
 			t.Fatalf("%s: %v", in.Filename, err)
 		}
@@ -142,11 +143,11 @@ func TestFixAllParallelSpeedup(t *testing.T) {
 	opts := Options{SelectOffset: -1, Lint: true}
 
 	start := time.Now()
-	FixAll(inputs, opts, 1)
+	FixAll(context.Background(), inputs, opts, 1)
 	seq := time.Since(start)
 
 	start = time.Now()
-	FixAll(inputs, opts, 0)
+	FixAll(context.Background(), inputs, opts, 0)
 	par := time.Since(start)
 
 	speedup := float64(seq) / float64(par)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -31,7 +32,7 @@ func parseDelta(f func()) int64 {
 // parsed exactly once — lint and SLR share the snapshot.
 func TestFixLintParsesOnce(t *testing.T) {
 	delta := parseDelta(func() {
-		rep, err := Fix("s.c", overflowing, Options{Lint: true, DisableSTR: true, SelectOffset: -1})
+		rep, err := Fix(context.Background(), "s.c", overflowing, Options{Lint: true, DisableSTR: true, SelectOffset: -1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -52,7 +53,7 @@ func TestFixLintParsesOnce(t *testing.T) {
 // SLR rewrote the text.
 func TestFixFullPipelineParseCount(t *testing.T) {
 	delta := parseDelta(func() {
-		rep, err := Fix("s.c", overflowing, Options{Lint: true, SelectOffset: -1})
+		rep, err := Fix(context.Background(), "s.c", overflowing, Options{Lint: true, SelectOffset: -1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -70,7 +71,7 @@ func TestFixFullPipelineParseCount(t *testing.T) {
 func TestFixUnchangedSourceSkipsReparse(t *testing.T) {
 	src := strings.ReplaceAll(sample, "strcpy(buf, \"hello\");", "buf[0] = 'h';")
 	delta := parseDelta(func() {
-		rep, err := Fix("s.c", src, Options{Lint: true, SelectOffset: -1})
+		rep, err := Fix(context.Background(), "s.c", src, Options{Lint: true, SelectOffset: -1})
 		if err != nil {
 			t.Fatal(err)
 		}

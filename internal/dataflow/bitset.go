@@ -19,6 +19,19 @@ func NewBitSet(n int) BitSet {
 // Set adds i to the set.
 func (b BitSet) Set(i int) { b[i/64] |= 1 << (uint(i) % 64) }
 
+// SetFirstN adds every element in [0, n) to the set. n must not exceed
+// the capacity the set was created with; slack bits in the last word
+// stay clear so ForEach never yields an out-of-range element.
+func (b BitSet) SetFirstN(n int) {
+	full := n / 64
+	for i := 0; i < full; i++ {
+		b[i] = ^uint64(0)
+	}
+	if rem := uint(n % 64); rem != 0 {
+		b[full] |= (uint64(1) << rem) - 1
+	}
+}
+
 // Clear removes i from the set.
 func (b BitSet) Clear(i int) { b[i/64] &^= 1 << (uint(i) % 64) }
 

@@ -1,6 +1,9 @@
 package dataflow
 
-import "repro/internal/cfg"
+import (
+	"repro/internal/cfg"
+	"repro/internal/fault"
+)
 
 // Problem describes a forward dataflow problem over an arbitrary lattice T.
 // It generalizes the bitset gen/kill engine (Forward) so analyses whose
@@ -41,12 +44,25 @@ type Solution[T any] struct {
 	// Reached marks nodes with at least one executed predecessor path;
 	// unreached nodes hold Bottom.
 	Reached []bool
+	// Degraded marks a solve cut short by an exhausted step budget. The
+	// recorded states are a valid under-approximation of the fixpoint
+	// (some nodes may still hold Bottom); clients must not treat the
+	// absence of facts in a degraded solution as proof of absence.
+	Degraded bool
 }
 
 // SolveForward runs the worklist algorithm for p over g, applying Widen at
 // loop heads (back-edge targets). The traversal order is reverse postorder,
 // which reaches the fixpoint in near-minimal passes on reducible graphs.
 func SolveForward[T any](g *cfg.Graph, p Problem[T]) *Solution[T] {
+	return SolveForwardLimits[T](g, p, fault.Limits{})
+}
+
+// SolveForwardLimits is SolveForward under fault-containment limits: the
+// context in lim is polled at every worklist iteration (cancellation
+// aborts via the fault sentinel), and an exhausted step budget stops the
+// solve early with Solution.Degraded set.
+func SolveForwardLimits[T any](g *cfg.Graph, p Problem[T], lim fault.Limits) *Solution[T] {
 	n := len(g.Nodes)
 	sol := &Solution[T]{
 		In:      make([]T, n),
@@ -101,7 +117,12 @@ func SolveForward[T any](g *cfg.Graph, p Problem[T]) *Solution[T] {
 		push(s.ID)
 	}
 
+	meter := lim.NewMeter()
 	for len(work) > 0 {
+		if !meter.Step() {
+			sol.Degraded = true
+			break
+		}
 		id := pop()
 		node := g.Nodes[id]
 		if node.Kind == cfg.KindEntry {

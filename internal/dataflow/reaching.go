@@ -4,6 +4,7 @@ import (
 	"repro/internal/cast"
 	"repro/internal/cfg"
 	"repro/internal/ctype"
+	"repro/internal/fault"
 )
 
 // AliasOracle answers may-alias queries for the reaching-definitions
@@ -81,11 +82,23 @@ type ReachingDefs struct {
 	in []BitSet
 	// defsBySym groups definition IDs by symbol ID for fast queries.
 	defsBySym map[int][]int
+	// Degraded marks a solve whose step budget was exhausted. The IN
+	// sets were widened to the conservative top (every definition
+	// reaches every node), which is sound for this may-analysis:
+	// UniqueReaching then answers nil, so size reasoning bails rather
+	// than trusting partial facts.
+	Degraded bool
 }
 
 // ComputeReaching builds and solves reaching definitions for g using the
 // given alias oracle.
 func ComputeReaching(g *cfg.Graph, aliases AliasOracle) *ReachingDefs {
+	return ComputeReachingLimits(g, aliases, fault.Limits{})
+}
+
+// ComputeReachingLimits is ComputeReaching under fault-containment
+// limits (cancellation and a step budget; see ForwardLimits).
+func ComputeReachingLimits(g *cfg.Graph, aliases AliasOracle, lim fault.Limits) *ReachingDefs {
 	rd := &ReachingDefs{
 		Graph:     g,
 		defsBySym: make(map[int][]int),
@@ -128,9 +141,9 @@ func ComputeReaching(g *cfg.Graph, aliases AliasOracle) *ReachingDefs {
 	}
 
 	// Solve with the generic forward may-analysis engine.
-	rd.in = Forward(g, nDefs,
+	rd.in, rd.Degraded = ForwardLimits(g, nDefs,
 		func(id int) BitSet { return genBits[id] },
-		func(id int) BitSet { return killBits[id] })
+		func(id int) BitSet { return killBits[id] }, lim)
 	return rd
 }
 

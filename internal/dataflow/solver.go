@@ -1,6 +1,9 @@
 package dataflow
 
-import "repro/internal/cfg"
+import (
+	"repro/internal/cfg"
+	"repro/internal/fault"
+)
 
 // Forward solves a forward may-dataflow problem (union-meet, gen/kill
 // transfer) over the CFG with the traditional worklist algorithm the
@@ -8,8 +11,19 @@ import "repro/internal/cfg"
 // gen/kill give each node's transfer function. It returns the IN set of
 // every node (indexed by node ID).
 func Forward(g *cfg.Graph, nBits int, gen, kill func(nodeID int) BitSet) []BitSet {
+	in, _ := ForwardLimits(g, nBits, gen, kill, fault.Limits{})
+	return in
+}
+
+// ForwardLimits is Forward under fault-containment limits: the context
+// in lim is polled at every worklist iteration (cancellation aborts via
+// the fault sentinel), and when the step budget is exhausted the solver
+// degrades to the conservative top — every fact reaches every node — and
+// reports degraded=true. For a may-analysis, all-ones IN sets are always
+// a sound (if imprecise) answer.
+func ForwardLimits(g *cfg.Graph, nBits int, gen, kill func(nodeID int) BitSet, lim fault.Limits) (in []BitSet, degraded bool) {
 	n := len(g.Nodes)
-	in := make([]BitSet, n)
+	in = make([]BitSet, n)
 	out := make([]BitSet, n)
 	for i := 0; i < n; i++ {
 		in[i] = NewBitSet(nBits)
@@ -22,7 +36,15 @@ func Forward(g *cfg.Graph, nBits int, gen, kill func(nodeID int) BitSet) []BitSe
 		work = append(work, node)
 		inWork[node.ID] = true
 	}
+	meter := lim.NewMeter()
 	for len(work) > 0 {
+		if !meter.Step() {
+			// Budget exhausted: degrade to the conservative top.
+			for i := 0; i < n; i++ {
+				in[i].SetFirstN(nBits)
+			}
+			return in, true
+		}
 		node := work[0]
 		work = work[1:]
 		inWork[node.ID] = false
@@ -43,5 +65,5 @@ func Forward(g *cfg.Graph, nBits int, gen, kill func(nodeID int) BitSet) []BitSe
 			}
 		}
 	}
-	return in
+	return in, false
 }

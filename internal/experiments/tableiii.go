@@ -10,6 +10,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/harness"
@@ -38,6 +39,14 @@ type CWEResult struct {
 	Fixed        int
 	Preserved    int
 	Errors       int
+	// WallTime is the summed per-program processing time for this CWE
+	// class (the RQ3 cost view: transformation plus the four
+	// verification executions).
+	WallTime time.Duration
+	// Degraded counts programs whose transformation pipeline had to cut
+	// an analysis short (budget exhaustion or a skipped stage); 0 on a
+	// full-fidelity run.
+	Degraded int
 }
 
 // TableIIIOptions configures the SAMATE run.
@@ -63,25 +72,31 @@ func RunTableIII(opts TableIIIOptions) ([]CWEResult, error) {
 		row := CWEResult{CWE: cwe, Name: samate.CWENames[cwe]}
 
 		type verdictOrErr struct {
-			v   *harness.Verdict
-			err error
-			loc int
+			v    *harness.Verdict
+			err  error
+			loc  int
+			wall time.Duration
 		}
 		picked := make([]samate.Program, 0, len(progs)/opts.Stride+1)
 		for i := 0; i < len(progs); i += opts.Stride {
 			picked = append(picked, progs[i])
 		}
 		results := analysis.Map(opts.Workers, picked, func(_ int, p samate.Program) verdictOrErr {
+			start := time.Now()
 			v, err := harness.Verify(p.ID, p.Source, p.ID+"_good", p.ID+"_bad",
 				harness.Options{Stdin: stdinFor(p)})
-			return verdictOrErr{v: v, err: err, loc: p.LOC()}
+			return verdictOrErr{v: v, err: err, loc: p.LOC(), wall: time.Since(start)}
 		})
 
 		for _, r := range results {
 			row.Programs++
+			row.WallTime += r.wall
 			if r.err != nil {
 				row.Errors++
 				continue
+			}
+			if len(r.v.Degraded) > 0 {
+				row.Degraded++
 			}
 			row.KLOC += float64(r.loc) / 1000.0
 			row.PPKLOC += float64(r.loc+ppOverhead) / 1000.0
@@ -120,8 +135,8 @@ func stdinFor(p samate.Program) []string {
 func FormatTableIII(rows []CWEResult) string {
 	var sb strings.Builder
 	sb.WriteString("Table III: CWEs Describing Buffer Overflows (synthetic Juliet corpus)\n")
-	sb.WriteString(fmt.Sprintf("%-42s %8s %8s %8s %9s %10s %8s %8s %9s\n",
-		"CWE", "SLR", "STR", "Programs", "KLOC", "PP KLOC", "VulnDet", "Fixed", "Preserved"))
+	sb.WriteString(fmt.Sprintf("%-42s %8s %8s %8s %9s %10s %8s %8s %9s %9s %8s\n",
+		"CWE", "SLR", "STR", "Programs", "KLOC", "PP KLOC", "VulnDet", "Fixed", "Preserved", "Wall", "Degraded"))
 	var tot CWEResult
 	for _, r := range rows {
 		slr := "-"
@@ -132,9 +147,10 @@ func FormatTableIII(rows []CWEResult) string {
 		if r.STRApplied > 0 {
 			strCol = fmt.Sprintf("%d", r.STRApplied)
 		}
-		sb.WriteString(fmt.Sprintf("%-42s %8s %8s %8d %9.1f %10.1f %8d %8d %9d\n",
+		sb.WriteString(fmt.Sprintf("%-42s %8s %8s %8d %9.1f %10.1f %8d %8d %9d %9s %8d\n",
 			fmt.Sprintf("CWE %d: %s", r.CWE, r.Name), slr, strCol,
-			r.Programs, r.KLOC, r.PPKLOC, r.VulnDetected, r.Fixed, r.Preserved))
+			r.Programs, r.KLOC, r.PPKLOC, r.VulnDetected, r.Fixed, r.Preserved,
+			r.WallTime.Round(time.Millisecond), r.Degraded))
 		tot.Programs += r.Programs
 		tot.SLRApplied += r.SLRApplied
 		tot.STRApplied += r.STRApplied
@@ -144,12 +160,18 @@ func FormatTableIII(rows []CWEResult) string {
 		tot.Fixed += r.Fixed
 		tot.Preserved += r.Preserved
 		tot.Errors += r.Errors
+		tot.WallTime += r.WallTime
+		tot.Degraded += r.Degraded
 	}
-	sb.WriteString(fmt.Sprintf("%-42s %8d %8d %8d %9.1f %10.1f %8d %8d %9d\n",
+	sb.WriteString(fmt.Sprintf("%-42s %8d %8d %8d %9.1f %10.1f %8d %8d %9d %9s %8d\n",
 		"Total", tot.SLRApplied, tot.STRApplied, tot.Programs,
-		tot.KLOC, tot.PPKLOC, tot.VulnDetected, tot.Fixed, tot.Preserved))
+		tot.KLOC, tot.PPKLOC, tot.VulnDetected, tot.Fixed, tot.Preserved,
+		tot.WallTime.Round(time.Millisecond), tot.Degraded))
 	if tot.Errors > 0 {
 		sb.WriteString(fmt.Sprintf("(%d programs failed to process)\n", tot.Errors))
+	}
+	if tot.Degraded > 0 {
+		sb.WriteString(fmt.Sprintf("(%d programs transformed with degraded analyses)\n", tot.Degraded))
 	}
 	sb.WriteString(fmt.Sprintf("\nPaper: 4,505 programs; SLR applicable to 1,758 (1,096/644/18);\n"))
 	sb.WriteString("vulnerability fixed in bad functions of all programs; normal behavior preserved.\n")

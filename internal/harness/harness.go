@@ -6,12 +6,12 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cinterp"
+	"repro/internal/core"
 	"repro/internal/cparse"
-	"repro/internal/slr"
-	"repro/internal/str"
 	"repro/internal/stralloc"
 	"repro/internal/typecheck"
 )
@@ -40,6 +40,11 @@ type Verdict struct {
 
 	// TransformedSource is the final program text (after SLR then STR).
 	TransformedSource string
+
+	// Degraded lists the analyses the transformation pipeline had to cut
+	// short (budget exhaustion, skipped stages); empty for a full-fidelity
+	// run. Mirrors core.Report.Degraded.
+	Degraded []string
 }
 
 // Options configures verification.
@@ -93,41 +98,32 @@ func Verify(id, source, goodEntry, badEntry string, opts Options) (*Verdict, err
 	return v, nil
 }
 
-// Transform applies SLR then STR in batch mode, recording counts in v
-// (which may be nil).
+// Transform applies SLR then STR in batch mode through the pipeline's
+// composition root (core.Fix), recording counts and degradations in v
+// (which may be nil). Running through core.Fix means the harness
+// exercises the exact code path users get — fault boundary included —
+// and the equivalence suite pins both to identical decisions.
 func Transform(id, source string, opts Options, v *Verdict) (string, error) {
-	current := source
-	if !opts.SkipSLR {
-		unit, err := cparse.Parse(id+".c", current)
-		if err != nil {
-			return "", fmt.Errorf("harness: parse for SLR: %w", err)
-		}
-		res, err := slr.NewTransformer(unit).ApplyAll()
-		if err != nil {
-			return "", fmt.Errorf("harness: SLR: %w", err)
-		}
-		if v != nil {
-			v.SLRSites = res.Candidates()
-			v.SLRApplied = res.AppliedCount()
-		}
-		current = res.NewSource
+	rep, err := core.Fix(context.Background(), id+".c", source, core.Options{
+		DisableSLR:   opts.SkipSLR,
+		DisableSTR:   opts.SkipSTR,
+		SelectOffset: -1,
+	})
+	if err != nil {
+		return "", fmt.Errorf("harness: transform: %w", err)
 	}
-	if !opts.SkipSTR {
-		unit, err := cparse.Parse(id+".c", current)
-		if err != nil {
-			return "", fmt.Errorf("harness: parse for STR: %w", err)
+	if v != nil {
+		if rep.SLR != nil {
+			v.SLRSites = rep.SLR.Candidates()
+			v.SLRApplied = rep.SLR.AppliedCount()
 		}
-		res, err := str.NewTransformer(unit).ApplyAll()
-		if err != nil {
-			return "", fmt.Errorf("harness: STR: %w", err)
+		if rep.STR != nil {
+			v.STRVars = rep.STR.Candidates()
+			v.STRApplied = rep.STR.AppliedCount()
 		}
-		if v != nil {
-			v.STRVars = res.Candidates()
-			v.STRApplied = res.AppliedCount()
-		}
-		current = res.NewSource
+		v.Degraded = append(v.Degraded, rep.Degraded...)
 	}
-	return current, nil
+	return rep.Source, nil
 }
 
 // needsStralloc detects STR output (the emitted type name).

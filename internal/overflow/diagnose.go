@@ -12,6 +12,7 @@ import (
 	"repro/internal/ctoken"
 	"repro/internal/ctype"
 	"repro/internal/dataflow"
+	"repro/internal/fault"
 )
 
 // Severity grades a finding.
@@ -35,11 +36,18 @@ func (s Severity) String() string {
 	}
 }
 
+// CWEIncomplete marks a degraded finding: not a weakness class but the
+// statement that the oracle's budget ran out before it could verify the
+// function's accesses. Degraded findings always carry SevPossible — an
+// exhausted budget must never read as a clean bill of health.
+const CWEIncomplete = 0
+
 // Finding is one statically diagnosed buffer overflow.
 type Finding struct {
 	// CWE is the classified weakness: 121 (stack overflow), 122 (heap
 	// overflow), 124 (underwrite), 126 (over-read), 127 (under-read), or
-	// 242 (inherently dangerous function).
+	// 242 (inherently dangerous function); CWEIncomplete for degraded
+	// findings.
 	CWE      int
 	Severity Severity
 	// Function is the name of the function containing the access.
@@ -59,10 +67,18 @@ type Finding struct {
 	// Contexts lists interprocedural call chains under which the finding
 	// was (re)derived; empty for purely intraprocedural findings.
 	Contexts []string
+	// Degraded marks a finding emitted because an analysis budget was
+	// exhausted, not because an overflow was diagnosed: the function's
+	// accesses are unverified and reported at SevPossible.
+	Degraded bool
 }
 
 // String renders the finding in a compiler-diagnostic style.
 func (f Finding) String() string {
+	if f.Degraded {
+		return fmt.Sprintf("%s: %s analysis degraded in %s: %s (fix: %s)",
+			f.Pos, f.Severity, f.Function, f.Msg, f.SuggestedFix)
+	}
 	return fmt.Sprintf("%s: %s overflow [CWE-%d] in %s: %s (fix: %s)",
 		f.Pos, f.Severity, f.CWE, f.Function, f.Msg, f.SuggestedFix)
 }
@@ -82,6 +98,8 @@ func CWEName(cwe int) string {
 		return "Buffer Under-read"
 	case 242:
 		return "Use of Inherently Dangerous Function"
+	case CWEIncomplete:
+		return "Analysis Incomplete (budget exhausted)"
 	default:
 		return fmt.Sprintf("CWE-%d", cwe)
 	}
@@ -122,6 +140,13 @@ type Options struct {
 	// (internal/buflen) when the interval analysis does not know an
 	// object's size at an access site.
 	SeedFromBuflen bool
+	// Limits bounds the oracle (DESIGN.md Section 9): the context is
+	// polled at solver iterations and between interprocedural contexts;
+	// Limits.Steps budgets each per-function interval solve and
+	// Limits.Contexts budgets the interprocedural pass. Exhausted
+	// budgets degrade — affected functions get a SevPossible
+	// CWEIncomplete finding instead of silently passing.
+	Limits fault.Limits
 }
 
 // DefaultOptions returns the standard configuration.
@@ -153,6 +178,11 @@ type Analyzer struct {
 	cfgs      map[string]*cfg.Graph
 	memo      map[string]*solveEntry
 	ready     bool
+
+	// Fault-containment bookkeeping (DESIGN.md Section 9).
+	degradedFns  map[string]bool // functions whose interval solve was cut short
+	ctxSpent     int             // interprocedural contexts explored so far
+	interprocCut bool            // the context budget stopped propagation
 }
 
 type solveEntry struct {
@@ -190,6 +220,7 @@ func (a *Analyzer) ensure() {
 	}
 	a.cfgs = make(map[string]*cfg.Graph)
 	a.memo = make(map[string]*solveEntry)
+	a.degradedFns = make(map[string]bool)
 	a.globals = make(map[int]varState)
 	a.globalIDs = make(map[int]bool)
 	for _, sym := range a.unit.Symbols {
@@ -231,7 +262,10 @@ func (a *Analyzer) solve(fn *cast.FuncDef, seed map[int]varState) (*cfg.Graph, *
 	}
 	g := a.cfgFor(fn)
 	p := &funcProblem{fn: fn, seed: seed, globals: a.globals, globalIDs: a.globalIDs}
-	sol := dataflow.SolveForward[state](g, p)
+	sol := dataflow.SolveForwardLimits[state](g, p, a.opts.Limits)
+	if sol.Degraded {
+		a.degradedFns[fn.Name] = true
+	}
 	a.memo[key] = &solveEntry{g: g, sol: sol}
 	return g, sol
 }
@@ -256,7 +290,8 @@ func seedKey(seed map[int]varState) string {
 }
 
 // Analyze runs the oracle and returns the deduplicated findings in source
-// order.
+// order. Budget-degraded functions contribute a SevPossible CWEIncomplete
+// finding each, so an exhausted budget can never read as a clean file.
 func (a *Analyzer) Analyze() []Finding {
 	a.ensure()
 	var all []Finding
@@ -264,6 +299,7 @@ func (a *Analyzer) Analyze() []Finding {
 	// suppress reports, so this pass is quiet exactly where only a caller
 	// could make the access concrete.
 	for _, fn := range a.unit.Funcs {
+		fault.CheckCtx(a.opts.Limits.Ctx)
 		g, sol := a.solve(fn, nil)
 		all = append(all, a.check(fn, g, sol, nil)...)
 	}
@@ -273,10 +309,59 @@ func (a *Analyzer) Analyze() []Finding {
 			all = append(all, a.propagate(root, nil, []string{root.Name}, a.opts.ContextDepth)...)
 		}
 	}
+	// Unit.Funcs order keeps degraded findings deterministic.
+	for _, fn := range a.unit.Funcs {
+		if a.degradedFns[fn.Name] {
+			all = append(all, a.degradedFinding(fn))
+		}
+	}
 	return dedup(all)
 }
 
+// degradedFinding is the never-silent marker for a function whose
+// interval solve was cut short by the step budget.
+func (a *Analyzer) degradedFinding(fn *cast.FuncDef) Finding {
+	f := Finding{
+		CWE:          CWEIncomplete,
+		Severity:     SevPossible,
+		Function:     fn.Name,
+		Degraded:     true,
+		Msg:          "interval analysis budget exhausted; memory accesses in this function are unverified",
+		SuggestedFix: "raise the solver step budget or audit the function manually",
+		Extent:       fn.Extent(),
+	}
+	if a.unit.File != nil {
+		f.Pos = a.unit.File.Position(f.Extent.Pos)
+	}
+	return f
+}
+
+// Degradations describes every budget cut the oracle took, for the
+// pipeline's Report.Degraded log.
+func (a *Analyzer) Degradations() []string {
+	if !a.ready {
+		return nil
+	}
+	var out []string
+	for _, fn := range a.unit.Funcs {
+		if a.degradedFns[fn.Name] {
+			out = append(out, fmt.Sprintf("overflow: interval solve budget exhausted in %s", fn.Name))
+		}
+	}
+	if a.interprocCut {
+		out = append(out, fmt.Sprintf(
+			"overflow: interprocedural context budget exhausted after %d contexts", a.ctxSpent))
+	}
+	return out
+}
+
 func (a *Analyzer) propagate(fn *cast.FuncDef, seed map[int]varState, chain []string, depth int) []Finding {
+	fault.CheckCtx(a.opts.Limits.Ctx)
+	if max := a.opts.Limits.Contexts; max > 0 && a.ctxSpent >= max {
+		a.interprocCut = true
+		return nil
+	}
+	a.ctxSpent++
 	g, sol := a.solve(fn, seed)
 	var out []Finding
 	if len(chain) > 1 {

@@ -120,6 +120,9 @@ type SolveStats struct {
 	Iterations      int
 	CyclesCollapsed int
 	Parallel        bool
+	// Degraded marks a solve whose step budget ran out; the graph was
+	// widened to the conservative top (see Options.Limits).
+	Degraded bool
 }
 
 // fieldKey identifies one struct member of one symbol.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cast"
 	"repro/internal/dataflow"
+	"repro/internal/fault"
 )
 
 // Options configures the solver.
@@ -27,6 +28,12 @@ type Options struct {
 	// runtime overhead", Section IV-B); this option exists for the
 	// precision ablation (DESIGN.md Section 6).
 	FieldSensitive bool
+	// Limits bounds the solve (DESIGN.md Section 9): the context is
+	// polled at iteration boundaries, and an exhausted step budget
+	// degrades the graph to the conservative top — every node may point
+	// to every object — with Stats.Degraded set. The zero value imposes
+	// nothing.
+	Limits fault.Limits
 }
 
 // Analyze generates constraints from the unit and solves them.
@@ -79,10 +86,25 @@ func (g *Graph) solve(opts Options) {
 
 	if opts.Parallel {
 		g.Stats.Parallel = true
-		g.solveParallel(succs, loadsBySrc, storesByDst, opts.Workers)
+		g.solveParallel(succs, loadsBySrc, storesByDst, opts.Workers, opts.Limits)
 		return
 	}
-	g.solveSequential(succs, loadsBySrc, storesByDst)
+	g.solveSequential(succs, loadsBySrc, storesByDst, opts.Limits)
+}
+
+// degradeToTop widens every representative's points-to set to the full
+// object universe — the conservative answer when the solve could not
+// finish within its budget. Alias queries then report everything
+// aliased, which only makes downstream clients more careful.
+func (g *Graph) degradeToTop() {
+	n := len(g.Nodes)
+	for i := 0; i < n; i++ {
+		if g.find(i) == i {
+			g.pts[i].SetFirstN(n)
+		}
+	}
+	g.Stats.Degraded = true
+	g.solved = true
 }
 
 // collapseCycles runs Tarjan's SCC over the copy edges and merges each
@@ -191,7 +213,7 @@ func (g *Graph) merge(a, b int, succs []map[int]struct{}) {
 }
 
 // solveSequential is the classic worklist propagation.
-func (g *Graph) solveSequential(succs []map[int]struct{}, loadsBySrc, storesByDst map[int][]int) {
+func (g *Graph) solveSequential(succs []map[int]struct{}, loadsBySrc, storesByDst map[int][]int, lim fault.Limits) {
 	work := make([]int, 0, len(g.Nodes))
 	inWork := make([]bool, len(g.Nodes))
 	push := func(i int) {
@@ -218,7 +240,12 @@ func (g *Graph) solveSequential(succs []map[int]struct{}, loadsBySrc, storesByDs
 		return true
 	}
 
+	meter := lim.NewMeter()
 	for len(work) > 0 {
+		if !meter.Step() {
+			g.degradeToTop()
+			return
+		}
 		g.Stats.Iterations++
 		v := work[len(work)-1]
 		work = work[:len(work)-1]
@@ -260,7 +287,7 @@ func (g *Graph) solveSequential(succs []map[int]struct{}, loadsBySrc, storesByDs
 // partitions the frontier among workers which compute deltas; deltas are
 // applied under a single lock, following the amorphous-data-parallel
 // pattern of the Galois engine the paper uses for graph rewriting.
-func (g *Graph) solveParallel(succs []map[int]struct{}, loadsBySrc, storesByDst map[int][]int, workers int) {
+func (g *Graph) solveParallel(succs []map[int]struct{}, loadsBySrc, storesByDst map[int][]int, workers int, lim fault.Limits) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -271,7 +298,12 @@ func (g *Graph) solveParallel(succs []map[int]struct{}, loadsBySrc, storesByDst 
 		}
 	}
 	var mu sync.Mutex
+	meter := lim.NewMeter()
 	for len(frontier) > 0 {
+		if !meter.Step() {
+			g.degradeToTop()
+			return
+		}
 		g.Stats.Iterations++
 		next := make(map[int]struct{})
 

@@ -215,7 +215,9 @@ func (t *Transformer) findCandidates() []*candidate {
 			}
 			_, inFor := t.parents[ds].(*cast.ForStmt)
 			for _, d := range ds.Decls {
-				if d.Sym == nil || d.Global {
+				// An unnamed declarator (e.g. a stray "char[];") has no
+				// variable to replace; rewriting it would corrupt the text.
+				if d.Sym == nil || d.Global || d.Name == "" {
 					continue
 				}
 				if !ctype.IsCharPointer(d.Type) && !ctype.IsCharArray(d.Type) {

@@ -27,7 +27,9 @@
 package cfix
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/cinterp"
 	"repro/internal/core"
@@ -58,6 +60,21 @@ type Options struct {
 	// attaches its verdicts to the SLR/STR candidate reports, ranking the
 	// summary by risk. The findings land in Report.Findings.
 	Lint bool
+	// Timeout bounds the processing of one file; 0 means none. On expiry
+	// the in-flight analysis is interrupted at its next iteration
+	// boundary and the file fails with context.DeadlineExceeded.
+	Timeout time.Duration
+	// Budget bounds every fixpoint solver's iterations and the number of
+	// interprocedural contexts explored per file; 0 means unlimited.
+	// Exhausted budgets degrade to conservative results recorded in
+	// Report.Degraded — never a silently clean report.
+	Budget int
+	// KeepGoing returns partial results instead of an error when a later
+	// pipeline stage fails: an SLR-only report if STR crashes, an
+	// untransformed lint report if SLR crashes. The skipped stages are
+	// explained in Report.Degraded. Cancellation and timeouts still fail
+	// the file.
+	KeepGoing bool
 }
 
 // Report is the outcome of Fix. See core.Report for field semantics.
@@ -75,6 +92,9 @@ func coreOptions(opts Options) core.Options {
 		SelectOffset: sel,
 		EmitSupport:  opts.EmitSupport,
 		Lint:         opts.Lint,
+		Timeout:      opts.Timeout,
+		Budget:       opts.Budget,
+		KeepGoing:    opts.KeepGoing,
 	}
 }
 
@@ -83,7 +103,15 @@ func coreOptions(opts Options) core.Options {
 // once into a shared analysis-facts snapshot that lint, SLR and (when SLR
 // leaves the text unchanged) STR all consume.
 func Fix(filename, source string, opts Options) (*Report, error) {
-	return core.Fix(filename, source, coreOptions(opts))
+	return FixContext(context.Background(), filename, source, opts)
+}
+
+// FixContext is Fix with cooperative cancellation: ctx is polled at
+// every solver iteration boundary, so cancelling it (or exceeding
+// Options.Timeout) interrupts even a pathological analysis promptly and
+// returns the context's error.
+func FixContext(ctx context.Context, filename, source string, opts Options) (*Report, error) {
+	return core.Fix(ctx, filename, source, coreOptions(opts))
 }
 
 // FileInput names one translation unit for batch processing.
@@ -101,14 +129,30 @@ type FileFindings = core.FileFindings
 // snapshot, so outputs are byte-identical to sequential Fix calls.
 // workers <= 0 means one worker per CPU.
 func FixAll(files []FileInput, opts Options, workers int) []FileOutput {
-	return core.FixAll(files, coreOptions(opts), workers)
+	return FixAllContext(context.Background(), files, opts, workers)
+}
+
+// FixAllContext is FixAll with cooperative cancellation. Each file is
+// its own fault boundary: one file's panic, timeout or budget
+// exhaustion lands in that file's FileOutput.Err (or Report.Degraded)
+// without disturbing its batch-mates; cancelling ctx fails the files
+// not yet started with the context error.
+func FixAllContext(ctx context.Context, files []FileInput, opts Options, workers int) []FileOutput {
+	return core.FixAll(ctx, files, coreOptions(opts), workers)
 }
 
 // AnalyzeAll runs the static overflow oracle over every input through the
 // same bounded worker pool, returning per-file findings in input order.
 // workers <= 0 means one worker per CPU.
 func AnalyzeAll(files []FileInput, workers int) []FileFindings {
-	return core.AnalyzeAll(files, workers)
+	return AnalyzeAllContext(context.Background(), files, Options{}, workers)
+}
+
+// AnalyzeAllContext is AnalyzeAll with cooperative cancellation and
+// per-file fault containment; Options.Timeout and Options.Budget apply
+// per file.
+func AnalyzeAllContext(ctx context.Context, files []FileInput, opts Options, workers int) []FileFindings {
+	return core.AnalyzeAll(ctx, files, coreOptions(opts), workers)
 }
 
 // Finding is one statically diagnosed buffer overflow: a CWE class
@@ -135,7 +179,13 @@ func CWEName(cwe int) string { return overflow.CWEName(cwe) }
 // back deduplicated, in source order. filename is used in diagnostics
 // only.
 func Analyze(filename, source string) ([]Finding, error) {
-	fs, err := core.Analyze(filename, source)
+	return AnalyzeContext(context.Background(), filename, source, Options{})
+}
+
+// AnalyzeContext is Analyze with cooperative cancellation;
+// Options.Timeout and Options.Budget bound the analysis.
+func AnalyzeContext(ctx context.Context, filename, source string, opts Options) ([]Finding, error) {
+	fs, err := core.Analyze(ctx, filename, source, coreOptions(opts))
 	if err != nil {
 		return nil, fmt.Errorf("cfix: %w", err)
 	}
