@@ -1,11 +1,15 @@
 package repro_test
 
 import (
+	"bufio"
+	"encoding/json"
 	"errors"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 )
 
@@ -409,4 +413,233 @@ func exitCode(err error) int {
 		return ee.ExitCode()
 	}
 	return -1
+}
+
+// TestCfixCLIJobsValidation: negative -j is a usage error, and the help
+// text documents the 0 = one-per-CPU convention.
+func TestCfixCLIJobsValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "cmd/cfix")
+	dir := t.TempDir()
+	in := filepath.Join(dir, "x.c")
+	if err := os.WriteFile(in, []byte("int x;\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(bin, "-j", "-1", in)
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if code := exitCode(err); code != 2 {
+		t.Fatalf("-j -1: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "-j must be >= 0") {
+		t.Fatalf("-j -1 stderr missing explanation:\n%s", stderr.String())
+	}
+
+	helpOut, _ := exec.Command(bin).CombinedOutput()
+	if !strings.Contains(string(helpOut), "one worker per CPU") {
+		t.Fatalf("help text missing -j=0 semantics:\n%s", helpOut)
+	}
+}
+
+// TestCfixCLICacheDir: a second run over unchanged inputs with
+// -cache-dir produces byte-identical output from the persisted cache.
+func TestCfixCLICacheDir(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "cmd/cfix")
+	dir := t.TempDir()
+	in := filepath.Join(dir, "vuln.c")
+	if err := os.WriteFile(in, []byte(`
+void work(void) {
+    char buf[8];
+    strcpy(buf, "a string that is clearly too long");
+}
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cacheDir := filepath.Join(dir, "cache")
+
+	run := func(out string) string {
+		if err := exec.Command(bin, "-summary=false", "-cache-dir", cacheDir, "-o", out, in).Run(); err != nil {
+			t.Fatalf("cfix -cache-dir: %v", err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	cold := run(filepath.Join(dir, "cold.c"))
+	warm := run(filepath.Join(dir, "warm.c"))
+	if cold != warm {
+		t.Fatal("cached run output differs from cold run")
+	}
+	if !strings.Contains(cold, "g_strlcpy") {
+		t.Fatalf("transformation missing:\n%s", cold)
+	}
+	// The persisted entries actually landed on disk.
+	found := false
+	filepath.WalkDir(cacheDir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".cfe") {
+			found = true
+		}
+		return nil
+	})
+	if !found {
+		t.Fatal("no cache entries persisted under -cache-dir")
+	}
+}
+
+// TestCfixCLILintJSONDegradations: -lint -json surfaces per-file
+// degradations as a machine-readable trailer line, so consumers can
+// tell a full-fidelity clean verdict from a qualified one.
+func TestCfixCLILintJSONDegradations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "cmd/cfix")
+	dir := t.TempDir()
+	in := filepath.Join(dir, "deep.c")
+	if err := os.WriteFile(in, []byte(`
+void work(void) {
+    char buf[8];
+    char src[40];
+    memset(src, 'A', 30);
+    src[30] = '\0';
+    strcpy(buf, src);
+}
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A starved solver budget must degrade loudly in JSON too.
+	out, err := exec.Command(bin, "-lint", "-json", "-budget", "1", in).Output()
+	if code := exitCode(err); code != 0 && code != 3 {
+		t.Fatalf("lint -json -budget: exit %d, want 0 or 3", code)
+	}
+	var sawDegradations bool
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		var trailer struct {
+			File         string   `json:"file"`
+			Degradations []string `json:"degradations"`
+		}
+		if err := json.Unmarshal([]byte(line), &trailer); err != nil {
+			t.Fatalf("non-JSON line in -json output: %q (%v)", line, err)
+		}
+		if len(trailer.Degradations) > 0 {
+			sawDegradations = true
+			if trailer.File != in {
+				t.Fatalf("degradations trailer names %q, want %q", trailer.File, in)
+			}
+		}
+	}
+	if !sawDegradations {
+		t.Fatalf("budget-starved -lint -json missing degradations line:\n%s", out)
+	}
+
+	// A full-fidelity run emits no trailer.
+	out, err = exec.Command(bin, "-lint", "-json", in).Output()
+	if code := exitCode(err); code != 3 {
+		t.Fatalf("lint -json: exit %d, want 3", code)
+	}
+	if strings.Contains(string(out), `"degradations"`) {
+		t.Fatalf("full-fidelity run emitted a degradations trailer:\n%s", out)
+	}
+}
+
+// TestCfixdCLIEndToEnd boots the real daemon on an ephemeral port,
+// drives it over HTTP, and checks the SIGTERM drain contract.
+func TestCfixdCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "cmd/cfixd")
+
+	// Usage errors first: positional args and negative -j are refused.
+	if code := exitCode(exec.Command(bin, "stray.c").Run()); code != 2 {
+		t.Fatalf("positional arg: exit %d, want 2", code)
+	}
+	if code := exitCode(exec.Command(bin, "-j", "-2").Run()); code != 2 {
+		t.Fatalf("-j -2: exit %d, want 2", code)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-cache-dir", t.TempDir())
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The startup line carries the resolved address; scripts parse it.
+	lines := bufio.NewScanner(stderr)
+	var base string
+	for lines.Scan() {
+		if _, after, ok := strings.Cut(lines.Text(), "listening on "); ok {
+			base = after
+			break
+		}
+	}
+	if base == "" {
+		t.Fatal("daemon never printed its listen address")
+	}
+	go func() { // keep draining so the daemon never blocks on stderr
+		for lines.Scan() {
+		}
+	}()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	body := `{"filename":"vuln.c","source":"void f(void){ char b[4]; strcpy(b, \"far too long for four\"); }"}`
+	fix := func() (cached bool, source string) {
+		resp, err := http.Post(base+"/v1/fix", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("fix: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("fix: %d", resp.StatusCode)
+		}
+		var out struct {
+			Source string `json:"source"`
+			Cached bool   `json:"cached"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Cached, out.Source
+	}
+	cached1, src1 := fix()
+	cached2, src2 := fix()
+	if cached1 {
+		t.Fatal("cold request claims cached")
+	}
+	if !cached2 {
+		t.Fatal("repeated request not served from cache")
+	}
+	if src1 != src2 || !strings.Contains(src1, "g_strlcpy") {
+		t.Fatalf("daemon outputs diverge:\ncold: %s\nwarm: %s", src1, src2)
+	}
+
+	// SIGTERM drains and exits 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exit after SIGTERM: %v", err)
+	}
 }

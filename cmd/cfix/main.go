@@ -19,6 +19,14 @@
 //	-lint           do not transform; run the static overflow oracle and
 //	                print CWE-classified findings
 //	-json           with -lint, print findings as JSON lines
+//	-j n            parallel workers for batch mode (0 = one per CPU;
+//	                negative values are a usage error)
+//	-cache-dir dir  reuse full-fidelity results across runs from a
+//	                content-addressed cache under dir (atomic writes,
+//	                checksum-verified reads); unchanged files cost a
+//	                lookup instead of a parse and a fixpoint solve
+//	-cache-size n   in-memory tier bound for -cache-dir, in MiB
+//	                (default 256)
 //	-timeout d      per-file processing deadline (e.g. 30s; 0 = none)
 //	-total-timeout d  overall deadline for the whole invocation (0 = none)
 //	-budget n       per-file solver iteration/context budget; exhausted
@@ -70,10 +78,16 @@ type options struct {
 	lint         bool
 	json         bool
 	jobs         int
+	cacheDir     string
+	cacheSize    int64
 	timeout      time.Duration
 	totalTimeout time.Duration
 	budget       int
 	keepGoing    bool
+
+	// cache is the result cache built from cacheDir/cacheSize; nil when
+	// caching is off.
+	cache *cfix.ResultCache
 }
 
 // fixOptions translates the CLI flags into library options.
@@ -90,6 +104,7 @@ func (o options) fixOptions() cfix.Options {
 		Timeout:   o.timeout,
 		Budget:    o.budget,
 		KeepGoing: o.keepGoing,
+		Cache:     o.cache,
 	}
 }
 
@@ -106,12 +121,31 @@ func run() int {
 	flag.BoolVar(&opts.diff, "diff", false, "print a unified diff instead of the full source")
 	flag.BoolVar(&opts.lint, "lint", false, "run the static overflow oracle only; exit 3 on a definite overflow")
 	flag.BoolVar(&opts.json, "json", false, "with -lint, print findings as JSON lines")
-	flag.IntVar(&opts.jobs, "j", 0, "parallel workers for batch mode (0 = one per CPU)")
+	flag.IntVar(&opts.jobs, "j", 0, "parallel workers for batch mode (0 = one worker per CPU; must be >= 0)")
+	flag.StringVar(&opts.cacheDir, "cache-dir", "", "reuse results across runs from a content-addressed cache under this directory")
+	flag.Int64Var(&opts.cacheSize, "cache-size", 256, "in-memory tier bound for -cache-dir, in MiB")
 	flag.DurationVar(&opts.timeout, "timeout", 0, "per-file processing deadline (0 = none)")
 	flag.DurationVar(&opts.totalTimeout, "total-timeout", 0, "overall deadline for the whole invocation (0 = none)")
 	flag.IntVar(&opts.budget, "budget", 0, "per-file solver iteration/context budget (0 = unlimited); exhaustion degrades, never silences")
 	flag.BoolVar(&opts.keepGoing, "keep-going", false, "process every file even when one fails; exit nonzero at the end")
 	flag.Parse()
+
+	if opts.jobs < 0 {
+		fmt.Fprintln(os.Stderr, "cfix: -j must be >= 0 (0 = one worker per CPU)")
+		return 2
+	}
+	if opts.cacheDir != "" {
+		size := opts.cacheSize << 20
+		if size <= 0 {
+			size = 256 << 20
+		}
+		var err error
+		opts.cache, err = cfix.NewResultCache(size, opts.cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cfix: %v\n", err)
+			return 1
+		}
+	}
 
 	ctx := context.Background()
 	if opts.totalTimeout > 0 {
@@ -187,20 +221,14 @@ func fixFiles(ctx context.Context, paths []string, opts options) int {
 	return 0
 }
 
-// lintFinding is the JSON shape of one -lint -json output line.
-type lintFinding struct {
-	File     string   `json:"file"`
-	Line     int      `json:"line"`
-	Col      int      `json:"col"`
-	CWE      int      `json:"cwe"`
-	CWEName  string   `json:"cwe_name"`
-	Severity string   `json:"severity"`
-	Function string   `json:"function"`
-	Object   string   `json:"object,omitempty"`
-	Message  string   `json:"message"`
-	Fix      string   `json:"fix"`
-	Contexts []string `json:"contexts,omitempty"`
-	Degraded bool     `json:"degraded,omitempty"`
+// lintDegradations is the JSON shape of the per-file degradation trailer
+// in -lint -json output: emitted after a file's findings whenever the
+// analysis had to degrade (budget exhaustion, skipped stage), so
+// machine consumers can tell a clean full-fidelity verdict from a
+// qualified one.
+type lintDegradations struct {
+	File         string   `json:"file"`
+	Degradations []string `json:"degradations"`
 }
 
 // lintFiles runs the static overflow oracle over every input — through
@@ -239,25 +267,22 @@ func lintFiles(ctx context.Context, paths []string, opts options) int {
 				definite = true
 			}
 			if opts.json {
-				if err := enc.Encode(lintFinding{
-					File:     f.Pos.File,
-					Line:     f.Pos.Line,
-					Col:      f.Pos.Col,
-					CWE:      f.CWE,
-					CWEName:  cfix.CWEName(f.CWE),
-					Severity: f.Severity.String(),
-					Function: f.Function,
-					Object:   f.Object,
-					Message:  f.Msg,
-					Fix:      f.SuggestedFix,
-					Contexts: f.Contexts,
-					Degraded: f.Degraded,
-				}); err != nil {
+				if err := enc.Encode(cfix.NewFindingJSON(f)); err != nil {
 					fmt.Fprintf(os.Stderr, "cfix: %v\n", err)
 					return 1
 				}
 			} else {
 				fmt.Println(f)
+			}
+		}
+		if len(res.Degraded) > 0 {
+			if opts.json {
+				if err := enc.Encode(lintDegradations{File: path, Degradations: res.Degraded}); err != nil {
+					fmt.Fprintf(os.Stderr, "cfix: %v\n", err)
+					return 1
+				}
+			} else {
+				fmt.Fprintf(os.Stderr, "%s: analysis degraded: %s\n", path, strings.Join(res.Degraded, "; "))
 			}
 		}
 		if !opts.json && len(findings) == 0 {

@@ -1,0 +1,147 @@
+// Command cfixd is the long-running fix/lint service: the paper's two
+// buffer-overflow-fixing transformations and the static overflow oracle
+// behind an HTTP/JSON API, with content-addressed result caching so
+// re-analyzing unchanged translation units costs a cache lookup instead
+// of a parse and a fixpoint solve.
+//
+// Usage:
+//
+//	cfixd [flags]
+//
+//	-addr host:port       listen address (default 127.0.0.1:8347;
+//	                      port 0 picks a free port, printed on startup)
+//	-cache-size n         in-memory result cache bound in MiB (default
+//	                      256; 0 disables caching)
+//	-cache-dir dir        persist cache entries under dir (atomic
+//	                      writes, checksum-verified reads) so restarts
+//	                      start warm
+//	-max-inflight n       concurrently admitted analysis requests;
+//	                      beyond this the daemon answers 429 +
+//	                      Retry-After (default 2 per CPU)
+//	-max-request-bytes n  request body cap (default 16 MiB; 413 beyond)
+//	-timeout d            default per-request deadline (default 30s)
+//	-max-timeout d        upper clamp on requested deadlines (default 2m)
+//	-budget n             default per-request solver budget; exhausted
+//	                      budgets degrade conservatively, never silence
+//	                      (default 0 = unlimited)
+//	-j n                  batch endpoint worker pool (0 = one per CPU)
+//	-drain-timeout d      how long a SIGTERM waits for in-flight
+//	                      requests before forcing exit (default 30s)
+//
+// Endpoints: POST /v1/fix, POST /v1/lint, POST /v1/batch, GET /healthz,
+// GET /metrics — see internal/server and DESIGN.md Section 10.
+//
+// On SIGTERM or SIGINT the daemon stops accepting connections, drains
+// in-flight requests up to -drain-timeout, and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/pkg/cfix"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		addr            = flag.String("addr", "127.0.0.1:8347", "listen address (port 0 picks a free port)")
+		cacheSize       = flag.Int64("cache-size", 256, "in-memory result cache bound in MiB (0 disables caching)")
+		cacheDir        = flag.String("cache-dir", "", "persist cache entries under this directory")
+		maxInFlight     = flag.Int("max-inflight", 0, "concurrently admitted analysis requests (0 = 2 per CPU); excess answers 429")
+		maxRequestBytes = flag.Int64("max-request-bytes", 16<<20, "request body cap in bytes")
+		timeout         = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+		maxTimeout      = flag.Duration("max-timeout", 2*time.Minute, "upper clamp on requested deadlines")
+		budget          = flag.Int("budget", 0, "default per-request solver budget (0 = unlimited); exhaustion degrades, never silences")
+		workers         = flag.Int("j", 0, "batch endpoint worker pool (0 = one worker per CPU; must be >= 0)")
+		drainTimeout    = flag.Duration("drain-timeout", 30*time.Second, "SIGTERM drain deadline for in-flight requests")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "cfixd: unexpected arguments; cfixd serves over HTTP, see -h")
+		return 2
+	}
+	if *workers < 0 {
+		fmt.Fprintln(os.Stderr, "cfixd: -j must be >= 0 (0 = one worker per CPU)")
+		return 2
+	}
+
+	var rc *cfix.ResultCache
+	if *cacheSize > 0 || *cacheDir != "" {
+		size := *cacheSize << 20
+		if size <= 0 {
+			size = 256 << 20
+		}
+		var err error
+		rc, err = cfix.NewResultCache(size, *cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cfixd: %v\n", err)
+			return 1
+		}
+	}
+
+	srv := server.New(server.Config{
+		Cache:           rc,
+		MaxInFlight:     *maxInFlight,
+		MaxRequestBytes: *maxRequestBytes,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		Budget:          *budget,
+		Workers:         *workers,
+		Log:             logger,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cfixd: %v\n", err)
+		return 1
+	}
+	// The resolved address line is part of the interface: scripts (and
+	// the CI smoke test) parse it when -addr ends in :0.
+	logger.Printf("cfixd: listening on http://%s", ln.Addr())
+
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "cfixd: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of draining
+
+	logger.Printf("cfixd: shutting down, draining in-flight requests (up to %v)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		logger.Printf("cfixd: drain incomplete: %v", err)
+		return 1
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "cfixd: %v\n", err)
+		return 1
+	}
+	logger.Printf("cfixd: drained cleanly")
+	return 0
+}

@@ -11,6 +11,8 @@
 //	                             against the checked interpreter on SAMATE
 //	experiments -stride 10       sample the SAMATE corpus (faster)
 //	experiments -iters 500       RQ3 workload iterations
+//	experiments -table 3 -cache  additionally time cold vs cache-warm
+//	                             core.Fix passes over the corpus
 package main
 
 import (
@@ -32,6 +34,7 @@ func run() int {
 		lint     = flag.Bool("lint", false, "cross-validate the static overflow oracle on SAMATE")
 		ablation = flag.Bool("ablation", false, "run the alias-precision ablation")
 		stride   = flag.Int("stride", 1, "sample every Nth SAMATE program")
+		cacheRun = flag.Bool("cache", false, "with table 3: time cold vs cache-warm core.Fix passes")
 		iters    = flag.Int("iters", 200, "RQ3 workload iterations")
 		filler   = flag.Int("filler", 2, "filler functions per corpus file (Table IV bulk)")
 	)
@@ -47,7 +50,7 @@ func run() int {
 		fmt.Println(experiments.FormatTableII())
 	}
 	if want(3) {
-		rows, err := experiments.RunTableIII(experiments.TableIIIOptions{Stride: *stride})
+		rows, err := experiments.RunTableIII(experiments.TableIIIOptions{Stride: *stride, CacheWarm: *cacheRun})
 		if err != nil {
 			return fail(err)
 		}

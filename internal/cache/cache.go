@@ -1,0 +1,346 @@
+// Package cache provides the content-addressed result cache behind the
+// cfixd service and `cfix -cache-dir`: a byte-bounded in-memory LRU over
+// serialized analysis results, with singleflight deduplication of
+// concurrent identical requests and optional disk persistence.
+//
+// Keys are sha256 digests computed by Key over the request's content
+// (source text, options fingerprint, diagnostic filename), so a cache
+// entry can never be served for a request it does not exactly describe —
+// invalidation is free: editing the source or changing an option changes
+// the key, and stale entries age out of the LRU (or sit as unreachable
+// garbage on disk). Values are opaque byte slices; callers serialize
+// their results (core.Report, lint findings) to JSON before storing.
+//
+// The package sits below internal/core and must not import it.
+package cache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// entryOverhead approximates the per-entry bookkeeping cost (map slot,
+// list element, entry struct) charged against the byte bound on top of
+// the key and payload sizes.
+const entryOverhead = 128
+
+// diskMagic heads every persisted entry; bumping it invalidates every
+// on-disk cache in one stroke when the payload format changes.
+const diskMagic = "cfixcache1"
+
+// Key derives the content-addressed cache key for a request: the hex
+// sha256 over the length-prefixed parts. Length prefixing keeps the
+// digest injective — ("ab","c") and ("a","bc") hash differently — so two
+// distinct requests can never collide by concatenation.
+func Key(parts ...string) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Stats is a point-in-time snapshot of the cache's effectiveness
+// counters, exported verbatim by cfixd's /metrics endpoint.
+type Stats struct {
+	// Hits counts requests answered from the cache (memory or disk).
+	Hits int64 `json:"hits"`
+	// Misses counts requests that had to compute their result.
+	Misses int64 `json:"misses"`
+	// Collapsed counts requests that piggybacked on an identical
+	// in-flight computation instead of starting their own (singleflight).
+	Collapsed int64 `json:"collapsed"`
+	// Evictions counts entries dropped to keep Bytes under MaxBytes.
+	Evictions int64 `json:"evictions"`
+	// DiskHits counts hits served by the persistence directory after a
+	// memory miss (a subset of Hits).
+	DiskHits int64 `json:"disk_hits"`
+	// DiskRejects counts persisted entries discarded as corrupt
+	// (truncated file, checksum mismatch, foreign format).
+	DiskRejects int64 `json:"disk_rejects"`
+	// Entries and Bytes describe the current in-memory footprint.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// MaxBytes is the configured byte bound.
+	MaxBytes int64 `json:"max_bytes"`
+}
+
+// entry is one cached (key, payload) pair.
+type entry struct {
+	key string
+	val []byte
+}
+
+func (e *entry) cost() int64 { return int64(len(e.key)) + int64(len(e.val)) + entryOverhead }
+
+// flight tracks one in-progress computation so concurrent identical
+// requests wait for it instead of duplicating the work.
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// Cache is a byte-bounded LRU over content-addressed results. All
+// methods are safe for concurrent use.
+type Cache struct {
+	maxBytes int64
+	dir      string
+
+	mu      sync.Mutex
+	ll      *list.List // front = most recently used
+	byKey   map[string]*list.Element
+	bytes   int64
+	flights map[string]*flight
+
+	hits, misses, collapsed, evictions, diskHits, diskRejects int64
+}
+
+// New creates a cache bounded to maxBytes of in-memory entries
+// (maxBytes <= 0 means a modest 64 MiB default). dir, when non-empty,
+// enables disk persistence under that directory: every stored entry is
+// also written to disk (atomic temp+rename, like `cfix -o`), and a
+// memory miss falls back to a checksum-verified disk read. The directory
+// is created if needed.
+func New(maxBytes int64, dir string) (*Cache, error) {
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("cache: %w", err)
+		}
+	}
+	return &Cache{
+		maxBytes: maxBytes,
+		dir:      dir,
+		ll:       list.New(),
+		byKey:    make(map[string]*list.Element),
+		flights:  make(map[string]*flight),
+	}, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Collapsed:   c.collapsed,
+		Evictions:   c.evictions,
+		DiskHits:    c.diskHits,
+		DiskRejects: c.diskRejects,
+		Entries:     c.ll.Len(),
+		Bytes:       c.bytes,
+		MaxBytes:    c.maxBytes,
+	}
+}
+
+// Get returns the cached payload for key, consulting memory first and
+// the persistence directory second. The returned slice is shared; the
+// caller must not mutate it.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		val := el.Value.(*entry).val
+		c.mu.Unlock()
+		return val, true
+	}
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil, false
+	}
+	val, ok := c.loadDisk(key)
+	if !ok {
+		return nil, false
+	}
+	c.mu.Lock()
+	c.hits++
+	c.diskHits++
+	c.putLocked(key, val)
+	c.mu.Unlock()
+	return val, true
+}
+
+// Put stores the payload under key, evicting least-recently-used
+// entries as needed to respect the byte bound, and persists it to disk
+// when persistence is enabled. Payloads larger than the whole bound are
+// still persisted but not held in memory.
+func (c *Cache) Put(key string, val []byte) {
+	c.mu.Lock()
+	c.putLocked(key, val)
+	c.mu.Unlock()
+	if c.dir != "" {
+		c.storeDisk(key, val)
+	}
+}
+
+// putLocked inserts or refreshes an entry and evicts to the bound.
+// Callers hold c.mu.
+func (c *Cache) putLocked(key string, val []byte) {
+	if el, ok := c.byKey[key]; ok {
+		e := el.Value.(*entry)
+		c.bytes += int64(len(val)) - int64(len(e.val))
+		e.val = val
+		c.ll.MoveToFront(el)
+	} else {
+		e := &entry{key: key, val: val}
+		if e.cost() > c.maxBytes {
+			return // would evict everything and still not fit
+		}
+		c.byKey[key] = c.ll.PushFront(e)
+		c.bytes += e.cost()
+	}
+	for c.bytes > c.maxBytes {
+		el := c.ll.Back()
+		if el == nil {
+			break
+		}
+		e := c.ll.Remove(el).(*entry)
+		delete(c.byKey, e.key)
+		c.bytes -= e.cost()
+		c.evictions++
+	}
+}
+
+// Do returns the cached payload for key or computes it with fn,
+// collapsing concurrent calls for the same key into one computation —
+// every caller gets the same payload, but fn runs once. hit reports
+// whether this caller avoided the computation (a cache hit or a
+// collapsed duplicate). fn's store result controls whether a computed
+// payload enters the cache: degraded or otherwise non-reusable results
+// return store=false and are handed back without being remembered.
+// A failed fn (err != nil) is never cached; each waiter receives the
+// same error.
+func (c *Cache) Do(key string, fn func() (val []byte, store bool, err error)) (val []byte, hit bool, err error) {
+	if val, ok := c.Get(key); ok {
+		return val, true, nil
+	}
+	c.mu.Lock()
+	if f, ok := c.flights[key]; ok {
+		c.collapsed++
+		c.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, false, f.err
+		}
+		return f.val, true, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.misses++
+	c.mu.Unlock()
+
+	var store bool
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				f.err = fmt.Errorf("cache: computation panicked: %v", r)
+				c.finishFlight(key, f)
+				panic(r)
+			}
+		}()
+		f.val, store, f.err = fn()
+	}()
+	if f.err == nil && store {
+		c.Put(key, f.val)
+	}
+	c.finishFlight(key, f)
+	return f.val, false, f.err
+}
+
+// finishFlight publishes the flight's result and removes it from the
+// in-progress table.
+func (c *Cache) finishFlight(key string, f *flight) {
+	c.mu.Lock()
+	delete(c.flights, key)
+	c.mu.Unlock()
+	close(f.done)
+}
+
+// diskPath maps a key to its persisted location, sharded by the first
+// key byte to keep directories small.
+func (c *Cache) diskPath(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".cfe")
+}
+
+// storeDisk persists one entry with a checksum header through a
+// temporary file and rename, so readers never observe a torn write.
+// Persistence is best-effort: a full disk degrades to a memory-only
+// cache, never to an error on the serving path.
+func (c *Cache) storeDisk(key string, val []byte) {
+	path := c.diskPath(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	sum := sha256.Sum256(val)
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+key[:8]+".tmp*")
+	if err != nil {
+		return
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err := fmt.Fprintf(tmp, "%s %s\n", diskMagic, hex.EncodeToString(sum[:])); err != nil {
+		return
+	}
+	if _, err := tmp.Write(val); err != nil {
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		return
+	}
+	name := tmp.Name()
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+	}
+}
+
+// loadDisk reads and verifies one persisted entry. Anything that does
+// not parse back byte-for-byte — wrong magic, short file, checksum
+// mismatch — is deleted and counted as a reject: a corrupt cache entry
+// must become a recomputation, never a corrupt result.
+func (c *Cache) loadDisk(key string) ([]byte, bool) {
+	data, err := os.ReadFile(c.diskPath(key))
+	if err != nil {
+		return nil, false
+	}
+	reject := func() ([]byte, bool) {
+		os.Remove(c.diskPath(key))
+		c.mu.Lock()
+		c.diskRejects++
+		c.mu.Unlock()
+		return nil, false
+	}
+	// Header: "cfixcache1 <64 hex digest>\n"
+	headerLen := len(diskMagic) + 1 + 64 + 1
+	if len(data) < headerLen {
+		return reject()
+	}
+	if string(data[:len(diskMagic)]) != diskMagic || data[len(diskMagic)] != ' ' || data[headerLen-1] != '\n' {
+		return reject()
+	}
+	wantHex := string(data[len(diskMagic)+1 : headerLen-1])
+	val := data[headerLen:]
+	sum := sha256.Sum256(val)
+	if hex.EncodeToString(sum[:]) != wantHex {
+		return reject()
+	}
+	return val, true
+}

@@ -1,0 +1,337 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestKeyInjective(t *testing.T) {
+	if Key("ab", "c") == Key("a", "bc") {
+		t.Fatal("length prefixing failed: concatenation-equivalent parts collided")
+	}
+	if Key("x") != Key("x") {
+		t.Fatal("key is not deterministic")
+	}
+	if len(Key("x")) != 64 {
+		t.Fatalf("key length = %d, want 64 hex chars", len(Key("x")))
+	}
+}
+
+// TestLRUEvictionAtByteBound fills the cache past its byte bound and
+// checks that the least-recently-used entries — and only those — are
+// gone, and that the accounted size never exceeds the bound.
+func TestLRUEvictionAtByteBound(t *testing.T) {
+	val := bytes.Repeat([]byte("v"), 1000)
+	// Each entry costs 64 (key) + 1000 (val) + overhead; bound to ~4 entries.
+	perEntry := int64(64 + len(val) + entryOverhead)
+	c, err := New(4*perEntry, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 8)
+	for i := range keys {
+		keys[i] = Key(fmt.Sprintf("entry-%d", i))
+		c.Put(keys[i], val)
+		if st := c.Stats(); st.Bytes > st.MaxBytes {
+			t.Fatalf("after put %d: bytes %d exceed bound %d", i, st.Bytes, st.MaxBytes)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 4 {
+		t.Fatalf("entries = %d, want 4", st.Entries)
+	}
+	if st.Evictions != 4 {
+		t.Fatalf("evictions = %d, want 4", st.Evictions)
+	}
+	for i, k := range keys {
+		_, ok := c.Get(k)
+		if want := i >= 4; ok != want {
+			t.Errorf("entry %d cached = %v, want %v (LRU order violated)", i, ok, want)
+		}
+	}
+}
+
+func TestLRURecencyOrder(t *testing.T) {
+	c, err := New(3*(64+1+entryOverhead), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, d, e := Key("a"), Key("b"), Key("d"), Key("e")
+	c.Put(a, []byte("1"))
+	c.Put(b, []byte("1"))
+	c.Put(d, []byte("1"))
+	c.Get(a) // refresh a; b becomes LRU
+	c.Put(e, []byte("1"))
+	if _, ok := c.Get(b); ok {
+		t.Error("b should have been evicted as least recently used")
+	}
+	for _, k := range []string{a, d, e} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("entry %s unexpectedly evicted", k[:8])
+		}
+	}
+}
+
+func TestOversizedEntryNotCached(t *testing.T) {
+	c, err := New(256, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Key("huge")
+	c.Put(k, bytes.Repeat([]byte("x"), 1024))
+	if _, ok := c.Get(k); ok {
+		t.Fatal("entry larger than the whole bound must not be cached")
+	}
+	if st := c.Stats(); st.Bytes != 0 || st.Entries != 0 {
+		t.Fatalf("oversized put leaked accounting: %+v", st)
+	}
+}
+
+// TestSingleflightCollapse hammers one key from many goroutines; the
+// computation must run exactly once, everyone must see its payload, and
+// all but the computing caller must report a hit. Run under -race this
+// also exercises the flight table's synchronization.
+func TestSingleflightCollapse(t *testing.T) {
+	c, err := New(1<<20, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	release := make(chan struct{})
+	const goroutines = 16
+	var (
+		wg     sync.WaitGroup
+		hits   atomic.Int64
+		misses atomic.Int64
+	)
+	key := Key("shared")
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			val, hit, err := c.Do(key, func() ([]byte, bool, error) {
+				calls.Add(1)
+				<-release // hold the flight open so everyone piles on
+				return []byte("result"), true, nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			if string(val) != "result" {
+				t.Errorf("val = %q", val)
+			}
+			if hit {
+				hits.Add(1)
+			} else {
+				misses.Add(1)
+			}
+		}()
+	}
+	// Wait until every goroutine is either computing or parked on the
+	// flight, then release the computation.
+	for {
+		c.mu.Lock()
+		parked := c.collapsed
+		c.mu.Unlock()
+		if parked == goroutines-1 {
+			break
+		}
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("computation ran %d times, want 1", got)
+	}
+	if misses.Load() != 1 || hits.Load() != goroutines-1 {
+		t.Fatalf("hits/misses = %d/%d, want %d/1", hits.Load(), misses.Load(), goroutines-1)
+	}
+	// A later call is a plain memory hit.
+	if _, hit, _ := c.Do(key, func() ([]byte, bool, error) {
+		t.Error("computation re-ran after a successful flight")
+		return nil, false, nil
+	}); !hit {
+		t.Fatal("post-flight call missed")
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	c, err := New(1<<20, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("failing")
+	var calls int
+	for i := 0; i < 2; i++ {
+		_, hit, err := c.Do(key, func() ([]byte, bool, error) {
+			calls++
+			return nil, false, fmt.Errorf("boom %d", calls)
+		})
+		if err == nil || hit {
+			t.Fatalf("run %d: err=%v hit=%v, want error miss", i, err, hit)
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("failed computation cached: calls = %d, want 2", calls)
+	}
+}
+
+func TestDoStoreFalseNotCached(t *testing.T) {
+	c, err := New(1<<20, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("degraded")
+	var calls int
+	for i := 0; i < 2; i++ {
+		val, hit, err := c.Do(key, func() ([]byte, bool, error) {
+			calls++
+			return []byte("partial"), false, nil
+		})
+		if err != nil || hit || string(val) != "partial" {
+			t.Fatalf("run %d: val=%q hit=%v err=%v", i, val, hit, err)
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("store=false result was cached: calls = %d, want 2", calls)
+	}
+}
+
+// TestDiskRoundTrip persists entries in one cache instance and reads
+// them back from a fresh instance over the same directory — the restart
+// scenario `cfix -cache-dir` exists for.
+func TestDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := New(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("persist-me")
+	payload := []byte(`{"report":"full fidelity"}`)
+	c1.Put(key, payload)
+
+	c2, err := New(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get(key)
+	if !ok {
+		t.Fatal("persisted entry not found by a fresh cache instance")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("disk round-trip corrupted payload: %q != %q", got, payload)
+	}
+	st := c2.Stats()
+	if st.DiskHits != 1 || st.Hits != 1 {
+		t.Fatalf("stats after disk hit: %+v", st)
+	}
+	// The disk hit promoted the entry to memory: a second Get must not
+	// touch the disk again.
+	if _, ok := c2.Get(key); !ok {
+		t.Fatal("promoted entry missing from memory")
+	}
+	if st := c2.Stats(); st.DiskHits != 1 {
+		t.Fatalf("second Get re-read disk: %+v", st)
+	}
+}
+
+// TestDiskCorruptionRejected flips bytes in persisted entries and
+// checks every corruption is detected, deleted, and surfaced as a miss —
+// never as a wrong payload.
+func TestDiskCorruptionRejected(t *testing.T) {
+	corruptions := map[string]func([]byte) []byte{
+		"flipped payload byte": func(b []byte) []byte {
+			b[len(b)-1] ^= 0xff
+			return b
+		},
+		"truncated":   func(b []byte) []byte { return b[:len(b)/2] },
+		"wrong magic": func(b []byte) []byte { return append([]byte("notacache "), b...) },
+		"empty":       func([]byte) []byte { return nil },
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			c, err := New(1<<20, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := Key("victim-" + name)
+			c.Put(key, []byte("precious result"))
+			path := c.diskPath(key)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, corrupt(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := New(1<<20, dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if val, ok := fresh.Get(key); ok {
+				t.Fatalf("corrupted entry served: %q", val)
+			}
+			if st := fresh.Stats(); st.DiskRejects != 1 {
+				t.Fatalf("corruption not counted: %+v", st)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Errorf("corrupted entry not deleted (err=%v)", err)
+			}
+		})
+	}
+}
+
+func TestDiskLayoutSharded(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("sharded")
+	c.Put(key, []byte("x"))
+	want := filepath.Join(dir, key[:2], key+".cfe")
+	if _, err := os.Stat(want); err != nil {
+		t.Fatalf("entry not at sharded path %s: %v", want, err)
+	}
+}
+
+// TestConcurrentMixedUse drives puts, gets and flights from many
+// goroutines to give the race detector surface area.
+func TestConcurrentMixedUse(t *testing.T) {
+	c, err := New(8<<10, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := Key(fmt.Sprintf("k%d", i%17))
+				switch i % 3 {
+				case 0:
+					c.Put(key, []byte(strings.Repeat("v", i%97)))
+				case 1:
+					c.Get(key)
+				default:
+					c.Do(key, func() ([]byte, bool, error) {
+						return []byte("computed"), true, nil
+					})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Bytes > st.MaxBytes {
+		t.Fatalf("byte bound violated: %+v", st)
+	}
+}

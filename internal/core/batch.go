@@ -31,7 +31,16 @@ type FileOutput struct {
 type FileFindings struct {
 	Filename string
 	Findings []overflow.Finding
-	Err      error
+	// Degraded lists the analyses that had to degrade to conservative
+	// results for this file (budget exhaustion); empty for a
+	// full-fidelity run. It rides alongside the findings so batch
+	// consumers (cfix -lint -json, cfixd /v1/batch) can stream the
+	// qualification with the verdicts.
+	Degraded []string
+	// Cached reports that this file's result came from the result cache
+	// (Options.Cache).
+	Cached bool
+	Err    error
 }
 
 // FixAll applies Fix to every input through a bounded worker pool — the
@@ -54,7 +63,11 @@ func FixAll(ctx context.Context, files []FileInput, opts Options, workers int) [
 // worker per CPU. Results come back in input order.
 func AnalyzeAll(ctx context.Context, files []FileInput, opts Options, workers int) []FileFindings {
 	return analysis.MapCtx(ctx, workers, files, func(ctx context.Context, _ int, in FileInput) FileFindings {
-		fs, err := Analyze(ctx, in.Filename, in.Source, opts)
-		return FileFindings{Filename: in.Filename, Findings: fs, Err: err}
+		rep, err := AnalyzeReport(ctx, in.Filename, in.Source, opts)
+		if err != nil {
+			return FileFindings{Filename: in.Filename, Err: err}
+		}
+		return FileFindings{Filename: in.Filename, Findings: rep.Findings,
+			Degraded: rep.Degraded, Cached: rep.Cached}
 	})
 }

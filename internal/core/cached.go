@@ -1,0 +1,122 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// fingerprintVersion is baked into every cache key; bump it whenever
+// the transformations, the oracle, or the cached payload shape change in
+// a result-affecting way, and every stale entry becomes unreachable at
+// once — content-addressed caches are invalidated by construction, not
+// by deletion.
+const fingerprintVersion = "v1"
+
+// fingerprint renders every result-affecting option into the cache key.
+// Timeout is deliberately absent: a completed full-fidelity run does not
+// depend on how much wall clock it was allowed (a run that exceeds its
+// deadline fails and failures are never cached), so the same entry can
+// serve requests with different deadlines. Budget and KeepGoing do
+// shape results (degradation points) and are part of the key — though
+// degraded results are never stored anyway, an in-budget clean run under
+// budget B proves nothing about budget B' < B.
+func (o Options) fingerprint(kind string) string {
+	return fmt.Sprintf("%s|%s|slr=%t|str=%t|at=%d|support=%t|lint=%t|budget=%d|keep=%t",
+		fingerprintVersion, kind, o.DisableSLR, o.DisableSTR, o.SelectOffset,
+		o.EmitSupport, o.Lint, o.Budget, o.KeepGoing)
+}
+
+// cacheKey derives the content-addressed key for one request: the
+// source text dominates (sha256 of content), the options fingerprint
+// separates semantically different runs over the same text, and the
+// diagnostic filename is included because reports embed it in every
+// position — two identical sources under different names must not trade
+// diagnostics.
+func cacheKey(kind, filename, source string, opts Options) string {
+	return cache.Key(source, opts.fingerprint(kind), filename)
+}
+
+// FixCached is Fix through the content-addressed result cache: a
+// repeated identical request is answered without parsing or solving
+// anything, and concurrent identical requests collapse into a single
+// computation. hit reports whether this call avoided the pipeline. Only
+// full-fidelity reports (empty Degraded) are stored; degraded or failed
+// runs are recomputed every time. With a nil opts.Cache it degenerates
+// to a plain Fix.
+func FixCached(ctx context.Context, filename, source string, opts Options) (*Report, bool, error) {
+	c := opts.Cache
+	if c == nil {
+		rep, err := fix(ctx, filename, source, opts)
+		return rep, false, err
+	}
+	var computed *Report
+	payload, _, err := c.Do(cacheKey("fix", filename, source, opts), func() ([]byte, bool, error) {
+		rep, err := fix(ctx, filename, source, opts)
+		if err != nil {
+			return nil, false, err
+		}
+		computed = rep
+		b, err := json.Marshal(rep)
+		if err != nil {
+			return nil, false, err
+		}
+		return b, len(rep.Degraded) == 0, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if computed != nil {
+		// This call ran the pipeline itself; hand back the original
+		// report rather than a decode of it.
+		return computed, false, nil
+	}
+	rep := new(Report)
+	if err := json.Unmarshal(payload, rep); err != nil {
+		// A payload that does not decode is treated exactly like a
+		// corrupt disk entry: recompute, never fail the request.
+		rep, err := fix(ctx, filename, source, opts)
+		return rep, false, err
+	}
+	rep.Cached = true
+	return rep, true, nil
+}
+
+// AnalyzeCached is AnalyzeReport through the result cache, with the
+// same contract as FixCached: hit reports an avoided computation, and
+// only full-fidelity lint reports are stored.
+func AnalyzeCached(ctx context.Context, filename, source string, opts Options) (*LintReport, bool, error) {
+	c := opts.Cache
+	if c == nil {
+		rep, err := analyzeReport(ctx, filename, source, opts)
+		return rep, false, err
+	}
+	var computed *LintReport
+	payload, _, err := c.Do(cacheKey("lint", filename, source, opts), func() ([]byte, bool, error) {
+		rep, err := analyzeReport(ctx, filename, source, opts)
+		if err != nil {
+			return nil, false, err
+		}
+		computed = rep
+		b, err := json.Marshal(rep)
+		if err != nil {
+			return nil, false, err
+		}
+		return b, len(rep.Degraded) == 0, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if computed != nil {
+		return computed, false, nil
+	}
+	rep := new(LintReport)
+	if err := json.Unmarshal(payload, rep); err != nil {
+		rep, err := analyzeReport(ctx, filename, source, opts)
+		return rep, false, err
+	}
+	rep.Cached = true
+	return rep, true, nil
+}

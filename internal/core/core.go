@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/cache"
 	"repro/internal/ctoken"
 	"repro/internal/fault"
 	"repro/internal/overflow"
@@ -61,6 +62,15 @@ type Options struct {
 	// deadline expiry are never downgraded — they always abort the file
 	// with the context's error.
 	KeepGoing bool
+	// Cache, when non-nil, short-circuits Fix and Analyze through the
+	// content-addressed result cache: an identical (source, options,
+	// filename) request is answered from the cache without parsing or
+	// solving anything, and concurrent identical requests collapse into
+	// one computation. Only full-fidelity results are stored — a report
+	// with a non-empty Degraded list is recomputed every time (see
+	// DESIGN.md Section 10 for the keying and invalidation rules). The
+	// cache never changes a result, only how often it is computed.
+	Cache *cache.Cache
 }
 
 // Report is the combined outcome.
@@ -83,6 +93,10 @@ type Report struct {
 	// budgets that ran out (Options.Budget). Empty for a full-fidelity
 	// report.
 	Degraded []string
+	// Cached reports that this report was answered from the result cache
+	// instead of being computed (Options.Cache). Excluded from the cached
+	// payload itself: a stored report is by definition not yet a hit.
+	Cached bool `json:"-"`
 }
 
 // Changed reports whether any edit was applied.
@@ -155,13 +169,48 @@ func fileCtx(ctx context.Context, opts Options) (context.Context, context.Cancel
 	return ctx, func() {}
 }
 
+// LintReport is the full outcome of a lint-only analysis: the findings
+// plus the degradations that qualify them. It is the unit the result
+// cache stores for /v1/lint and `cfix -lint -cache-dir`.
+type LintReport struct {
+	// Findings holds the static overflow oracle's CWE-classified
+	// verdicts in source order.
+	Findings []overflow.Finding `json:"findings"`
+	// Degraded lists the analyses that had to degrade to conservative
+	// results (budget exhaustion); empty for a full-fidelity run.
+	Degraded []string `json:"degraded,omitempty"`
+	// Cached reports that this result came from the result cache.
+	Cached bool `json:"-"`
+}
+
 // Analyze runs the static overflow oracle on one preprocessed C
 // translation unit without transforming it, returning the CWE-classified
 // findings in source order. Only opts.Timeout and opts.Budget are
 // consulted; ctx cancellation aborts the analysis at the next solver
 // iteration with the context's error. A panic anywhere in the analysis
 // is contained and returned as a *fault.PanicError carrying the stack.
-func Analyze(ctx context.Context, filename, source string, opts Options) (fs []overflow.Finding, err error) {
+func Analyze(ctx context.Context, filename, source string, opts Options) ([]overflow.Finding, error) {
+	rep, err := AnalyzeReport(ctx, filename, source, opts)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Findings, nil
+}
+
+// AnalyzeReport is Analyze with the degradation notes that Analyze
+// drops: the batch pipeline and the service stream them alongside the
+// findings so a budget-cut analysis never reads as a clean file. When
+// opts.Cache is set the whole report is served content-addressed.
+func AnalyzeReport(ctx context.Context, filename, source string, opts Options) (*LintReport, error) {
+	if opts.Cache != nil {
+		rep, _, err := AnalyzeCached(ctx, filename, source, opts)
+		return rep, err
+	}
+	return analyzeReport(ctx, filename, source, opts)
+}
+
+// analyzeReport is the uncached lint pipeline.
+func analyzeReport(ctx context.Context, filename, source string, opts Options) (rep *LintReport, err error) {
 	defer fault.Recover(&err)
 	ctx, cancel := fileCtx(ctx, opts)
 	defer cancel()
@@ -169,7 +218,8 @@ func Analyze(ctx context.Context, filename, source string, opts Options) (fs []o
 	if err != nil {
 		return nil, fmt.Errorf("core: parse for lint: %w", err)
 	}
-	return snap.Findings(), nil
+	fs := snap.Findings()
+	return &LintReport{Findings: fs, Degraded: snap.Degradations()}, nil
 }
 
 // stage runs one pipeline stage, converting a panic inside it into an
@@ -204,7 +254,16 @@ func stage(f func() error) (err error) {
 // the next solver iteration with the context's error, and under
 // Options.KeepGoing a failed stage degrades the report instead of
 // failing the file.
-func Fix(ctx context.Context, filename, source string, opts Options) (rep *Report, err error) {
+func Fix(ctx context.Context, filename, source string, opts Options) (*Report, error) {
+	if opts.Cache != nil {
+		rep, _, err := FixCached(ctx, filename, source, opts)
+		return rep, err
+	}
+	return fix(ctx, filename, source, opts)
+}
+
+// fix is the uncached transformation pipeline.
+func fix(ctx context.Context, filename, source string, opts Options) (rep *Report, err error) {
 	defer fault.Recover(&err)
 	ctx, cancel := fileCtx(ctx, opts)
 	defer cancel()

@@ -234,3 +234,33 @@ func TestLintSampled(t *testing.T) {
 		t.Fatalf("format output incomplete:\n%s", out)
 	}
 }
+
+func TestTableIIICacheWarm(t *testing.T) {
+	rows, err := RunTableIII(TableIIIOptions{Stride: 100, CacheWarm: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.ColdFix <= 0 {
+			t.Errorf("CWE-%d: cold pass recorded no wall time", r.CWE)
+		}
+		// Every program that processed cleanly must be answered by the
+		// warm pass from the cache.
+		if want := r.Programs - r.Errors; r.WarmHits != want {
+			t.Errorf("CWE-%d: warm hits %d, want %d", r.CWE, r.WarmHits, want)
+		}
+	}
+	text := FormatTableIII(rows)
+	if !strings.Contains(text, "Result-cache timing") {
+		t.Fatalf("cache-warm section missing:\n%s", text)
+	}
+
+	// Without the flag the section stays out of the layout.
+	plain, err := RunTableIII(TableIIIOptions{Stride: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text := FormatTableIII(plain); strings.Contains(text, "Result-cache timing") {
+		t.Fatalf("cache-warm section leaked into a plain run:\n%s", text)
+	}
+}

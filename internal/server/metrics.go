@@ -1,0 +1,118 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/pkg/cfix"
+)
+
+// latencyBounds are the upper bounds of the latency histogram buckets,
+// chosen to straddle the pipeline's dynamic range: a cache hit lands in
+// the first bucket, a small-file solve in the middle, a pathological
+// interprocedural solve at the top.
+var latencyBounds = [...]time.Duration{
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+	10 * time.Second,
+}
+
+// latencyLabels name the buckets in /metrics output, one per bound plus
+// the overflow bucket.
+var latencyLabels = [...]string{"le_1ms", "le_10ms", "le_100ms", "le_1s", "le_10s", "gt_10s"}
+
+// metrics holds the daemon's expvar-style counters. Everything is an
+// atomic so the hot path never takes a lock; /metrics reads a snapshot.
+type metrics struct {
+	start time.Time
+
+	fixRequests    atomic.Int64
+	lintRequests   atomic.Int64
+	batchRequests  atomic.Int64
+	batchFiles     atomic.Int64
+	healthRequests atomic.Int64
+
+	rejected     atomic.Int64 // 429s from admission control
+	clientErrors atomic.Int64 // 4xx other than 429
+	serverErrors atomic.Int64 // 5xx
+	panics       atomic.Int64 // recovered panics (contained crashes)
+	degraded     atomic.Int64 // responses carrying a degradation note
+
+	inFlight atomic.Int64
+
+	latency      [len(latencyBounds) + 1]atomic.Int64
+	latencyTotal atomic.Int64 // summed nanoseconds across observed requests
+}
+
+// observe records one served request's latency into the histogram.
+func (m *metrics) observe(d time.Duration) {
+	i := 0
+	for i < len(latencyBounds) && d > latencyBounds[i] {
+		i++
+	}
+	m.latency[i].Add(1)
+	m.latencyTotal.Add(int64(d))
+}
+
+// Snapshot is the JSON shape of GET /metrics: every counter the daemon
+// exports, read atomically. Field order is the document order.
+type Snapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Requests counts admitted requests per endpoint; BatchFiles counts
+	// the translation units inside admitted batch requests.
+	Requests struct {
+		Fix     int64 `json:"fix"`
+		Lint    int64 `json:"lint"`
+		Batch   int64 `json:"batch"`
+		Healthz int64 `json:"healthz"`
+	} `json:"requests"`
+	BatchFiles int64 `json:"batch_files"`
+	// Rejected429 counts requests turned away by admission control.
+	Rejected429  int64 `json:"rejected_429"`
+	ClientErrors int64 `json:"client_errors"`
+	ServerErrors int64 `json:"server_errors"`
+	// PanicsRecovered counts contained crashes: each one was a request
+	// that returned 500 with its stack logged instead of killing the
+	// daemon.
+	PanicsRecovered int64 `json:"panics_recovered"`
+	// DegradedResponses counts responses whose result carried at least
+	// one degradation note (budget exhaustion, skipped stage).
+	DegradedResponses int64 `json:"degraded_responses"`
+	InFlight          int64 `json:"in_flight"`
+	// Cache reports the result cache's counters; absent when the daemon
+	// runs uncached.
+	Cache *cfix.CacheStats `json:"cache,omitempty"`
+	// LatencyBuckets is a cumulative-style histogram of served request
+	// latencies (bucket label -> count), plus the summed milliseconds.
+	LatencyBuckets map[string]int64 `json:"latency_buckets"`
+	LatencyTotalMs int64            `json:"latency_total_ms"`
+}
+
+// snapshot reads every counter.
+func (m *metrics) snapshot(cache *cfix.ResultCache) Snapshot {
+	var s Snapshot
+	s.UptimeSeconds = time.Since(m.start).Seconds()
+	s.Requests.Fix = m.fixRequests.Load()
+	s.Requests.Lint = m.lintRequests.Load()
+	s.Requests.Batch = m.batchRequests.Load()
+	s.Requests.Healthz = m.healthRequests.Load()
+	s.BatchFiles = m.batchFiles.Load()
+	s.Rejected429 = m.rejected.Load()
+	s.ClientErrors = m.clientErrors.Load()
+	s.ServerErrors = m.serverErrors.Load()
+	s.PanicsRecovered = m.panics.Load()
+	s.DegradedResponses = m.degraded.Load()
+	s.InFlight = m.inFlight.Load()
+	if cache != nil {
+		st := cache.Stats()
+		s.Cache = &st
+	}
+	s.LatencyBuckets = make(map[string]int64, len(latencyLabels))
+	for i, label := range latencyLabels {
+		s.LatencyBuckets[label] = m.latency[i].Load()
+	}
+	s.LatencyTotalMs = m.latencyTotal.Load() / int64(time.Millisecond)
+	return s
+}

@@ -1,0 +1,389 @@
+// Package server implements cfixd's HTTP/JSON API: the long-running
+// fix/lint service layered directly on the ctx-first pipeline
+// (core.Fix / core.Analyze via pkg/cfix) and the bounded worker pool,
+// with content-addressed result caching, admission control, per-request
+// deadlines and solver budgets, and expvar-style metrics.
+//
+// Endpoints:
+//
+//	POST /v1/fix    transform one translation unit (cfix.FixRequest ->
+//	                cfix.FixResponse; Source is byte-identical to a
+//	                one-shot `cfix` run on the same input/options)
+//	POST /v1/lint   statically diagnose one unit without transforming it
+//	POST /v1/batch  process many units through the worker pool in one
+//	                request; per-file fault containment, input order
+//	GET  /healthz   liveness (never queued behind analysis work)
+//	GET  /metrics   counters: requests, cache hits/misses/evictions,
+//	                degradations, panics recovered, in-flight, latency
+//	                histogram
+//
+// Failure model: a panic inside a request's pipeline is contained by the
+// per-file fault boundary and surfaces here as a *fault.PanicError — the
+// daemon answers 500, logs the recovered stack, and keeps serving. A
+// request that exceeds its deadline answers 504. Overload answers 429
+// with Retry-After so load balancers shed instead of queueing. Oversized
+// bodies answer 413 before any parsing happens.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/fault"
+	"repro/pkg/cfix"
+)
+
+// Config tunes the service; the zero value serves with sane defaults.
+type Config struct {
+	// Cache, when non-nil, answers repeated identical requests without
+	// re-running the pipeline and collapses concurrent identical
+	// requests into one computation.
+	Cache *cfix.ResultCache
+	// MaxInFlight bounds concurrently admitted analysis requests (fix,
+	// lint, batch); further requests are rejected with 429 + Retry-After
+	// instead of queueing unboundedly. <= 0 means 2 per CPU.
+	MaxInFlight int
+	// MaxRequestBytes caps a request body; larger bodies answer 413.
+	// <= 0 means 16 MiB.
+	MaxRequestBytes int64
+	// DefaultTimeout applies when a request does not set one;
+	// MaxTimeout clamps what a request may ask for. <= 0 means 30s and
+	// 2m respectively.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// Budget is the per-request solver budget applied when the request
+	// does not set one; 0 means unlimited (the deadline still bounds
+	// wall clock).
+	Budget int
+	// Workers bounds the batch endpoint's worker pool; <= 0 means one
+	// per CPU.
+	Workers int
+	// Log receives request errors and recovered panic stacks; nil means
+	// the process default logger.
+	Log *log.Logger
+}
+
+// withDefaults fills the zero values.
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * runtime.NumCPU()
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 16 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.Log == nil {
+		c.Log = log.Default()
+	}
+	return c
+}
+
+// Server is the cfixd request handler. Create with New, mount with
+// Handler, drain with http.Server.Shutdown.
+type Server struct {
+	conf Config
+	sem  chan struct{}
+	m    metrics
+	mux  *http.ServeMux
+}
+
+// New builds a server from the configuration.
+func New(conf Config) *Server {
+	conf = conf.withDefaults()
+	s := &Server{
+		conf: conf,
+		sem:  make(chan struct{}, conf.MaxInFlight),
+		m:    metrics{start: time.Now()},
+		mux:  http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/fix", s.handleFix)
+	s.mux.HandleFunc("POST /v1/lint", s.handleLint)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the mounted API wrapped in the last-resort panic
+// containment: a crash that somehow escapes the per-file fault boundary
+// still answers 500 and keeps the daemon alive.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				err := fault.NewPanicError(rec)
+				s.m.panics.Add(1)
+				s.conf.Log.Printf("cfixd: panic escaped request handler %s: %v", r.URL.Path, err)
+				s.writeError(w, http.StatusInternalServerError, "internal error (panic recovered)")
+			}
+		}()
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Metrics returns a snapshot of the daemon's counters (the /metrics
+// payload), for embedding and tests.
+func (s *Server) Metrics() Snapshot { return s.m.snapshot(s.conf.Cache) }
+
+// admit applies admission control: it claims one in-flight slot or
+// answers 429 + Retry-After. The returned release must be deferred by
+// the caller when ok.
+func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
+	select {
+	case s.sem <- struct{}{}:
+		s.m.inFlight.Add(1)
+		return func() {
+			<-s.sem
+			s.m.inFlight.Add(-1)
+		}, true
+	default:
+		s.m.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("over capacity: %d requests in flight", s.conf.MaxInFlight))
+		return nil, false
+	}
+}
+
+// decode reads one JSON request body under the size cap. On failure it
+// has already written the response and returns false.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.conf.MaxRequestBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		s.writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// effectiveOptions applies the server's deadline clamp, default budget,
+// and cache to the request's options.
+func (s *Server) effectiveOptions(ro cfix.RequestOptions) cfix.Options {
+	opts := ro.ToOptions()
+	switch {
+	case opts.Timeout <= 0:
+		opts.Timeout = s.conf.DefaultTimeout
+	case opts.Timeout > s.conf.MaxTimeout:
+		opts.Timeout = s.conf.MaxTimeout
+	}
+	if opts.Budget == 0 {
+		opts.Budget = s.conf.Budget
+	}
+	opts.Cache = s.conf.Cache
+	return opts
+}
+
+// requestFilename defaults the diagnostic filename.
+func requestFilename(name string) string {
+	if name == "" {
+		return "input.c"
+	}
+	return name
+}
+
+func (s *Server) handleFix(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	defer func(start time.Time) { s.m.observe(time.Since(start)) }(time.Now())
+	s.m.fixRequests.Add(1)
+
+	var req cfix.FixRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Source == "" {
+		s.writeError(w, http.StatusBadRequest, "missing source")
+		return
+	}
+	filename := requestFilename(req.Filename)
+	rep, err := cfix.FixContext(r.Context(), filename, req.Source, s.effectiveOptions(req.Options))
+	if err != nil {
+		s.failRequest(w, filename, err)
+		return
+	}
+	if len(rep.Degraded) > 0 {
+		s.m.degraded.Add(1)
+	}
+	s.writeJSON(w, http.StatusOK, cfix.NewFixResponse(filename, rep))
+}
+
+func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	defer func(start time.Time) { s.m.observe(time.Since(start)) }(time.Now())
+	s.m.lintRequests.Add(1)
+
+	var req cfix.LintRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if req.Source == "" {
+		s.writeError(w, http.StatusBadRequest, "missing source")
+		return
+	}
+	filename := requestFilename(req.Filename)
+	ctx := r.Context()
+	rep, err := cfix.AnalyzeReport(ctx, filename, req.Source, s.effectiveOptions(req.Options))
+	if err != nil {
+		s.failRequest(w, filename, err)
+		return
+	}
+	if len(rep.Degraded) > 0 {
+		s.m.degraded.Add(1)
+	}
+	s.writeJSON(w, http.StatusOK, cfix.NewLintResponse(filename, rep))
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	defer func(start time.Time) { s.m.observe(time.Since(start)) }(time.Now())
+	s.m.batchRequests.Add(1)
+
+	var req cfix.BatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Files) == 0 {
+		s.writeError(w, http.StatusBadRequest, "missing files")
+		return
+	}
+	s.m.batchFiles.Add(int64(len(req.Files)))
+	inputs := make([]cfix.FileInput, len(req.Files))
+	for i, f := range req.Files {
+		inputs[i] = cfix.FileInput{Filename: requestFilename(f.Filename), Source: f.Source}
+	}
+	opts := s.effectiveOptions(req.Options)
+	resp := cfix.BatchResponse{Results: make([]cfix.BatchResult, len(inputs))}
+	if req.Lint {
+		outs := cfix.AnalyzeAllContext(r.Context(), inputs, opts, s.conf.Workers)
+		for i, out := range outs {
+			resp.Results[i] = s.batchResult(out.Filename, out.Err, func() cfix.BatchResult {
+				lr := cfix.NewLintResponse(out.Filename,
+					&cfix.LintReport{Findings: out.Findings, Degraded: out.Degraded, Cached: out.Cached})
+				return cfix.BatchResult{Filename: out.Filename, Lint: &lr}
+			})
+			if len(out.Degraded) > 0 {
+				s.m.degraded.Add(1)
+			}
+		}
+	} else {
+		outs := cfix.FixAllContext(r.Context(), inputs, opts, s.conf.Workers)
+		for i, out := range outs {
+			resp.Results[i] = s.batchResult(out.Filename, out.Err, func() cfix.BatchResult {
+				fr := cfix.NewFixResponse(out.Filename, out.Report)
+				return cfix.BatchResult{Filename: out.Filename, Fix: &fr}
+			})
+			if out.Report != nil && len(out.Report.Degraded) > 0 {
+				s.m.degraded.Add(1)
+			}
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// batchResult folds one per-file outcome: a contained failure becomes
+// the file's Error field (panics logged and counted), a success is
+// rendered by render.
+func (s *Server) batchResult(filename string, err error, render func() cfix.BatchResult) cfix.BatchResult {
+	if err == nil {
+		return render()
+	}
+	var pe *fault.PanicError
+	if errors.As(err, &pe) {
+		s.m.panics.Add(1)
+		s.conf.Log.Printf("cfixd: panic contained in batch file %s: %v", filename, pe)
+		return cfix.BatchResult{Filename: filename, Error: "panic contained: " + firstLine(pe.Error())}
+	}
+	return cfix.BatchResult{Filename: filename, Error: err.Error()}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.m.healthRequests.Add(1)
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.m.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// failRequest maps a pipeline error to a response: contained panics are
+// 500s with the stack logged (never echoed to the client), deadline
+// expiry is 504, client disconnection 499-style 503, anything else —
+// parse errors, unsupported constructs — is the client's 422.
+func (s *Server) failRequest(w http.ResponseWriter, filename string, err error) {
+	var pe *fault.PanicError
+	switch {
+	case errors.As(err, &pe):
+		s.m.panics.Add(1)
+		s.conf.Log.Printf("cfixd: panic recovered processing %s: %v", filename, pe)
+		s.writeError(w, http.StatusInternalServerError, "internal error (panic recovered)")
+	case errors.Is(err, context.DeadlineExceeded):
+		s.writeError(w, http.StatusGatewayTimeout, "deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		s.writeError(w, http.StatusServiceUnavailable, "request cancelled")
+	default:
+		s.writeError(w, http.StatusUnprocessableEntity, firstLine(err.Error()))
+	}
+}
+
+// writeJSON writes one JSON response.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(body); err != nil {
+		s.conf.Log.Printf("cfixd: writing response: %v", err)
+	}
+}
+
+// writeError writes the uniform error shape and counts it.
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	switch {
+	case status >= 500:
+		s.m.serverErrors.Add(1)
+	case status >= 400 && status != http.StatusTooManyRequests:
+		s.m.clientErrors.Add(1)
+	}
+	s.writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// firstLine truncates multi-line error text (panic stacks) for client
+// consumption; the full text goes to the log.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

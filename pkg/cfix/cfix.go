@@ -75,6 +75,12 @@ type Options struct {
 	// explained in Report.Degraded. Cancellation and timeouts still fail
 	// the file.
 	KeepGoing bool
+	// Cache, when non-nil, serves repeated identical requests from a
+	// content-addressed result cache instead of re-running the pipeline
+	// (Report.Cached marks a hit), and collapses concurrent identical
+	// requests into one computation. Share one ResultCache across calls;
+	// see NewResultCache.
+	Cache *ResultCache
 }
 
 // Report is the outcome of Fix. See core.Report for field semantics.
@@ -95,6 +101,7 @@ func coreOptions(opts Options) core.Options {
 		Timeout:      opts.Timeout,
 		Budget:       opts.Budget,
 		KeepGoing:    opts.KeepGoing,
+		Cache:        opts.Cache.internal(),
 	}
 }
 
