@@ -16,6 +16,7 @@ import (
 
 	"runtime"
 
+	"repro/internal/analysis"
 	"repro/internal/cinterp"
 	"repro/internal/corpus"
 	"repro/internal/cparse"
@@ -445,6 +446,103 @@ func BenchmarkFixAllParallel(b *testing.B) {
 			}
 			b.ReportMetric(float64(len(inputs)), "programs/op")
 		})
+	}
+}
+
+// --- Per-stage and observability benchmarks ----------------------------------
+
+// stageProgram returns one representative SAMATE heap-overflow program:
+// it exercises every pipeline stage the tracer names — parse, the full
+// analysis stack, the SLR clamp, and the STR rewrite.
+func stageProgram() (string, string) {
+	p := samate.Generate(122, 1)[0]
+	return p.ID + ".c", p.Source
+}
+
+// BenchmarkPipelineStages isolates the stages the tracer measures, so a
+// regression localized by `cfix -stage-stats` can be bisected against a
+// stable per-stage baseline (`make bench` records 3 samples of each).
+func BenchmarkPipelineStages(b *testing.B) {
+	name, src := stageProgram()
+
+	b.Run("parse-only", func(b *testing.B) {
+		b.SetBytes(int64(len(src)))
+		for i := 0; i < b.N; i++ {
+			if _, err := cparse.Parse(name, src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// snapshot-warm measures the memoization layer itself: every fact is
+	// already computed, so an iteration costs only the accessor overhead
+	// the snapshot adds on the hot (already-solved) path.
+	b.Run("snapshot-warm", func(b *testing.B) {
+		unit, err := cparse.Parse(name, src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		snap := analysis.New(unit)
+		if len(snap.Findings()) == 0 { // forces the whole analysis stack once
+			b.Fatal("no findings on the overflow program")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			snap.PointsTo()
+			snap.Aliases()
+			snap.CallGraph()
+			snap.MayModify()
+			if len(snap.Findings()) == 0 {
+				b.Fatal("warm findings lost")
+			}
+		}
+	})
+
+	b.Run("slr-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cfix.Fix(name, src, cfix.Options{SelectAll: true, DisableSTR: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("str-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cfix.Fix(name, src, cfix.Options{SelectAll: true, DisableSLR: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkObsOverhead is the observability overhead gate: the full fix
+// pipeline with NO tracer attached. CI runs it twice — default build and
+// `-tags cfix_notrace` (tracing compiled out entirely) — and
+// cmd/benchguard fails the build when the default build is more than 2%
+// slower: the nil-tracer fast path must stay free.
+func BenchmarkObsOverhead(b *testing.B) {
+	name, src := stageProgram()
+	opts := cfix.Options{SelectAll: true, Lint: true}
+	for i := 0; i < b.N; i++ {
+		if _, err := cfix.Fix(name, src, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceAttached measures the same pipeline with a live tracer
+// (created per iteration, as one CLI run would), quantifying the opt-in
+// cost of -trace/-stage-stats next to BenchmarkObsOverhead's baseline.
+func BenchmarkTraceAttached(b *testing.B) {
+	if !cfix.TracingEnabled() {
+		b.Skip("tracing compiled out (cfix_notrace)")
+	}
+	name, src := stageProgram()
+	for i := 0; i < b.N; i++ {
+		opts := cfix.Options{SelectAll: true, Lint: true, Tracer: cfix.NewTracer()}
+		if _, err := cfix.Fix(name, src, opts); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -552,6 +552,153 @@ void work(void) {
 	}
 }
 
+// TestCfixCLITraceAndStageStats: `cfix -trace out.json -stage-stats`
+// writes a valid Chrome trace-event file covering at least 10 distinct
+// pipeline stages (the observability acceptance bar) and prints the
+// aggregated per-stage table to stderr; the trace also passes the CI
+// checker (cmd/tracecheck), keeping the two validators in agreement.
+func TestCfixCLITraceAndStageStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "cmd/cfix")
+	dir := t.TempDir()
+	in := filepath.Join(dir, "vuln.c")
+	// Default -summary keeps the lint oracle on, so the trace covers the
+	// full stage vocabulary: parse, typecheck, the derived analyses, the
+	// overflow oracle, SLR, STR, rewrite, fix.
+	if err := os.WriteFile(in, []byte(`
+void work(void) {
+    char buf[8];
+    strcpy(buf, "a string that is clearly too long");
+    printf("%s\n", buf);
+}
+int main(void) {
+    work();
+    return 0;
+}
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	traceFile := filepath.Join(dir, "trace.json")
+
+	cmd := exec.Command(bin, "-trace", traceFile, "-stage-stats",
+		"-o", filepath.Join(dir, "fixed.c"), in)
+	var stderrBuf strings.Builder
+	cmd.Stderr = &stderrBuf
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("cfix -trace: %v\n%s", err, stderrBuf.String())
+	}
+
+	data, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Pid  int               `json:"pid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	names := map[string]bool{}
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph != "X" || ev.Ts < 0 || ev.Dur <= 0 || ev.Name == "" {
+			t.Fatalf("malformed event: %+v", ev)
+		}
+		names[ev.Name] = true
+	}
+	if len(names) < 10 {
+		t.Fatalf("trace covers %d distinct stages, want >= 10: %v", len(names), names)
+	}
+	for _, want := range []string{"parse", "typecheck", "slr", "str", "fix"} {
+		if !names[want] {
+			t.Fatalf("trace missing stage %q: %v", want, names)
+		}
+	}
+
+	// The -stage-stats table landed on stderr with its header and totals.
+	for _, want := range []string{"stage", "count", "self", "degraded", "parse", "total"} {
+		if !strings.Contains(stderrBuf.String(), want) {
+			t.Fatalf("-stage-stats output missing %q:\n%s", want, stderrBuf.String())
+		}
+	}
+
+	// The CI trace validator accepts the same file.
+	check := buildTool(t, "cmd/tracecheck")
+	if out, err := exec.Command(check, "-min-stages", "10", traceFile).CombinedOutput(); err != nil {
+		t.Fatalf("tracecheck rejected the trace: %v\n%s", err, out)
+	}
+	// And rejects a malformed one.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"traceEvents":[{"name":"","ph":"B"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.Command(check, bad).Run(); err == nil {
+		t.Fatal("tracecheck accepted a malformed trace")
+	}
+}
+
+// TestBenchguardCLI pins the observability-gate comparator: within
+// threshold passes, past threshold fails, no common benchmarks fails.
+func TestBenchguardCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "cmd/benchguard")
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.txt",
+		"goos: linux\nBenchmarkObsOverhead-8 \t 100\t 1000000 ns/op\nBenchmarkObsOverhead-8 \t 100\t 1040000 ns/op\n")
+	within := write("within.txt",
+		"BenchmarkObsOverhead-8 \t 100\t 1015000 ns/op\nBenchmarkObsOverhead-8 \t 100\t 1300000 ns/op\n")
+	past := write("past.txt",
+		"BenchmarkObsOverhead-8 \t 100\t 1100000 ns/op\n")
+	other := write("other.txt",
+		"BenchmarkSomethingElse-8 \t 100\t 1000000 ns/op\n")
+
+	// min(within)=1.015ms vs min(base)=1.0ms: +1.5%, inside the 2% gate.
+	out, err := exec.Command(bin, within, base).CombinedOutput()
+	if err != nil {
+		t.Fatalf("within-threshold comparison failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "ok") {
+		t.Fatalf("verdict missing:\n%s", out)
+	}
+	// +10% must fail with exit 1 and a FAIL verdict line.
+	out, err = exec.Command(bin, past, base).CombinedOutput()
+	if code := exitCode(err); code != 1 {
+		t.Fatalf("past-threshold comparison: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "FAIL") {
+		t.Fatalf("FAIL verdict missing:\n%s", out)
+	}
+	// A custom threshold admits the same regression.
+	if out, err := exec.Command(bin, "-max-pct", "15", past, base).CombinedOutput(); err != nil {
+		t.Fatalf("-max-pct 15: %v\n%s", err, out)
+	}
+	// Disjoint benchmark sets are an error, not a silent pass.
+	if code := exitCode(exec.Command(bin, other, base).Run()); code != 1 {
+		t.Fatalf("disjoint sets: exit %d, want 1", code)
+	}
+}
+
 // TestCfixdCLIEndToEnd boots the real daemon on an ephemeral port,
 // drives it over HTTP, and checks the SIGTERM drain contract.
 func TestCfixdCLIEndToEnd(t *testing.T) {

@@ -33,6 +33,11 @@
 //	                budgets degrade to conservative results, never silence
 //	-keep-going     process every file even when one fails; report each
 //	                error and exit nonzero at the end
+//	-trace out.json record one span per pipeline stage and write a
+//	                Chrome trace-event file (open in chrome://tracing or
+//	                ui.perfetto.dev; one lane per -j worker)
+//	-stage-stats    print the aggregated per-stage timing table to
+//	                stderr (count, self, total, min, max, degraded)
 //
 // A directory argument expands to every .c file directly inside it — the
 // paper's maintenance scenario of batch-hardening a legacy tree.
@@ -84,10 +89,14 @@ type options struct {
 	totalTimeout time.Duration
 	budget       int
 	keepGoing    bool
+	traceOut     string
+	stageStats   bool
 
 	// cache is the result cache built from cacheDir/cacheSize; nil when
 	// caching is off.
 	cache *cfix.ResultCache
+	// tracer records stage spans when -trace or -stage-stats is set.
+	tracer *cfix.Tracer
 }
 
 // fixOptions translates the CLI flags into library options.
@@ -105,6 +114,7 @@ func (o options) fixOptions() cfix.Options {
 		Budget:    o.budget,
 		KeepGoing: o.keepGoing,
 		Cache:     o.cache,
+		Tracer:    o.tracer,
 	}
 }
 
@@ -128,6 +138,8 @@ func run() int {
 	flag.DurationVar(&opts.totalTimeout, "total-timeout", 0, "overall deadline for the whole invocation (0 = none)")
 	flag.IntVar(&opts.budget, "budget", 0, "per-file solver iteration/context budget (0 = unlimited); exhaustion degrades, never silences")
 	flag.BoolVar(&opts.keepGoing, "keep-going", false, "process every file even when one fails; exit nonzero at the end")
+	flag.StringVar(&opts.traceOut, "trace", "", "write a Chrome trace-event JSON file of the pipeline stages here")
+	flag.BoolVar(&opts.stageStats, "stage-stats", false, "print the aggregated per-stage timing table to stderr")
 	flag.Parse()
 
 	if opts.jobs < 0 {
@@ -169,18 +181,59 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "cfix: -json requires -lint")
 		return 2
 	}
-	if opts.lint {
-		return lintFiles(ctx, paths, opts)
+	if opts.traceOut != "" || opts.stageStats {
+		if !cfix.TracingEnabled() {
+			fmt.Fprintln(os.Stderr, "cfix: this build was compiled with cfix_notrace; -trace/-stage-stats will observe nothing")
+		}
+		opts.tracer = cfix.NewTracer()
 	}
-	if len(paths) > 1 && opts.out != "" {
+
+	var code int
+	switch {
+	case opts.lint:
+		code = lintFiles(ctx, paths, opts)
+	case len(paths) > 1 && opts.out != "":
 		fmt.Fprintln(os.Stderr, "cfix: -o needs a single input; use -outdir for batches")
 		return 2
-	}
-	if len(paths) > 1 && opts.at >= 0 {
+	case len(paths) > 1 && opts.at >= 0:
 		fmt.Fprintln(os.Stderr, "cfix: -at needs a single input")
 		return 2
+	default:
+		code = fixFiles(ctx, paths, opts)
 	}
-	return fixFiles(ctx, paths, opts)
+	if obsCode := emitObservability(opts); obsCode != 0 && code == 0 {
+		code = obsCode
+	}
+	return code
+}
+
+// emitObservability writes the -trace file and prints the -stage-stats
+// table after the run. The stats table reports self time per stage
+// (exclusive of nested stages), so its total matches the traced wall
+// clock instead of double-counting nesting.
+func emitObservability(opts options) int {
+	if opts.tracer == nil {
+		return 0
+	}
+	if opts.stageStats {
+		fmt.Fprint(os.Stderr, cfix.FormatStageStats(opts.tracer.StageStats(), opts.tracer.WallClock()))
+	}
+	if opts.traceOut != "" {
+		f, err := os.Create(opts.traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cfix: %v\n", err)
+			return 1
+		}
+		werr := opts.tracer.WriteChromeTrace(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "cfix: writing trace: %v\n", werr)
+			return 1
+		}
+	}
+	return 0
 }
 
 // fixFiles reads every input, fixes them through the parallel batch

@@ -27,6 +27,10 @@
 //	-j n                  batch endpoint worker pool (0 = one per CPU)
 //	-drain-timeout d      how long a SIGTERM waits for in-flight
 //	                      requests before forcing exit (default 30s)
+//	-slow-threshold d     log requests slower than d with a per-stage
+//	                      time breakdown (default 0 = disabled)
+//	-pprof-addr host:port serve net/http/pprof on a separate, opt-in
+//	                      listener (default off; keep it loopback-only)
 //
 // Endpoints: POST /v1/fix, POST /v1/lint, POST /v1/batch, GET /healthz,
 // GET /metrics — see internal/server and DESIGN.md Section 10.
@@ -43,6 +47,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -66,6 +71,8 @@ func run() int {
 		budget          = flag.Int("budget", 0, "default per-request solver budget (0 = unlimited); exhaustion degrades, never silences")
 		workers         = flag.Int("j", 0, "batch endpoint worker pool (0 = one worker per CPU; must be >= 0)")
 		drainTimeout    = flag.Duration("drain-timeout", 30*time.Second, "SIGTERM drain deadline for in-flight requests")
+		slowThreshold   = flag.Duration("slow-threshold", 0, "log requests slower than this with a per-stage breakdown (0 = disabled)")
+		pprofAddr       = flag.String("pprof-addr", "", "serve net/http/pprof on this separate listener (empty = disabled)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "", log.LstdFlags)
@@ -100,8 +107,32 @@ func run() int {
 		MaxTimeout:      *maxTimeout,
 		Budget:          *budget,
 		Workers:         *workers,
+		SlowThreshold:   *slowThreshold,
 		Log:             logger,
 	})
+
+	// pprof stays off the API listener: profiles are opt-in and never
+	// reachable through the address a load balancer fronts. The default
+	// mux is avoided so only the pprof handlers are exposed.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cfixd: pprof listener: %v\n", err)
+			return 1
+		}
+		pprofMux := http.NewServeMux()
+		pprofMux.HandleFunc("/debug/pprof/", pprof.Index)
+		pprofMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pprofMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pprofMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pprofMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		logger.Printf("cfixd: pprof listening on http://%s/debug/pprof/", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, pprofMux); err != nil {
+				logger.Printf("cfixd: pprof server: %v", err)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -13,12 +13,18 @@
 //	experiments -iters 500       RQ3 workload iterations
 //	experiments -table 3 -cache  additionally time cold vs cache-warm
 //	                             core.Fix passes over the corpus
+//	experiments -table 3 -stages additionally print the per-stage
+//	                             pipeline time breakdown (traced)
+//	experiments -bench-json f    run the SAMATE pipeline benchmark and
+//	                             write the per-stage report to f
+//	                             (BENCH_pipeline.json in CI; honors -stride)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/experiments"
 )
@@ -37,8 +43,14 @@ func run() int {
 		cacheRun = flag.Bool("cache", false, "with table 3: time cold vs cache-warm core.Fix passes")
 		iters    = flag.Int("iters", 200, "RQ3 workload iterations")
 		filler   = flag.Int("filler", 2, "filler functions per corpus file (Table IV bulk)")
+		stages   = flag.Bool("stages", false, "with table 3: add the per-stage pipeline time breakdown")
+		benchOut = flag.String("bench-json", "", "run the SAMATE pipeline benchmark and write BENCH_pipeline.json here")
 	)
 	flag.Parse()
+
+	if *benchOut != "" {
+		return runBenchJSON(*benchOut, *stride)
+	}
 
 	specific := *table != 0 || *figure != 0 || *rq != 0 || *cve || *lint || *ablation
 	want := func(t int) bool { return !specific || *table == t }
@@ -50,7 +62,8 @@ func run() int {
 		fmt.Println(experiments.FormatTableII())
 	}
 	if want(3) {
-		rows, err := experiments.RunTableIII(experiments.TableIIIOptions{Stride: *stride, CacheWarm: *cacheRun})
+		rows, err := experiments.RunTableIII(experiments.TableIIIOptions{
+			Stride: *stride, CacheWarm: *cacheRun, Stages: *stages})
 		if err != nil {
 			return fail(err)
 		}
@@ -107,6 +120,34 @@ func run() int {
 		}
 		fmt.Println(experiments.FormatAliasPrecision(r))
 	}
+	return 0
+}
+
+// runBenchJSON runs the SAMATE pipeline benchmark (the Table III run
+// with per-stage tracing) and writes the machine-readable report CI
+// uploads as BENCH_pipeline.json. The table goes to stdout alongside.
+func runBenchJSON(path string, stride int) int {
+	opts := experiments.TableIIIOptions{Stride: stride, Stages: true}
+	start := time.Now()
+	rows, err := experiments.RunTableIII(opts)
+	if err != nil {
+		return fail(err)
+	}
+	wall := time.Since(start)
+	fmt.Println(experiments.FormatTableIII(rows))
+	f, err := os.Create(path)
+	if err != nil {
+		return fail(err)
+	}
+	rep := experiments.BuildBenchReport(rows, opts, wall)
+	if err := experiments.WriteBenchJSON(f, rep); err != nil {
+		f.Close()
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		return fail(err)
+	}
+	fmt.Printf("wrote %s (%d programs, %d stages)\n", path, rep.Programs, len(rep.Stages))
 	return 0
 }
 

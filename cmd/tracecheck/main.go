@@ -1,0 +1,142 @@
+// Command tracecheck validates a Chrome trace-event JSON file produced
+// by `cfix -trace` (or any tool emitting the "X" complete-event form).
+// CI's trace-smoke job runs it over a fresh trace so a regression in the
+// exporter fails the build instead of silently producing a file
+// chrome://tracing refuses to load.
+//
+// Usage:
+//
+//	tracecheck [-min-stages n] [-min-events n] trace.json
+//
+// Checks, in order:
+//
+//   - the file is valid JSON in the object-container form with a
+//     non-empty traceEvents array;
+//   - every event is a complete event (ph "X") with a name, a
+//     non-negative timestamp, and a positive duration;
+//   - within each lane (pid, tid) the events form a properly nested
+//     (laminar) family — the invariant the stage-stats self-time
+//     computation depends on;
+//   - the number of distinct event names is at least -min-stages and the
+//     event count at least -min-events.
+//
+// On success it prints a one-line summary and exits 0; any violation is
+// reported to stderr and exits 1.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type event struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+type trace struct {
+	TraceEvents []event `json:"traceEvents"`
+}
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	minStages := flag.Int("min-stages", 1, "minimum number of distinct stage names")
+	minEvents := flag.Int("min-events", 1, "minimum number of events")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-min-stages n] [-min-events n] trace.json")
+		return 2
+	}
+	path := flag.Arg(0)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fail("%v", err)
+	}
+	var tr trace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return fail("%s: not valid trace JSON: %v", path, err)
+	}
+	if len(tr.TraceEvents) < *minEvents {
+		return fail("%s: %d events, want >= %d", path, len(tr.TraceEvents), *minEvents)
+	}
+
+	names := map[string]bool{}
+	lanes := map[[2]int][]event{}
+	for i, ev := range tr.TraceEvents {
+		switch {
+		case ev.Name == "":
+			return fail("%s: event %d has no name", path, i)
+		case ev.Ph != "X":
+			return fail("%s: event %d (%s) has ph %q, want complete event \"X\"", path, i, ev.Name, ev.Ph)
+		case ev.Ts < 0:
+			return fail("%s: event %d (%s) has negative timestamp %v", path, i, ev.Name, ev.Ts)
+		case ev.Dur <= 0:
+			return fail("%s: event %d (%s) has non-positive duration %v", path, i, ev.Name, ev.Dur)
+		}
+		names[ev.Name] = true
+		key := [2]int{ev.Pid, ev.Tid}
+		lanes[key] = append(lanes[key], ev)
+	}
+
+	for key, evs := range lanes {
+		if err := checkLaminar(evs); err != nil {
+			return fail("%s: lane pid=%d tid=%d: %v", path, key[0], key[1], err)
+		}
+	}
+
+	if len(names) < *minStages {
+		sorted := make([]string, 0, len(names))
+		for n := range names {
+			sorted = append(sorted, n)
+		}
+		sort.Strings(sorted)
+		return fail("%s: %d distinct stages, want >= %d: %v", path, len(names), *minStages, sorted)
+	}
+
+	fmt.Printf("trace OK: %d events, %d stages, %d lanes\n",
+		len(tr.TraceEvents), len(names), len(lanes))
+	return 0
+}
+
+// checkLaminar verifies the events of one lane are properly nested: any
+// two either nest or are disjoint. Timestamps are whole microseconds
+// (truncated) and sub-microsecond durations are floored to 0.5µs by the
+// exporter, so boundary comparisons carry a 1µs tolerance.
+func checkLaminar(evs []event) error {
+	const eps = 1.0
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].Ts != evs[j].Ts {
+			return evs[i].Ts < evs[j].Ts
+		}
+		return evs[i].Dur > evs[j].Dur // parents before their children
+	})
+	var stack []event
+	for _, ev := range evs {
+		for len(stack) > 0 && ev.Ts >= stack[len(stack)-1].Ts+stack[len(stack)-1].Dur-eps {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) > 0 {
+			top := stack[len(stack)-1]
+			if ev.Ts+ev.Dur > top.Ts+top.Dur+eps {
+				return fmt.Errorf("%q [%v, %v] partially overlaps enclosing %q [%v, %v]",
+					ev.Name, ev.Ts, ev.Ts+ev.Dur, top.Name, top.Ts, top.Ts+top.Dur)
+			}
+		}
+		stack = append(stack, ev)
+	}
+	return nil
+}
+
+func fail(format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	return 1
+}

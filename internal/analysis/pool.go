@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Map runs f over every item through a bounded pool of workers and
@@ -35,6 +37,9 @@ func MapCtx[T, R any](ctx context.Context, workers int, items []T, f func(contex
 		workers = len(items)
 	}
 	if workers == 1 {
+		// Lane 0 explicitly, so single-worker batch traces land in the
+		// same lane scheme as parallel ones.
+		ctx := obs.WithLane(ctx, 0)
 		for i, item := range items {
 			out[i] = f(ctx, i, item)
 		}
@@ -46,8 +51,11 @@ func MapCtx[T, R any](ctx context.Context, workers int, items []T, f func(contex
 	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			// Each worker is one trace lane: spans recorded under this
+			// context render as one Chrome trace thread per worker.
+			ctx := obs.WithLane(ctx, w)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(items) {
@@ -55,7 +63,7 @@ func MapCtx[T, R any](ctx context.Context, workers int, items []T, f func(contex
 				}
 				out[i] = f(ctx, i, items[i])
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return out

@@ -26,6 +26,7 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/fault"
 	"repro/internal/interproc"
+	"repro/internal/obs"
 	"repro/internal/overflow"
 	"repro/internal/pointsto"
 	"repro/internal/typecheck"
@@ -45,6 +46,12 @@ type Config struct {
 	// its conservative result, recorded in Degradations. The zero value
 	// imposes nothing.
 	Limits fault.Limits
+	// Tracer, when non-nil, receives one span per lazily computed fact
+	// (DESIGN.md Section 11): parse, typecheck, cfg, reaching, pointsto,
+	// aliases, callgraph, maymod, buflen, overflow — each annotated with
+	// the file, solver effort, and any degradation reason. Nil disables
+	// tracing at the cost of one nil check per accessor.
+	Tracer *obs.Tracer
 }
 
 // Snapshot is the per-translation-unit facts store. All accessors are
@@ -53,6 +60,7 @@ type Config struct {
 type Snapshot struct {
 	unit *cast.TranslationUnit
 	conf Config
+	file string
 
 	typeOnce sync.Once
 	typeErrs []error
@@ -95,12 +103,22 @@ func New(unit *cast.TranslationUnit) *Snapshot {
 // configuration (the precision ablations pass a field-sensitive
 // points-to model).
 func NewWithConfig(unit *cast.TranslationUnit, conf Config) *Snapshot {
-	return &Snapshot{
+	s := &Snapshot{
 		unit: unit,
 		conf: conf,
 		cfgs: make(map[*cast.FuncDef]*cfg.Graph, len(unit.Funcs)),
 		rds:  make(map[*cast.FuncDef]*dataflow.ReachingDefs, len(unit.Funcs)),
 	}
+	if unit.File != nil {
+		s.file = unit.File.Name()
+	}
+	return s
+}
+
+// span opens a stage span against the snapshot's tracer (nil-safe); the
+// worker lane comes from the limits context the batch pool tagged.
+func (s *Snapshot) span(name string) *obs.ActiveSpan {
+	return s.conf.Tracer.Start(s.conf.Limits.Ctx, name, s.file)
 }
 
 // Parse parses one preprocessed C translation unit and wraps it in a
@@ -117,12 +135,19 @@ func ParseCtx(ctx context.Context, filename, source string, conf Config) (*Snaps
 	if ctx != nil {
 		conf.Limits.Ctx = ctx
 	}
+	// The span is closed by defer so a panic inside the parse (or an
+	// injected test fault) still leaves a closed, attributed span behind
+	// for the fault-path assertions.
+	sp := conf.Tracer.Start(ctx, obs.StageParse, filename)
+	defer sp.End()
 	applyInjectedFault(ctx, filename, &conf)
 	fault.CheckCtx(ctx)
 	unit, err := cparse.Parse(filename, source)
 	if err != nil {
+		sp.Attr("error", err.Error())
 		return nil, err
 	}
+	sp.Attr("funcs", fmt.Sprint(len(unit.Funcs)))
 	return NewWithConfig(unit, conf), nil
 }
 
@@ -155,7 +180,13 @@ func (s *Snapshot) Unit() *cast.TranslationUnit { return s.unit }
 // a typed unit.
 func (s *Snapshot) Typecheck() []error {
 	s.typeOnce.Do(func() {
+		sp := s.span(obs.StageTypecheck)
+		defer sp.End()
 		s.typeErrs = typecheck.Check(s.unit)
+		sp.Attr("funcs", fmt.Sprint(len(s.unit.Funcs)))
+		if len(s.typeErrs) > 0 {
+			sp.Attr("diagnostics", fmt.Sprint(len(s.typeErrs)))
+		}
 	})
 	return s.typeErrs
 }
@@ -167,7 +198,9 @@ func (s *Snapshot) CFG(fn *cast.FuncDef) *cfg.Graph {
 	defer s.cfgMu.Unlock()
 	g, ok := s.cfgs[fn]
 	if !ok {
+		sp := s.span(obs.StageCFG).Attr("func", fn.Name)
 		g = cfg.Build(fn)
+		sp.End()
 		s.cfgs[fn] = g
 	}
 	return g
@@ -181,10 +214,15 @@ func (s *Snapshot) Reaching(fn *cast.FuncDef) *dataflow.ReachingDefs {
 	defer s.rdMu.Unlock()
 	rd, ok := s.rds[fn]
 	if !ok {
+		sp := s.span(obs.StageReaching).Attr("func", fn.Name)
 		rd = dataflow.ComputeReachingLimits(g, aliases, s.conf.Limits)
+		sp.Attr("steps", fmt.Sprint(rd.Steps))
 		if rd.Degraded {
-			s.noteDegraded(fmt.Sprintf("reaching definitions budget exhausted in %s", fn.Name))
+			reason := fmt.Sprintf("reaching definitions budget exhausted in %s", fn.Name)
+			sp.Attr("degraded", reason)
+			s.noteDegraded(reason)
 		}
+		sp.End()
 		s.rds[fn] = rd
 	}
 	return rd
@@ -198,9 +236,15 @@ func (s *Snapshot) PointsTo() *pointsto.Graph {
 		if opts.Limits == (fault.Limits{}) {
 			opts.Limits = s.conf.Limits
 		}
+		sp := s.span(obs.StagePointsTo)
+		defer sp.End()
 		s.pt = pointsto.Analyze(s.unit, opts)
+		sp.Attr("iterations", fmt.Sprint(s.pt.Stats.Iterations)).
+			Attr("nodes", fmt.Sprint(len(s.pt.Nodes)))
 		if s.pt.Stats.Degraded {
-			s.noteDegraded("points-to budget exhausted; alias sets degraded to everything-aliases")
+			reason := "points-to budget exhausted; alias sets degraded to everything-aliases"
+			sp.Attr("degraded", reason)
+			s.noteDegraded(reason)
 		}
 	})
 	return s.pt
@@ -209,7 +253,10 @@ func (s *Snapshot) PointsTo() *pointsto.Graph {
 // Aliases returns the alias sets derived from the points-to graph.
 func (s *Snapshot) Aliases() *pointsto.AliasSets {
 	s.aliasOnce.Do(func() {
-		s.aliases = pointsto.ComputeAliases(s.PointsTo())
+		pt := s.PointsTo()
+		sp := s.span(obs.StageAliases)
+		s.aliases = pointsto.ComputeAliases(pt)
+		sp.End()
 	})
 	return s.aliases
 }
@@ -218,7 +265,9 @@ func (s *Snapshot) Aliases() *pointsto.AliasSets {
 func (s *Snapshot) CallGraph() *callgraph.Graph {
 	s.cgOnce.Do(func() {
 		s.Typecheck()
+		sp := s.span(obs.StageCallGraph).Attr("funcs", fmt.Sprint(len(s.unit.Funcs)))
 		s.cg = callgraph.Build(s.unit)
+		sp.End()
 	})
 	return s.cg
 }
@@ -227,7 +276,10 @@ func (s *Snapshot) CallGraph() *callgraph.Graph {
 // computed once over the shared call graph.
 func (s *Snapshot) MayModify() *interproc.Result {
 	s.interOnce.Do(func() {
-		s.inter = interproc.AnalyzeWith(s.unit, s.CallGraph())
+		cg := s.CallGraph()
+		sp := s.span(obs.StageMayMod)
+		s.inter = interproc.AnalyzeWith(s.unit, cg)
+		sp.End()
 	})
 	return s.inter
 }
@@ -237,7 +289,9 @@ func (s *Snapshot) MayModify() *interproc.Result {
 func (s *Snapshot) BufLenAnalyzer() *buflen.Analyzer {
 	s.bufOnce.Do(func() {
 		s.Typecheck()
+		sp := s.span(obs.StageBufLen)
 		s.buf = buflen.NewAnalyzerFacts(s.unit, s)
+		sp.End()
 	})
 	return s.buf
 }
@@ -255,9 +309,15 @@ func (s *Snapshot) Findings() []overflow.Finding {
 		if opts.Limits == (fault.Limits{}) {
 			opts.Limits = s.conf.Limits
 		}
+		sp := s.span(obs.StageOverflow)
+		defer sp.End()
 		an := overflow.NewWithFacts(s.unit, opts, s)
 		s.findings = an.Analyze()
-		s.noteDegraded(an.Degradations()...)
+		sp.Attr("findings", fmt.Sprint(len(s.findings)))
+		if deg := an.Degradations(); len(deg) > 0 {
+			sp.Attr("degraded", deg[0])
+			s.noteDegraded(deg...)
+		}
 	})
 	return s.findings
 }

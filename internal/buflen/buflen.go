@@ -115,6 +115,11 @@ const (
 	FailStructRedefined
 	// FailUnsupportedForm: the expression shape is outside Algorithm 1.
 	FailUnsupportedForm
+	// FailAlreadyClamped: the length argument (or a preceding
+	// assignment) already carries the exact clamp SLR would insert —
+	// the input is previously transformed output, and clamping again
+	// would nest the ternary. Declining keeps Fix idempotent.
+	FailAlreadyClamped
 )
 
 var _failNames = map[FailReason]string{
@@ -127,6 +132,7 @@ var _failNames = map[FailReason]string{
 	FailNoDef:           "no defining value reaches the use",
 	FailStructRedefined: "containing struct redefined before use",
 	FailUnsupportedForm: "unsupported expression form",
+	FailAlreadyClamped:  "length already clamped by a previous transformation",
 }
 
 // String returns the reason description.

@@ -4,8 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"repro/internal/cache"
+	"repro/internal/obs"
 )
 
 // fingerprintVersion is baked into every cache key; bump it whenever
@@ -53,7 +55,12 @@ func FixCached(ctx context.Context, filename, source string, opts Options) (*Rep
 		return rep, false, err
 	}
 	var computed *Report
+	lookup := time.Now()
 	payload, _, err := c.Do(cacheKey("fix", filename, source, opts), func() ([]byte, bool, error) {
+		// The miss span wraps the whole recomputation, so the fix span
+		// (and every analysis span) nests inside it in the trace.
+		sp := opts.Tracer.Start(ctx, obs.StageCacheMiss, filename)
+		defer sp.End()
 		rep, err := fix(ctx, filename, source, opts)
 		if err != nil {
 			return nil, false, err
@@ -80,6 +87,7 @@ func FixCached(ctx context.Context, filename, source string, opts Options) (*Rep
 		rep, err := fix(ctx, filename, source, opts)
 		return rep, false, err
 	}
+	opts.Tracer.RecordSince(ctx, obs.StageCacheHit, filename, lookup)
 	rep.Cached = true
 	return rep, true, nil
 }
@@ -94,7 +102,10 @@ func AnalyzeCached(ctx context.Context, filename, source string, opts Options) (
 		return rep, false, err
 	}
 	var computed *LintReport
+	lookup := time.Now()
 	payload, _, err := c.Do(cacheKey("lint", filename, source, opts), func() ([]byte, bool, error) {
+		sp := opts.Tracer.Start(ctx, obs.StageCacheMiss, filename)
+		defer sp.End()
 		rep, err := analyzeReport(ctx, filename, source, opts)
 		if err != nil {
 			return nil, false, err
@@ -117,6 +128,7 @@ func AnalyzeCached(ctx context.Context, filename, source string, opts Options) (
 		rep, err := analyzeReport(ctx, filename, source, opts)
 		return rep, false, err
 	}
+	opts.Tracer.RecordSince(ctx, obs.StageCacheHit, filename, lookup)
 	rep.Cached = true
 	return rep, true, nil
 }

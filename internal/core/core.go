@@ -20,6 +20,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/ctoken"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/overflow"
 	"repro/internal/slr"
 	"repro/internal/str"
@@ -71,6 +72,13 @@ type Options struct {
 	// DESIGN.md Section 10 for the keying and invalidation rules). The
 	// cache never changes a result, only how often it is computed.
 	Cache *cache.Cache
+	// Tracer, when non-nil, records one span per pipeline stage —
+	// parse, typecheck, the derived analyses, slr, str, rewrite, and
+	// cache hit/miss — for `cfix -trace` / `-stage-stats` and the
+	// daemon's per-stage latency histograms (DESIGN.md Section 11).
+	// Tracing never changes a result; nil disables it at the cost of a
+	// nil check per stage.
+	Tracer *obs.Tracer
 }
 
 // Report is the combined outcome.
@@ -214,11 +222,17 @@ func analyzeReport(ctx context.Context, filename, source string, opts Options) (
 	defer fault.Recover(&err)
 	ctx, cancel := fileCtx(ctx, opts)
 	defer cancel()
-	snap, err := analysis.ParseCtx(ctx, filename, source, analysis.Config{Limits: opts.limits(ctx)})
+	sp := opts.Tracer.Start(ctx, obs.StageLint, filename)
+	defer sp.End()
+	snap, err := analysis.ParseCtx(ctx, filename, source, analysis.Config{Limits: opts.limits(ctx), Tracer: opts.Tracer})
 	if err != nil {
 		return nil, fmt.Errorf("core: parse for lint: %w", err)
 	}
 	fs := snap.Findings()
+	sp.Attr("findings", fmt.Sprint(len(fs)))
+	if deg := snap.Degradations(); len(deg) > 0 {
+		sp.Attr("degraded", deg[0])
+	}
 	return &LintReport{Findings: fs, Degraded: snap.Degradations()}, nil
 }
 
@@ -268,8 +282,14 @@ func fix(ctx context.Context, filename, source string, opts Options) (rep *Repor
 	ctx, cancel := fileCtx(ctx, opts)
 	defer cancel()
 
+	// The file-level span closes by defer, so even a contained panic or
+	// deadline cut leaves a closed span whose self time is the pipeline
+	// overhead outside the traced stages.
+	fileSpan := opts.Tracer.Start(ctx, obs.StageFix, filename)
+	defer fileSpan.End()
+
 	rep = &Report{Source: source}
-	conf := analysis.Config{Limits: opts.limits(ctx)}
+	conf := analysis.Config{Limits: opts.limits(ctx), Tracer: opts.Tracer}
 
 	snap, err := analysis.ParseCtx(ctx, filename, source, conf)
 	if err != nil {
@@ -278,7 +298,10 @@ func fix(ctx context.Context, filename, source string, opts Options) (rep *Repor
 
 	if opts.Lint {
 		if lintErr := stage(func() error {
+			sp := opts.Tracer.Start(ctx, obs.StageLint, filename)
+			defer sp.End()
 			rep.Findings = snap.Findings()
+			sp.Attr("findings", fmt.Sprint(len(rep.Findings)))
 			return nil
 		}); lintErr != nil {
 			if !opts.KeepGoing {
@@ -290,6 +313,8 @@ func fix(ctx context.Context, filename, source string, opts Options) (rep *Repor
 
 	if !opts.DisableSLR {
 		slrErr := stage(func() error {
+			sp := opts.Tracer.Start(ctx, obs.StageSLR, filename)
+			defer sp.End()
 			tr := slr.NewTransformerSnap(snap)
 			var res *slr.FileResult
 			var err error
@@ -299,8 +324,11 @@ func fix(ctx context.Context, filename, source string, opts Options) (rep *Repor
 				res, err = tr.ApplyAll()
 			}
 			if err != nil {
+				sp.Attr("error", firstLine(err))
 				return err
 			}
+			sp.Attr("sites", fmt.Sprint(res.Candidates())).
+				Attr("applied", fmt.Sprint(res.AppliedCount()))
 			rep.SLR = res
 			rep.Source = res.NewSource
 			rep.NeedsGlib = res.NeedsGlib
@@ -321,6 +349,8 @@ func fix(ctx context.Context, filename, source string, opts Options) (rep *Repor
 
 	if !opts.DisableSTR && opts.SelectOffset < 0 {
 		strErr := stage(func() error {
+			sp := opts.Tracer.Start(ctx, obs.StageSTR, filename)
+			defer sp.End()
 			// STR reuses the snapshot when the text is unchanged; otherwise it
 			// must analyze the post-SLR source, which requires a fresh parse.
 			strSnap := snap
@@ -330,11 +360,15 @@ func fix(ctx context.Context, filename, source string, opts Options) (rep *Repor
 				if err != nil {
 					return fmt.Errorf("parse for STR: %w", err)
 				}
+				sp.Attr("reparsed", "true")
 			}
 			res, err := str.NewTransformerSnap(strSnap).ApplyAll()
 			if err != nil {
+				sp.Attr("error", firstLine(err))
 				return err
 			}
+			sp.Attr("vars", fmt.Sprint(res.Candidates())).
+				Attr("applied", fmt.Sprint(res.AppliedCount()))
 			rep.STR = res
 			rep.Source = res.NewSource
 			rep.NeedsStralloc = res.NeedsStralloc
@@ -355,7 +389,13 @@ func fix(ctx context.Context, filename, source string, opts Options) (rep *Repor
 	}
 	rep.Degraded = append(rep.Degraded, snap.Degradations()...)
 	rep.Degraded = dedupStrings(rep.Degraded)
+	if len(rep.Degraded) > 0 {
+		fileSpan.Attr("degraded", rep.Degraded[0])
+	}
 
+	// The rewrite stage assembles the final text: support-code emission
+	// and the transformed source concatenation.
+	rw := opts.Tracer.Start(ctx, obs.StageRewrite, filename)
 	if opts.EmitSupport {
 		var support strings.Builder
 		if rep.NeedsStralloc {
@@ -370,6 +410,7 @@ func fix(ctx context.Context, filename, source string, opts Options) (rep *Repor
 			rep.Source = support.String() + rep.Source
 		}
 	}
+	rw.Attr("changed", fmt.Sprint(rep.Changed())).End()
 	return rep, nil
 }
 

@@ -88,6 +88,9 @@ type ReachingDefs struct {
 	// UniqueReaching then answers nil, so size reasoning bails rather
 	// than trusting partial facts.
 	Degraded bool
+	// Steps counts the worklist iterations the solve consumed — the
+	// effort figure the observability layer reports per stage span.
+	Steps int
 }
 
 // ComputeReaching builds and solves reaching definitions for g using the
@@ -141,7 +144,7 @@ func ComputeReachingLimits(g *cfg.Graph, aliases AliasOracle, lim fault.Limits) 
 	}
 
 	// Solve with the generic forward may-analysis engine.
-	rd.in, rd.Degraded = ForwardLimits(g, nDefs,
+	rd.in, rd.Degraded, rd.Steps = ForwardMetered(g, nDefs,
 		func(id int) BitSet { return genBits[id] },
 		func(id int) BitSet { return killBits[id] }, lim)
 	return rd

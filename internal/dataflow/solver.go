@@ -22,6 +22,15 @@ func Forward(g *cfg.Graph, nBits int, gen, kill func(nodeID int) BitSet) []BitSe
 // reports degraded=true. For a may-analysis, all-ones IN sets are always
 // a sound (if imprecise) answer.
 func ForwardLimits(g *cfg.Graph, nBits int, gen, kill func(nodeID int) BitSet, lim fault.Limits) (in []BitSet, degraded bool) {
+	in, degraded, _ = ForwardMetered(g, nBits, gen, kill, lim)
+	return in, degraded
+}
+
+// ForwardMetered is ForwardLimits exposing the solver effort: steps is
+// the number of worklist iterations consumed (fault.Meter's count),
+// which the observability layer attaches to the reaching-definitions
+// stage span.
+func ForwardMetered(g *cfg.Graph, nBits int, gen, kill func(nodeID int) BitSet, lim fault.Limits) (in []BitSet, degraded bool, steps int) {
 	n := len(g.Nodes)
 	in = make([]BitSet, n)
 	out := make([]BitSet, n)
@@ -43,7 +52,7 @@ func ForwardLimits(g *cfg.Graph, nBits int, gen, kill func(nodeID int) BitSet, l
 			for i := 0; i < n; i++ {
 				in[i].SetFirstN(nBits)
 			}
-			return in, true
+			return in, true, meter.Steps()
 		}
 		node := work[0]
 		work = work[1:]
@@ -65,5 +74,5 @@ func ForwardLimits(g *cfg.Graph, nBits int, gen, kill func(nodeID int) BitSet, l
 			}
 		}
 	}
-	return in, false
+	return in, false, meter.Steps()
 }

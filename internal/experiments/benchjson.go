@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+)
+
+// BenchReport is the machine-readable pipeline benchmark the CI run
+// uploads as BENCH_pipeline.json (cmd/experiments -bench-json): the
+// Table III SAMATE run's per-stage time breakdown in a stable schema a
+// regression checker can diff across commits.
+type BenchReport struct {
+	// Suite identifies the workload; fixed so downstream tooling can
+	// key on it.
+	Suite string `json:"suite"`
+	// GoVersion, GOOS/GOARCH and CPUs qualify the numbers: absolute
+	// times are only comparable on like hardware.
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	// Stride and Workers echo the run's sampling and parallelism.
+	Stride  int `json:"stride"`
+	Workers int `json:"workers"`
+	// Programs counts processed SAMATE programs; WallUs is the whole
+	// run's wall clock in microseconds.
+	Programs int   `json:"programs"`
+	WallUs   int64 `json:"wall_us"`
+	// Stages is the corpus-wide per-stage aggregate (self time is
+	// exclusive of nested stages; summing SelfUs approximates the
+	// pipeline's traced work).
+	Stages []BenchStage `json:"stages"`
+	// CWEs breaks the grouped columns down per CWE class.
+	CWEs []BenchCWE `json:"cwes"`
+}
+
+// BenchStage is one stage's aggregate in the report.
+type BenchStage struct {
+	Name     string `json:"name"`
+	Count    int    `json:"count"`
+	TotalUs  int64  `json:"total_us"`
+	SelfUs   int64  `json:"self_us"`
+	MinUs    int64  `json:"min_us"`
+	MaxUs    int64  `json:"max_us"`
+	Degraded int    `json:"degraded,omitempty"`
+}
+
+// BenchCWE is one CWE class's row in the report.
+type BenchCWE struct {
+	CWE       int    `json:"cwe"`
+	Programs  int    `json:"programs"`
+	WallUs    int64  `json:"wall_us"`
+	ParseUs   int64  `json:"parse_us"`
+	AnalyzeUs int64  `json:"analyze_us"`
+	SLRUs     int64  `json:"slr_us"`
+	STRUs     int64  `json:"str_us"`
+	Degraded  int    `json:"degraded,omitempty"`
+	Errors    int    `json:"errors,omitempty"`
+	Name      string `json:"name"`
+}
+
+// us converts to integer microseconds.
+func us(d time.Duration) int64 { return int64(d / time.Microsecond) }
+
+// BuildBenchReport assembles the report from a stage-collecting
+// RunTableIII's rows. wall is the whole run's measured wall clock.
+func BuildBenchReport(rows []CWEResult, opts TableIIIOptions, wall time.Duration) BenchReport {
+	rep := BenchReport{
+		Suite:     "cfix-pipeline-samate",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Stride:    opts.Stride,
+		Workers:   opts.Workers,
+		WallUs:    us(wall),
+	}
+	for _, st := range totalStages(rows) {
+		rep.Stages = append(rep.Stages, BenchStage{
+			Name:     st.Name,
+			Count:    st.Count,
+			TotalUs:  us(st.Total),
+			SelfUs:   us(st.Self),
+			MinUs:    us(st.Min),
+			MaxUs:    us(st.Max),
+			Degraded: st.Degraded,
+		})
+	}
+	for _, r := range rows {
+		rep.Programs += r.Programs
+		rep.CWEs = append(rep.CWEs, BenchCWE{
+			CWE:       r.CWE,
+			Name:      r.Name,
+			Programs:  r.Programs,
+			WallUs:    us(r.WallTime),
+			ParseUs:   us(r.ParseTime),
+			AnalyzeUs: us(r.AnalyzeTime),
+			SLRUs:     us(r.SLRTime),
+			STRUs:     us(r.STRTime),
+			Degraded:  r.Degraded,
+			Errors:    r.Errors,
+		})
+	}
+	return rep
+}
+
+// WriteBenchJSON writes the report, indented for diff-friendly
+// artifacts.
+func WriteBenchJSON(w io.Writer, rep BenchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -55,11 +55,8 @@ func (l Limits) NewMeter() *Meter { return &Meter{lim: l} }
 // budget is exhausted — the caller must then degrade conservatively.
 func (m *Meter) Step() bool {
 	CheckCtx(m.lim.Ctx)
-	if m.lim.Steps <= 0 {
-		return true
-	}
 	m.steps++
-	if m.steps > m.lim.Steps {
+	if m.lim.Steps > 0 && m.steps > m.lim.Steps {
 		m.exhausted = true
 		return false
 	}
@@ -68,6 +65,11 @@ func (m *Meter) Step() bool {
 
 // Exhausted reports whether the step budget ran out.
 func (m *Meter) Exhausted() bool { return m.exhausted }
+
+// Steps reports how many solver iterations the meter has consumed so
+// far — the per-solve effort figure the observability layer attaches to
+// stage spans (DESIGN.md Section 11).
+func (m *Meter) Steps() int { return m.steps }
 
 // cancelled is the sentinel carried by a cancellation panic. It is
 // private so arbitrary panics can never impersonate a cancellation.

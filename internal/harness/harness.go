@@ -12,6 +12,7 @@ import (
 	"repro/internal/cinterp"
 	"repro/internal/core"
 	"repro/internal/cparse"
+	"repro/internal/obs"
 	"repro/internal/stralloc"
 	"repro/internal/typecheck"
 )
@@ -56,6 +57,11 @@ type Options struct {
 	// SkipSLR / SkipSTR disable one transformation (for ablations).
 	SkipSLR bool
 	SkipSTR bool
+	// Tracer, when non-nil, records the transformation pipeline's stage
+	// spans (the experiment harness feeds them into Table III's
+	// per-stage breakdown). The verification executions are not traced;
+	// only Transform's core.Fix is.
+	Tracer *obs.Tracer
 }
 
 // Verify runs the full protocol. goodEntry and badEntry name the two
@@ -108,6 +114,7 @@ func Transform(id, source string, opts Options, v *Verdict) (string, error) {
 		DisableSLR:   opts.SkipSLR,
 		DisableSTR:   opts.SkipSTR,
 		SelectOffset: -1,
+		Tracer:       opts.Tracer,
 	})
 	if err != nil {
 		return "", fmt.Errorf("harness: transform: %w", err)

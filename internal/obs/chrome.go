@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one Chrome trace-event (the "X" complete-event form of
+// the Trace Event Format): ts/dur are microseconds from the trace
+// epoch, pid groups the whole run, tid is the worker lane.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object container form chrome://tracing and
+// Perfetto both accept.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace renders every recorded span as Chrome trace-event JSON.
+// Spans are emitted in start order so the file diffs stably for
+// identical runs of a sequential pipeline.
+func (t *Tracer) ChromeTrace() ([]byte, error) {
+	spans := t.Spans()
+	sortSpansForNesting(spans)
+	events := make([]chromeEvent, 0, len(spans))
+	for i := range spans {
+		s := &spans[i]
+		args := make(map[string]string, len(s.Attrs)+1)
+		if s.File != "" {
+			args["file"] = s.File
+		}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  "pipeline",
+			Ph:   "X",
+			Ts:   float64(s.Start.Microseconds()),
+			Dur:  durUS(s),
+			Pid:  1,
+			Tid:  s.Lane,
+			Args: args,
+		})
+	}
+	return json.MarshalIndent(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"}, "", " ")
+}
+
+// durUS reports the span length in microseconds, floored at a small
+// positive value so sub-microsecond stages remain visible in viewers
+// that drop zero-duration events.
+func durUS(s *Span) float64 {
+	us := float64(s.Dur.Microseconds())
+	if us <= 0 {
+		us = 0.5
+	}
+	return us
+}
+
+// WriteChromeTrace writes the Chrome trace-event JSON to w.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	b, err := t.ChromeTrace()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}

@@ -1,0 +1,20 @@
+//go:build cfix_notrace
+
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// Start is compiled out: tracing-disabled builds never allocate a span.
+// This variant exists so the CI overhead gate can benchmark the default
+// build's nil-tracer path against a build with no instrumentation at
+// all (see Makefile `bench-guard`).
+func (t *Tracer) Start(context.Context, string, string) *ActiveSpan { return nil }
+
+// RecordSince is compiled out.
+func (t *Tracer) RecordSince(context.Context, string, string, time.Time, ...Attr) {}
+
+// Enabled reports that this build records no spans.
+func Enabled() bool { return false }

@@ -1,0 +1,57 @@
+//go:build !cfix_notrace
+
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// Start opens a span against the tracer. A nil tracer returns a nil
+// span on which Attr and End no-op — the disabled path is a single nil
+// check. ctx supplies the worker lane (see WithLane); a nil context is
+// lane 0.
+//
+// Under the cfix_notrace build tag this function is replaced by one
+// that always returns nil, compiling tracing out entirely; the CI
+// overhead gate holds the default build's nil-tracer path to within 2%
+// of that build.
+func (t *Tracer) Start(ctx context.Context, name, file string) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	now := time.Now()
+	return &ActiveSpan{
+		t:       t,
+		started: now,
+		span: Span{
+			Name:  name,
+			File:  file,
+			Lane:  LaneFrom(ctx),
+			Start: now.Sub(t.epoch),
+		},
+	}
+}
+
+// RecordSince records a completed span retroactively, covering the
+// window from started to now — used where the span's name is only known
+// at the end of the measured work (a cache lookup is a cache_hit or a
+// cache_miss only once it resolves). Nil-safe.
+func (t *Tracer) RecordSince(ctx context.Context, name, file string, started time.Time, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.record(Span{
+		Name:  name,
+		File:  file,
+		Lane:  LaneFrom(ctx),
+		Start: started.Sub(t.epoch),
+		Dur:   time.Since(started),
+		Attrs: attrs,
+	})
+}
+
+// Enabled reports whether this build records spans at all (false under
+// the cfix_notrace tag) — the trace CLI flags use it to warn instead of
+// silently writing an empty trace.
+func Enabled() bool { return true }

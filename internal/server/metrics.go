@@ -1,6 +1,7 @@
 package server
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -44,6 +45,53 @@ type metrics struct {
 
 	latency      [len(latencyBounds) + 1]atomic.Int64
 	latencyTotal atomic.Int64 // summed nanoseconds across observed requests
+
+	// stages holds one latency histogram per pipeline stage name, fed
+	// from each request's stage spans. The map is guarded by stageMu
+	// (new stage names appear only a handful of times per process
+	// lifetime); the histogram counters themselves are atomics, so
+	// observing a span never blocks a /metrics scrape and counters stay
+	// monotonic under concurrent scrapes, drains and panics.
+	stageMu sync.RWMutex
+	stages  map[string]*stageHist
+}
+
+// stageHist is one per-stage latency histogram plus its summed time and
+// degraded-span count. All fields are atomics: writers and the
+// /metrics reader never contend.
+type stageHist struct {
+	buckets  [len(latencyBounds) + 1]atomic.Int64
+	total    atomic.Int64 // summed nanoseconds
+	count    atomic.Int64
+	degraded atomic.Int64
+}
+
+// observeStage records one stage span into its histogram.
+func (m *metrics) observeStage(name string, d time.Duration, degraded bool) {
+	m.stageMu.RLock()
+	h := m.stages[name]
+	m.stageMu.RUnlock()
+	if h == nil {
+		m.stageMu.Lock()
+		if m.stages == nil {
+			m.stages = make(map[string]*stageHist)
+		}
+		if h = m.stages[name]; h == nil {
+			h = new(stageHist)
+			m.stages[name] = h
+		}
+		m.stageMu.Unlock()
+	}
+	i := 0
+	for i < len(latencyBounds) && d > latencyBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.total.Add(int64(d))
+	h.count.Add(1)
+	if degraded {
+		h.degraded.Add(1)
+	}
 }
 
 // observe records one served request's latency into the histogram.
@@ -88,6 +136,21 @@ type Snapshot struct {
 	// latencies (bucket label -> count), plus the summed milliseconds.
 	LatencyBuckets map[string]int64 `json:"latency_buckets"`
 	LatencyTotalMs int64            `json:"latency_total_ms"`
+	// Stages maps each pipeline stage name (parse, typecheck, slr, ...)
+	// to its own latency histogram, aggregated from the stage spans of
+	// every served request. Empty until the first analysis request, and
+	// always empty in a cfix_notrace build.
+	Stages map[string]StageSnapshot `json:"stages,omitempty"`
+}
+
+// StageSnapshot is one stage's slice of the /metrics payload.
+type StageSnapshot struct {
+	Count   int64 `json:"count"`
+	TotalUs int64 `json:"total_us"`
+	// Degraded counts spans that carried a degradation attribute (budget
+	// exhaustion, skipped stage).
+	Degraded int64            `json:"degraded,omitempty"`
+	Buckets  map[string]int64 `json:"latency_buckets"`
 }
 
 // snapshot reads every counter.
@@ -114,5 +177,22 @@ func (m *metrics) snapshot(cache *cfix.ResultCache) Snapshot {
 		s.LatencyBuckets[label] = m.latency[i].Load()
 	}
 	s.LatencyTotalMs = m.latencyTotal.Load() / int64(time.Millisecond)
+	m.stageMu.RLock()
+	if len(m.stages) > 0 {
+		s.Stages = make(map[string]StageSnapshot, len(m.stages))
+		for name, h := range m.stages {
+			ss := StageSnapshot{
+				Count:    h.count.Load(),
+				TotalUs:  h.total.Load() / int64(time.Microsecond),
+				Degraded: h.degraded.Load(),
+				Buckets:  make(map[string]int64, len(latencyLabels)),
+			}
+			for i, label := range latencyLabels {
+				ss.Buckets[label] = h.buckets[i].Load()
+			}
+			s.Stages[name] = ss
+		}
+	}
+	m.stageMu.RUnlock()
 	return s
 }

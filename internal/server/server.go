@@ -65,6 +65,9 @@ type Config struct {
 	// Workers bounds the batch endpoint's worker pool; <= 0 means one
 	// per CPU.
 	Workers int
+	// SlowThreshold, when positive, logs every analysis request slower
+	// than this with a per-stage time breakdown (cfixd -slow-threshold).
+	SlowThreshold time.Duration
 	// Log receives request errors and recovered panic stacks; nil means
 	// the process default logger.
 	Log *log.Logger
@@ -207,7 +210,11 @@ func (s *Server) handleFix(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	defer func(start time.Time) { s.m.observe(time.Since(start)) }(time.Now())
+	filename := "(undecoded)"
+	tr := cfix.NewTracer()
+	defer func(start time.Time) {
+		s.observeRequest("/v1/fix", filename, tr, time.Since(start))
+	}(time.Now())
 	s.m.fixRequests.Add(1)
 
 	var req cfix.FixRequest
@@ -218,8 +225,10 @@ func (s *Server) handleFix(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "missing source")
 		return
 	}
-	filename := requestFilename(req.Filename)
-	rep, err := cfix.FixContext(r.Context(), filename, req.Source, s.effectiveOptions(req.Options))
+	filename = requestFilename(req.Filename)
+	opts := s.effectiveOptions(req.Options)
+	opts.Tracer = tr
+	rep, err := cfix.FixContext(r.Context(), filename, req.Source, opts)
 	if err != nil {
 		s.failRequest(w, filename, err)
 		return
@@ -236,7 +245,11 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	defer func(start time.Time) { s.m.observe(time.Since(start)) }(time.Now())
+	filename := "(undecoded)"
+	tr := cfix.NewTracer()
+	defer func(start time.Time) {
+		s.observeRequest("/v1/lint", filename, tr, time.Since(start))
+	}(time.Now())
 	s.m.lintRequests.Add(1)
 
 	var req cfix.LintRequest
@@ -247,9 +260,10 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "missing source")
 		return
 	}
-	filename := requestFilename(req.Filename)
-	ctx := r.Context()
-	rep, err := cfix.AnalyzeReport(ctx, filename, req.Source, s.effectiveOptions(req.Options))
+	filename = requestFilename(req.Filename)
+	opts := s.effectiveOptions(req.Options)
+	opts.Tracer = tr
+	rep, err := cfix.AnalyzeReport(r.Context(), filename, req.Source, opts)
 	if err != nil {
 		s.failRequest(w, filename, err)
 		return
@@ -266,7 +280,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	defer func(start time.Time) { s.m.observe(time.Since(start)) }(time.Now())
+	label := "(undecoded)"
+	tr := cfix.NewTracer()
+	defer func(start time.Time) {
+		s.observeRequest("/v1/batch", label, tr, time.Since(start))
+	}(time.Now())
 	s.m.batchRequests.Add(1)
 
 	var req cfix.BatchRequest
@@ -277,12 +295,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "missing files")
 		return
 	}
+	label = fmt.Sprintf("%d files", len(req.Files))
 	s.m.batchFiles.Add(int64(len(req.Files)))
 	inputs := make([]cfix.FileInput, len(req.Files))
 	for i, f := range req.Files {
 		inputs[i] = cfix.FileInput{Filename: requestFilename(f.Filename), Source: f.Source}
 	}
 	opts := s.effectiveOptions(req.Options)
+	opts.Tracer = tr
 	resp := cfix.BatchResponse{Results: make([]cfix.BatchResult, len(inputs))}
 	if req.Lint {
 		outs := cfix.AnalyzeAllContext(r.Context(), inputs, opts, s.conf.Workers)
@@ -309,6 +329,42 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// observeRequest folds one finished analysis request into the metrics:
+// the request-level latency histogram, one per-stage histogram entry per
+// recorded span, and — when the request ran longer than SlowThreshold —
+// a slow-request log line with the per-stage breakdown. It runs in the
+// handlers' deferred paths, so stage spans land in /metrics even when
+// the request panicked or failed midway.
+func (s *Server) observeRequest(endpoint, label string, tr *cfix.Tracer, elapsed time.Duration) {
+	s.m.observe(elapsed)
+	for _, sp := range tr.Spans() {
+		s.m.observeStage(sp.Name, sp.Dur, sp.Degraded())
+	}
+	if thr := s.conf.SlowThreshold; thr > 0 && elapsed >= thr {
+		s.conf.Log.Printf("cfixd: slow request %s %s took %s (threshold %s); stages: %s",
+			endpoint, label, elapsed.Round(time.Microsecond), thr, slowBreakdown(tr.StageStats()))
+	}
+}
+
+// slowBreakdown renders the dominant stages of a slow request compactly:
+// "slr 12ms/1, pointsto 8ms/2, ..." (self time / span count), largest
+// self time first, capped at five stages.
+func slowBreakdown(stats []cfix.StageStat) string {
+	if len(stats) == 0 {
+		return "(no spans recorded)"
+	}
+	const maxStages = 5
+	parts := make([]string, 0, maxStages+1)
+	for i, st := range stats {
+		if i == maxStages {
+			parts = append(parts, fmt.Sprintf("+%d more", len(stats)-maxStages))
+			break
+		}
+		parts = append(parts, fmt.Sprintf("%s %s/%d", st.Name, st.Self.Round(time.Microsecond), st.Count))
+	}
+	return strings.Join(parts, ", ")
 }
 
 // batchResult folds one per-file outcome: a contained failure becomes

@@ -352,14 +352,26 @@ func (t *Transformer) editMemcpy(c candidate, size buflen.Size, edits *rewrite.S
 	lenArg := c.call.Args[2]
 	sizeText := size.CText()
 	lenText := t.text(lenArg)
+	if clampedBy(lenText, sizeText) {
+		// The length argument is already the clamp we would generate —
+		// the input is a previous pass's output; wrapping it again would
+		// nest the ternary. Decline so Fix stays idempotent.
+		return &buflen.Failure{Reason: buflen.FailAlreadyClamped}
+	}
 
 	if id, ok := cast.Unparen(lenArg).(*cast.Ident); ok && id.Sym != nil && t.usedAfter(c, id) {
 		// Option 1: length is used by later statements; assign the clamp
 		// so subsequent uses (e.g. null-termination at dst[len]) see the
 		// truncated count.
+		clamp := fmt.Sprintf("%s = %s > %s ? %s : %s;",
+			id.Name, sizeText, lenText, lenText, sizeText)
+		if t.precededBy(c, clamp) {
+			// A previous pass already inserted this exact clamp right
+			// before the call.
+			return &buflen.Failure{Reason: buflen.FailAlreadyClamped}
+		}
 		indent := t.indentOf(c.stmt.Extent())
-		assign := fmt.Sprintf("%s = %s > %s ? %s : %s;\n%s",
-			id.Name, sizeText, lenText, lenText, sizeText, indent)
+		assign := clamp + "\n" + indent
 		if !c.inBlock {
 			// Brace-less branch arm: keep the clamp and the call under
 			// the same guard.
@@ -374,6 +386,37 @@ func (t *Transformer) editMemcpy(c candidate, size buflen.Size, edits *rewrite.S
 	tern := fmt.Sprintf("%s > %s ? %s : %s", sizeText, lenText, lenText, sizeText)
 	edits.Replace(lenArg.Extent(), tern, "clamp memcpy length (in place)")
 	return nil
+}
+
+// clampedBy reports whether expr is exactly the clamping ternary
+// editMemcpy generates for size: "size > n ? n : size" for some n.
+func clampedBy(expr, size string) bool {
+	rest, ok := strings.CutPrefix(expr, size+" > ")
+	if !ok {
+		return false
+	}
+	rest, ok = strings.CutSuffix(rest, " : "+size)
+	if !ok {
+		return false
+	}
+	// What remains must be "n ? n" with both halves identical (n may
+	// itself contain ternaries, so split at the middle, not the first
+	// "?").
+	if len(rest) < 5 || len(rest)%2 == 0 {
+		return false
+	}
+	mid := (len(rest) - 3) / 2
+	return rest[mid:mid+3] == " ? " && rest[:mid] == rest[mid+3:]
+}
+
+// precededBy reports whether the candidate's enclosing statement is
+// immediately preceded (up to whitespace and an opening brace) by the
+// given text — used to recognize a clamp assignment inserted by a
+// previous pass.
+func (t *Transformer) precededBy(c candidate, text string) bool {
+	src := t.unit.File.Src()
+	before := strings.TrimRight(string(src[:c.stmt.Extent().Pos]), " \t\n{")
+	return strings.HasSuffix(before, text)
 }
 
 // usedAfter reports whether the identifier's symbol is referenced after

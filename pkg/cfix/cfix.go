@@ -81,6 +81,11 @@ type Options struct {
 	// requests into one computation. Share one ResultCache across calls;
 	// see NewResultCache.
 	Cache *ResultCache
+	// Tracer, when non-nil, records one span per pipeline stage with
+	// monotonic timings and attributes (file, solver effort, degradation
+	// reason) — the observability layer behind `cfix -trace` and
+	// `-stage-stats`. Tracing never changes a result; see NewTracer.
+	Tracer *Tracer
 }
 
 // Report is the outcome of Fix. See core.Report for field semantics.
@@ -102,6 +107,7 @@ func coreOptions(opts Options) core.Options {
 		Budget:       opts.Budget,
 		KeepGoing:    opts.KeepGoing,
 		Cache:        opts.Cache.internal(),
+		Tracer:       opts.Tracer,
 	}
 }
 
