@@ -10,7 +10,7 @@ BENCH_STRIDE ?= 20
 
 TMP := $(shell mktemp -d 2>/dev/null || echo /tmp)
 
-.PHONY: all build test race vet check bench bench-json bench-guard trace-smoke clean
+.PHONY: all build test race vet check staticgate bench bench-json bench-guard pipeline-guard trace-smoke clean
 
 all: build test
 
@@ -27,6 +27,19 @@ vet:
 	$(GO) vet ./...
 
 check: build vet test
+
+# Static-analysis gate: vet everything, run staticcheck when the host
+# has it (CI images without it skip, loudly), and race-test the
+# integer-overflow oracle — the analysis pass most sensitive to shared
+# snapshot state.
+staticgate:
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticgate: staticcheck not installed; skipping (go vet still ran)"; \
+	fi
+	$(GO) test -race ./internal/intflow/...
 
 # Per-stage benchmark baseline: parse-only, snapshot-warm, SLR-only,
 # STR-only, the no-tracer pipeline, and the traced pipeline. One
@@ -48,6 +61,14 @@ bench-guard:
 	$(GO) test -run '^$$' -bench '^BenchmarkObsOverhead$$' -benchtime=50x -count=7 . > $(TMP)/bench_default.txt
 	$(GO) test -tags cfix_notrace -run '^$$' -bench '^BenchmarkObsOverhead$$' -benchtime=50x -count=7 . > $(TMP)/bench_notrace.txt
 	$(GO) run ./cmd/benchguard -max-pct 2 $(TMP)/bench_default.txt $(TMP)/bench_notrace.txt
+
+# Integer-oracle share gate: BENCH_pipeline.json (from bench-json) must
+# carry a supplementary intflow measurement, and the disabled oracle may
+# not cost the default pipeline more than 2% of its self time (it
+# should cost exactly 0: the gate trips if the default fix path ever
+# starts running it).
+pipeline-guard:
+	$(GO) run ./cmd/benchguard -pipeline BENCH_pipeline.json -stage intflow -max-share-pct 2 -require
 
 # Trace smoke: harden a generated SAMATE sample with -trace/-stage-stats
 # and validate the Chrome trace with the CI checker.

@@ -18,6 +18,10 @@
 //	-diff           print a unified diff of the changes (the didactic view)
 //	-lint           do not transform; run the static overflow oracle and
 //	                print CWE-classified findings
+//	-checks list    which lint oracles run: "buf" (buffer overflows,
+//	                the default), "int" (integer wraparound/underflow and
+//	                overflow-to-allocation, CWE-190/191/680 with suggested
+//	                precondition guards), "all", or a comma list
 //	-json           with -lint, print findings as JSON lines
 //	-j n            parallel workers for batch mode (0 = one per CPU;
 //	                negative values are a usage error)
@@ -81,6 +85,7 @@ type options struct {
 	summary      bool
 	diff         bool
 	lint         bool
+	checks       string
 	json         bool
 	jobs         int
 	cacheDir     string
@@ -110,6 +115,7 @@ func (o options) fixOptions() cfix.Options {
 		// The summary ranks and justifies candidate sites with the static
 		// oracle's verdicts when they are available.
 		Lint:      o.summary,
+		Checks:    o.checks,
 		Timeout:   o.timeout,
 		Budget:    o.budget,
 		KeepGoing: o.keepGoing,
@@ -130,6 +136,7 @@ func run() int {
 	flag.BoolVar(&opts.summary, "summary", true, "print change summary to stderr")
 	flag.BoolVar(&opts.diff, "diff", false, "print a unified diff instead of the full source")
 	flag.BoolVar(&opts.lint, "lint", false, "run the static overflow oracle only; exit 3 on a definite overflow")
+	flag.StringVar(&opts.checks, "checks", "buf", `lint oracles to run: "buf", "int", "all", or a comma list`)
 	flag.BoolVar(&opts.json, "json", false, "with -lint, print findings as JSON lines")
 	flag.IntVar(&opts.jobs, "j", 0, "parallel workers for batch mode (0 = one worker per CPU; must be >= 0)")
 	flag.StringVar(&opts.cacheDir, "cache-dir", "", "reuse results across runs from a content-addressed cache under this directory")
@@ -145,6 +152,14 @@ func run() int {
 	if opts.jobs < 0 {
 		fmt.Fprintln(os.Stderr, "cfix: -j must be >= 0 (0 = one worker per CPU)")
 		return 2
+	}
+	for _, name := range strings.Split(opts.checks, ",") {
+		switch strings.TrimSpace(name) {
+		case "buf", "int", "all", "":
+		default:
+			fmt.Fprintf(os.Stderr, "cfix: -checks: unknown check %q (valid: buf, int, all)\n", strings.TrimSpace(name))
+			return 2
+		}
 	}
 	if opts.cacheDir != "" {
 		size := opts.cacheSize << 20

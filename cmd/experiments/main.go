@@ -8,7 +8,9 @@
 //	experiments -rq 3            the RQ3 overhead measurement
 //	experiments -cve             the LibTIFF case study
 //	experiments -lint            cross-validate the static overflow oracle
-//	                             against the checked interpreter on SAMATE
+//	                             against the checked interpreter on SAMATE,
+//	                             then run the integer-overflow oracle on the
+//	                             synthetic CWE-190/680 corpus
 //	experiments -stride 10       sample the SAMATE corpus (faster)
 //	experiments -iters 500       RQ3 workload iterations
 //	experiments -table 3 -cache  additionally time cold vs cache-warm
@@ -112,6 +114,11 @@ func run() int {
 			return fail(err)
 		}
 		fmt.Println(experiments.FormatLint(rows))
+		irows, err := experiments.RunIntLint(experiments.LintOptions{Stride: *stride})
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Println(experiments.FormatIntLint(irows))
 	}
 	if !specific || *ablation {
 		r, err := experiments.RunAliasPrecisionAblation()
@@ -140,6 +147,17 @@ func runBenchJSON(path string, stride int) int {
 		return fail(err)
 	}
 	rep := experiments.BuildBenchReport(rows, opts, wall)
+	// Supplementary stage: what would `-checks=int` add? The Table III
+	// run keeps lint off, so the integer-overflow oracle is measured
+	// separately and appended; benchguard -pipeline gates its share.
+	ist, ok, err := experiments.MeasureIntflowStage(stride, 0)
+	if err != nil {
+		f.Close()
+		return fail(err)
+	}
+	if ok {
+		rep.Stages = append(rep.Stages, ist)
+	}
 	if err := experiments.WriteBenchJSON(f, rep); err != nil {
 		f.Close()
 		return fail(err)

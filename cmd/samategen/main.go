@@ -3,7 +3,9 @@
 //
 //	samategen -out ./juliet [-cwe 121] [-n 50]
 //
-// With no -cwe, all six CWEs are generated with their Table III counts.
+// With no -cwe, all six buffer-overflow CWEs are generated with their
+// Table III counts, plus the integer-overflow extension (CWE-190/680)
+// with its own counts. -cwe also accepts 190 and 680.
 package main
 
 import (
@@ -25,13 +27,16 @@ func run() int {
 	)
 	flag.Parse()
 
-	cwes := samate.CWEs
+	cwes := append(append([]int{}, samate.CWEs...), samate.IntCWEs...)
 	if *cwe != 0 {
 		cwes = []int{*cwe}
 	}
 	total := 0
 	for _, c := range cwes {
-		count := samate.TableIIICounts[c]
+		count, generate := samate.TableIIICounts[c], samate.Generate
+		if _, isInt := samate.IntTableCounts[c]; isInt {
+			count, generate = samate.IntTableCounts[c], samate.IntGenerate
+		}
 		if *n > 0 {
 			count = *n
 		}
@@ -40,7 +45,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "samategen: %v\n", err)
 			return 1
 		}
-		for _, p := range samate.Generate(c, count) {
+		for _, p := range generate(c, count) {
 			path := filepath.Join(dir, p.ID+".c")
 			if err := os.WriteFile(path, []byte(p.Source), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "samategen: %v\n", err)

@@ -26,6 +26,7 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/fault"
 	"repro/internal/interproc"
+	"repro/internal/intflow"
 	"repro/internal/obs"
 	"repro/internal/overflow"
 	"repro/internal/pointsto"
@@ -40,6 +41,9 @@ type Config struct {
 	// Overflow configures the static overflow oracle; nil means
 	// overflow.DefaultOptions().
 	Overflow *overflow.Options
+	// Intflow configures the integer-overflow oracle; nil means
+	// intflow.DefaultOptions().
+	Intflow *intflow.Options
 	// Limits bounds every fixpoint solve derived from this snapshot
 	// (DESIGN.md Section 9): the context is polled at iteration
 	// boundaries and exhausted budgets degrade the affected analysis to
@@ -82,6 +86,9 @@ type Snapshot struct {
 
 	findOnce sync.Once
 	findings []overflow.Finding
+
+	intOnce     sync.Once
+	intFindings []overflow.Finding
 
 	cfgMu sync.Mutex
 	cfgs  map[*cast.FuncDef]*cfg.Graph
@@ -322,8 +329,35 @@ func (s *Snapshot) Findings() []overflow.Finding {
 	return s.findings
 }
 
+// IntFindings runs the integer-overflow oracle (internal/intflow)
+// exactly once — reusing the snapshot's call graph, CFGs and may-modify
+// facts — and returns its CWE-190/191/680 findings in source order.
+func (s *Snapshot) IntFindings() []overflow.Finding {
+	s.intOnce.Do(func() {
+		s.Typecheck()
+		opts := intflow.DefaultOptions()
+		if s.conf.Intflow != nil {
+			opts = *s.conf.Intflow
+		}
+		if opts.Limits == (fault.Limits{}) {
+			opts.Limits = s.conf.Limits
+		}
+		sp := s.span(obs.StageIntflow)
+		defer sp.End()
+		an := intflow.NewWithFacts(s.unit, opts, s)
+		s.intFindings = an.Analyze()
+		sp.Attr("findings", fmt.Sprint(len(s.intFindings)))
+		if deg := an.Degradations(); len(deg) > 0 {
+			sp.Attr("degraded", deg[0])
+			s.noteDegraded(deg...)
+		}
+	})
+	return s.intFindings
+}
+
 // Snapshot implements the facts interfaces of its consumers.
 var (
 	_ buflen.Facts   = (*Snapshot)(nil)
 	_ overflow.Facts = (*Snapshot)(nil)
+	_ intflow.Facts  = (*Snapshot)(nil)
 )

@@ -13,6 +13,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -45,6 +46,13 @@ type Options struct {
 	// reports (SiteResult.Risk / VarResult.Risk), so the summary can rank
 	// and justify the repairs.
 	Lint bool
+	// Checks selects which static-analysis oracles lint runs, as a
+	// comma-separated list of check names: "buf" (the buffer-overflow
+	// oracle, CWE-121/122/124/126/127/242), "int" (the integer-overflow
+	// oracle, CWE-190/191/680), or "all" for both. Empty means "buf",
+	// preserving the historical lint behavior; unknown names are an
+	// error.
+	Checks string
 	// Timeout bounds the processing of one file; 0 means none. On
 	// expiry the in-flight solve is interrupted at its next iteration
 	// boundary and Fix returns context.DeadlineExceeded.
@@ -161,6 +169,83 @@ func (r *Report) Summary() string {
 	return sb.String()
 }
 
+// checkSet is the parsed form of Options.Checks.
+type checkSet struct {
+	buf  bool // buffer-overflow oracle (internal/overflow)
+	intf bool // integer-overflow oracle (internal/intflow)
+}
+
+// parseChecks validates and parses Options.Checks. Empty selects the
+// buffer oracle alone (the historical lint behavior).
+func parseChecks(s string) (checkSet, error) {
+	if strings.TrimSpace(s) == "" {
+		return checkSet{buf: true}, nil
+	}
+	var cs checkSet
+	for _, name := range strings.Split(s, ",") {
+		switch strings.TrimSpace(name) {
+		case "buf":
+			cs.buf = true
+		case "int":
+			cs.intf = true
+		case "all":
+			cs.buf, cs.intf = true, true
+		case "":
+		default:
+			return checkSet{}, fmt.Errorf("core: unknown check %q (valid: buf, int, all)", strings.TrimSpace(name))
+		}
+	}
+	if !cs.buf && !cs.intf {
+		return checkSet{}, fmt.Errorf("core: no checks selected by %q", s)
+	}
+	return cs, nil
+}
+
+// canonicalChecks renders the selection in canonical form for the cache
+// fingerprint, so "all", "buf,int" and "int,buf" share cache entries.
+func canonicalChecks(s string) string {
+	cs, err := parseChecks(s)
+	if err != nil {
+		// Invalid selections never reach the cache (Fix/Analyze fail
+		// first); keep the raw string so the key still differs.
+		return s
+	}
+	switch {
+	case cs.buf && cs.intf:
+		return "buf,int"
+	case cs.intf:
+		return "int"
+	default:
+		return "buf"
+	}
+}
+
+// lintFindings runs the selected oracles over one snapshot and merges
+// their findings into a single source-ordered report.
+func lintFindings(snap *analysis.Snapshot, cs checkSet) []overflow.Finding {
+	var fs []overflow.Finding
+	if cs.buf {
+		fs = append(fs, snap.Findings()...)
+	}
+	if cs.intf {
+		fs = append(fs, snap.IntFindings()...)
+	}
+	if cs.buf && cs.intf {
+		sortFindings(fs)
+	}
+	return fs
+}
+
+// sortFindings restores source order over a merged finding list.
+func sortFindings(fs []overflow.Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		if fs[i].Extent.Pos != fs[j].Extent.Pos {
+			return fs[i].Extent.Pos < fs[j].Extent.Pos
+		}
+		return fs[i].CWE < fs[j].CWE
+	})
+}
+
 // limits translates Options into solver limits for the analysis layer.
 func (o Options) limits(ctx context.Context) fault.Limits {
 	return fault.Limits{Ctx: ctx, Steps: o.Budget, Contexts: o.Budget}
@@ -220,6 +305,10 @@ func AnalyzeReport(ctx context.Context, filename, source string, opts Options) (
 // analyzeReport is the uncached lint pipeline.
 func analyzeReport(ctx context.Context, filename, source string, opts Options) (rep *LintReport, err error) {
 	defer fault.Recover(&err)
+	cs, err := parseChecks(opts.Checks)
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := fileCtx(ctx, opts)
 	defer cancel()
 	sp := opts.Tracer.Start(ctx, obs.StageLint, filename)
@@ -228,7 +317,7 @@ func analyzeReport(ctx context.Context, filename, source string, opts Options) (
 	if err != nil {
 		return nil, fmt.Errorf("core: parse for lint: %w", err)
 	}
-	fs := snap.Findings()
+	fs := lintFindings(snap, cs)
 	sp.Attr("findings", fmt.Sprint(len(fs)))
 	if deg := snap.Degradations(); len(deg) > 0 {
 		sp.Attr("degraded", deg[0])
@@ -279,6 +368,10 @@ func Fix(ctx context.Context, filename, source string, opts Options) (*Report, e
 // fix is the uncached transformation pipeline.
 func fix(ctx context.Context, filename, source string, opts Options) (rep *Report, err error) {
 	defer fault.Recover(&err)
+	cs, err := parseChecks(opts.Checks)
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := fileCtx(ctx, opts)
 	defer cancel()
 
@@ -300,7 +393,7 @@ func fix(ctx context.Context, filename, source string, opts Options) (rep *Repor
 		if lintErr := stage(func() error {
 			sp := opts.Tracer.Start(ctx, obs.StageLint, filename)
 			defer sp.End()
-			rep.Findings = snap.Findings()
+			rep.Findings = lintFindings(snap, cs)
 			sp.Attr("findings", fmt.Sprint(len(rep.Findings)))
 			return nil
 		}); lintErr != nil {

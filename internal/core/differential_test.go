@@ -80,6 +80,48 @@ func TestFixIdempotentOnSAMATE(t *testing.T) {
 	t.Logf("fixpoint holds on %d programs", len(inputs))
 }
 
+// TestIntflowFixDifferentialOnSAMATE: the integer-overflow oracle is an
+// annotation-only pass — running Fix with `-lint -checks=buf,int` must
+// leave every transformed source byte-identical to a default Fix run,
+// over the SAMATE corpus plus the integer-overflow corpus (where the
+// oracle actually fires).
+func TestIntflowFixDifferentialOnSAMATE(t *testing.T) {
+	inputs := samateCorpus(t)
+	for _, cwe := range samate.IntCWEs {
+		for _, p := range samate.IntGenerate(cwe, samate.IntTableCounts[cwe]) {
+			inputs = append(inputs, FileInput{Filename: p.ID + ".c", Source: p.Source})
+		}
+	}
+
+	base := FixAll(context.Background(), inputs, Options{SelectOffset: -1}, 0)
+	withInt := FixAll(context.Background(), inputs,
+		Options{SelectOffset: -1, Lint: true, Checks: "buf,int"}, 0)
+
+	intFindings := 0
+	for i := range inputs {
+		if base[i].Err != nil || withInt[i].Err != nil {
+			t.Fatalf("%s: errs %v / %v", inputs[i].Filename, base[i].Err, withInt[i].Err)
+		}
+		if base[i].Report.Source != withInt[i].Report.Source {
+			t.Fatalf("%s: enabling the integer-overflow oracle changed the fix output",
+				inputs[i].Filename)
+		}
+		for _, f := range withInt[i].Report.Findings {
+			switch f.CWE {
+			case 190, 191, 680:
+				intFindings++
+			}
+		}
+	}
+	// The differential is only meaningful if the oracle ran: the
+	// integer-overflow corpus must have produced findings.
+	if intFindings == 0 {
+		t.Fatal("the integer-overflow oracle produced no findings on the int corpus")
+	}
+	t.Logf("fix outputs identical on %d programs (%d integer findings attached)",
+		len(inputs), intFindings)
+}
+
 // TestTracingDoesNotChangeOutput: attaching a Tracer is observation
 // only — traced and untraced runs are byte-identical on every SAMATE
 // program, and the traced run covers the pipeline's stage vocabulary.

@@ -1,10 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"runtime"
 	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/obs"
+	"repro/internal/samate"
 )
 
 // BenchReport is the machine-readable pipeline benchmark the CI run
@@ -45,6 +50,11 @@ type BenchStage struct {
 	MinUs    int64  `json:"min_us"`
 	MaxUs    int64  `json:"max_us"`
 	Degraded int    `json:"degraded,omitempty"`
+	// Supplementary marks a stage measured outside the benchmark's fix
+	// pipeline (the integer-overflow oracle, which the pipeline run
+	// keeps disabled). benchguard's -pipeline gate excludes
+	// supplementary stages from the pipeline total it budgets.
+	Supplementary bool `json:"supplementary,omitempty"`
 }
 
 // BenchCWE is one CWE class's row in the report.
@@ -104,6 +114,66 @@ func BuildBenchReport(rows []CWEResult, opts TableIIIOptions, wall time.Duration
 		})
 	}
 	return rep
+}
+
+// MeasureIntflowStage runs the integer-overflow oracle over the same
+// strided SAMATE sample as the pipeline benchmark (plus the
+// integer-overflow corpus, where the oracle actually finds something)
+// with a tracer attached, and returns the oracle's own stage aggregate.
+// The Table III run never executes the oracle — lint stays off — so
+// this is a supplementary measurement answering "what would
+// -checks=int add?"; benchguard's -pipeline mode gates the answer. The
+// self time excludes the nested snapshot facts (call graph, CFGs,
+// may-modify) the oracle shares with the rest of the pipeline. ok is
+// false when tracing is compiled out (cfix_notrace) or the stage
+// recorded no spans.
+func MeasureIntflowStage(stride, workers int) (st BenchStage, ok bool, err error) {
+	if stride < 1 {
+		stride = 1
+	}
+	var picked []samate.Program
+	for _, cwe := range samate.CWEs {
+		progs := samate.Generate(cwe, samate.TableIIICounts[cwe])
+		for i := 0; i < len(progs); i += stride {
+			picked = append(picked, progs[i])
+		}
+	}
+	for _, cwe := range samate.IntCWEs {
+		progs := samate.IntGenerate(cwe, samate.IntTableCounts[cwe])
+		for i := 0; i < len(progs); i += stride {
+			picked = append(picked, progs[i])
+		}
+	}
+	tr := obs.NewTracer()
+	errs := analysis.Map(workers, picked, func(_ int, p samate.Program) error {
+		snap, err := analysis.ParseCtx(context.Background(), p.ID+".c", p.Source,
+			analysis.Config{Tracer: tr})
+		if err != nil {
+			return err
+		}
+		snap.IntFindings()
+		return nil
+	})
+	for _, e := range errs {
+		if e != nil {
+			return BenchStage{}, false, e
+		}
+	}
+	for _, s := range tr.StageStats() {
+		if s.Name == obs.StageIntflow {
+			return BenchStage{
+				Name:          s.Name,
+				Count:         s.Count,
+				TotalUs:       us(s.Total),
+				SelfUs:        us(s.Self),
+				MinUs:         us(s.Min),
+				MaxUs:         us(s.Max),
+				Degraded:      s.Degraded,
+				Supplementary: true,
+			}, true, nil
+		}
+	}
+	return BenchStage{}, false, nil
 }
 
 // WriteBenchJSON writes the report, indented for diff-friendly

@@ -96,3 +96,28 @@ func TestTableIIIStagesOff(t *testing.T) {
 		t.Fatal("breakdown section printed without stage collection")
 	}
 }
+
+// TestMeasureIntflowStage: the supplementary integer-oracle measurement
+// is marked supplementary, carries real spans when tracing is enabled,
+// and degrades to ok=false (not an error) when tracing is compiled out.
+func TestMeasureIntflowStage(t *testing.T) {
+	st, ok, err := MeasureIntflowStage(200, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !obs.Enabled() {
+		if ok {
+			t.Fatalf("cfix_notrace build measured a stage: %+v", st)
+		}
+		return
+	}
+	if !ok {
+		t.Fatal("tracing enabled but no intflow stage measured")
+	}
+	if st.Name != obs.StageIntflow || !st.Supplementary {
+		t.Fatalf("stage: %+v, want name=%q supplementary=true", st, obs.StageIntflow)
+	}
+	if st.Count == 0 || st.SelfUs < 0 {
+		t.Fatalf("implausible stage aggregate: %+v", st)
+	}
+}

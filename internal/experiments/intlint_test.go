@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIntLintFullCorpus(t *testing.T) {
+	// The integer-overflow corpus is small (every sink crossed with every
+	// flow variant once), so the test runs it whole: the acceptance bar is
+	// zero false negatives AND zero false positives.
+	rows, err := RunIntLint(LintOptions{Stride: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows: got %d, want 2 (CWE-190, CWE-680)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Errors > 0 {
+			t.Errorf("CWE-%d: %d processing errors", r.CWE, r.Errors)
+		}
+		if r.Programs == 0 {
+			t.Errorf("CWE-%d: no programs processed", r.CWE)
+			continue
+		}
+		if r.FN != 0 {
+			t.Errorf("CWE-%d: %d bad() functions missed", r.CWE, r.FN)
+		}
+		if r.FP != 0 {
+			t.Errorf("CWE-%d: %d good() functions falsely flagged", r.CWE, r.FP)
+		}
+		if r.CWEMatch != r.TP {
+			t.Errorf("CWE-%d: only %d/%d flagged programs carry the exact CWE",
+				r.CWE, r.CWEMatch, r.TP)
+		}
+		// Every allocation-sink program must come with a suggested
+		// precondition guard.
+		if r.CWE == 680 && r.Guarded != r.TP {
+			t.Errorf("CWE-680: only %d/%d flagged programs carry a suggested guard",
+				r.Guarded, r.TP)
+		}
+	}
+	out := FormatIntLint(rows)
+	if !strings.Contains(out, "CWE 190") || !strings.Contains(out, "CWE 680") ||
+		!strings.Contains(out, "Total") {
+		t.Fatalf("format output incomplete:\n%s", out)
+	}
+}

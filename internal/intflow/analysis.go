@@ -1,0 +1,845 @@
+package intflow
+
+import (
+	"repro/internal/cast"
+	"repro/internal/cfg"
+	"repro/internal/ctype"
+	"repro/internal/overflow"
+)
+
+// iproblem adapts one function (under one calling context) to the
+// generic dataflow solver. seed carries the parameter values of the
+// context; globalIDs the symbol IDs of file-scope objects (havocked at
+// unmodeled calls); sinks the allocation-size argument positions per
+// callee (builtins plus call-graph-discovered wrappers).
+//
+// chk is nil while solving. The checker replays the same transfer
+// functions over the solved in-states with chk set, so findings are
+// produced by exactly the code path that computed the fixpoint.
+type iproblem struct {
+	fn        *cast.FuncDef
+	seed      map[int]ival
+	globalIDs map[int]bool
+	sinks     map[string][]int
+	mm        mayModifier
+	chk       *ichecker
+}
+
+// mayModifier is the slice of interproc facts the havoc logic needs.
+type mayModifier interface {
+	MayModifyArg(call *cast.CallExpr, idx int) bool
+}
+
+func (p *iproblem) Bottom() istate { return unreached() }
+
+func (p *iproblem) Entry() istate {
+	st := istate{reach: true, vars: make(map[int]ival, len(p.seed))}
+	for id, v := range p.seed {
+		if !v.isTop() {
+			st.vars[id] = v
+		}
+	}
+	return st
+}
+
+func (p *iproblem) Join(a, b istate) istate        { return a.join(b) }
+func (p *iproblem) Widen(prev, next istate) istate { return prev.widenFrom(next) }
+func (p *iproblem) Equal(a, b istate) bool         { return a.equal(b) }
+
+func (p *iproblem) Transfer(n *cfg.Node, in istate) istate {
+	return p.transferNode(n, in)
+}
+
+// FlowEdge refines the state along labeled branch edges using the
+// condition expression.
+func (p *iproblem) FlowEdge(from, to *cfg.Node, st istate) istate {
+	if !st.reach || from.Kind != cfg.KindCond || !from.Branching || from.Expr == nil {
+		return st
+	}
+	return p.refine(st, from.Expr, from.IsTrueSucc(to))
+}
+
+// transferNode is the single dispatch shared by the solver (chk == nil)
+// and the finding replay (chk != nil).
+func (p *iproblem) transferNode(n *cfg.Node, in istate) istate {
+	if !in.reach {
+		return in
+	}
+	switch n.Kind {
+	case cfg.KindDecl:
+		return p.transferDecl(in, n.Decl)
+	case cfg.KindStmt:
+		switch s := n.Stmt.(type) {
+		case *cast.ExprStmt:
+			return p.transferExpr(in, s.X)
+		case *cast.ReturnStmt:
+			if s.Result != nil {
+				return p.transferExpr(in, s.Result)
+			}
+		}
+		return in
+	case cfg.KindCond, cfg.KindPost:
+		if n.Expr != nil {
+			return p.transferExpr(in, n.Expr)
+		}
+	}
+	return in
+}
+
+// --- declarations -----------------------------------------------------------
+
+func (p *iproblem) transferDecl(st istate, d *cast.VarDecl) istate {
+	if d == nil {
+		return st
+	}
+	// The initializer's effects (calls, assignments, wraps) apply whatever
+	// the declared type is — `char *p = malloc(n * sz)` must still reach
+	// the allocation-sink check.
+	if d.Init != nil {
+		st = p.transferExpr(st, d.Init)
+	}
+	if d.Sym == nil || !isIntVar(d.Sym) {
+		return st
+	}
+	if d.Init == nil {
+		return st.set(d.Sym.ID, topIval())
+	}
+	v := p.eval(st, d.Init)
+	return st.set(d.Sym.ID, p.convert(d.Init, v, d.Sym.Type))
+}
+
+// --- expression effects -----------------------------------------------------
+
+// transferExpr applies the state effects of evaluating e (assignments,
+// increments, calls). Value computation is the separate eval.
+func (p *iproblem) transferExpr(st istate, e cast.Expr) istate {
+	if e == nil {
+		return st
+	}
+	switch x := cast.Unparen(e).(type) {
+	case *cast.AssignExpr:
+		st = p.transferExpr(st, x.RHS)
+		return p.transferAssign(st, x)
+	case *cast.UnaryExpr:
+		switch x.Op {
+		case cast.UnaryPreInc:
+			return p.applyIncDec(st, x, x.Operand, +1)
+		case cast.UnaryPreDec:
+			return p.applyIncDec(st, x, x.Operand, -1)
+		}
+		return p.transferExpr(st, x.Operand)
+	case *cast.PostfixExpr:
+		switch x.Op {
+		case cast.PostfixInc:
+			return p.applyIncDec(st, x, x.Operand, +1)
+		case cast.PostfixDec:
+			return p.applyIncDec(st, x, x.Operand, -1)
+		}
+		return st
+	case *cast.CallExpr:
+		for _, a := range x.Args {
+			st = p.transferExpr(st, a)
+		}
+		return p.transferCall(st, x)
+	case *cast.CommaExpr:
+		st = p.transferExpr(st, x.X)
+		return p.transferExpr(st, x.Y)
+	case *cast.BinaryExpr:
+		st = p.transferExpr(st, x.X)
+		st = p.transferExpr(st, x.Y)
+		if p.chk != nil {
+			p.eval(st, x) // report wraps in value-only expressions
+		}
+		return st
+	case *cast.CondExpr:
+		st = p.transferExpr(st, x.Cond)
+		a := p.transferExpr(st, x.Then)
+		b := p.transferExpr(st, x.Else)
+		return a.join(b)
+	case *cast.CastExpr:
+		st = p.transferExpr(st, x.Operand)
+		if p.chk != nil {
+			p.eval(st, x)
+		}
+		return st
+	case *cast.IndexExpr:
+		st = p.transferExpr(st, x.Base)
+		return p.transferExpr(st, x.Index)
+	case *cast.MemberExpr:
+		return p.transferExpr(st, x.Base)
+	}
+	return st
+}
+
+func (p *iproblem) transferAssign(st istate, x *cast.AssignExpr) istate {
+	id, ok := cast.Unparen(x.LHS).(*cast.Ident)
+	if !ok || id.Sym == nil || !isIntVar(id.Sym) || id.Sym.Kind == cast.SymEnumConst {
+		// Stores through arrays/pointers are not tracked, but the RHS
+		// may still wrap — evaluate it for the replay pass.
+		if p.chk != nil {
+			p.eval(st, x.RHS)
+		}
+		return st
+	}
+	old := st.get(id.Sym.ID)
+	rhs := p.eval(st, x.RHS)
+	var v ival
+	switch x.Op {
+	case cast.AssignPlain:
+		v = rhs
+	case cast.AssignAdd, cast.AssignSub, cast.AssignMul, cast.AssignDiv,
+		cast.AssignRem, cast.AssignShl, cast.AssignShr,
+		cast.AssignAnd, cast.AssignXor, cast.AssignOr:
+		v = p.evalBinop(x, compoundOp(x.Op), old, rhs)
+	default:
+		v = topIval()
+	}
+	return st.set(id.Sym.ID, p.convert(x, v, id.Sym.Type))
+}
+
+// compoundOp maps a compound-assignment operator to its binary form.
+func compoundOp(op cast.AssignOp) cast.BinaryOp {
+	switch op {
+	case cast.AssignAdd:
+		return cast.BinaryAdd
+	case cast.AssignSub:
+		return cast.BinarySub
+	case cast.AssignMul:
+		return cast.BinaryMul
+	case cast.AssignDiv:
+		return cast.BinaryDiv
+	case cast.AssignRem:
+		return cast.BinaryRem
+	case cast.AssignShl:
+		return cast.BinaryShl
+	case cast.AssignShr:
+		return cast.BinaryShr
+	case cast.AssignAnd:
+		return cast.BinaryAnd
+	case cast.AssignXor:
+		return cast.BinaryXor
+	case cast.AssignOr:
+		return cast.BinaryOr
+	}
+	return cast.BinaryInvalid
+}
+
+func (p *iproblem) applyIncDec(st istate, site cast.Expr, operand cast.Expr, delta int64) istate {
+	id, ok := cast.Unparen(operand).(*cast.Ident)
+	if !ok || id.Sym == nil || !isIntVar(id.Sym) {
+		return st
+	}
+	old := st.get(id.Sym.ID)
+	raw := old.v.AddConst(delta)
+	opName := "increment"
+	if delta < 0 {
+		opName = "decrement"
+	}
+	v := p.wrapCheck(site, raw, id.Sym.Type, opName, "")
+	v = inheritTaint(v, old)
+	return st.set(id.Sym.ID, v)
+}
+
+// --- call effects -----------------------------------------------------------
+
+// noEffectCalls lists library routines that neither write through their
+// arguments nor touch globals in a way this analysis tracks.
+var noEffectCalls = map[string]bool{
+	"strcmp": true, "strncmp": true, "strlen": true, "printf": true,
+	"puts": true, "putchar": true, "free": true, "malloc": true,
+	"calloc": true, "realloc": true, "exit": true, "abort": true,
+	"getchar": true, "fopen": true, "fclose": true, "strchr": true,
+	"strrchr": true, "rand": true, "srand": true, "memset": true,
+	"memcpy": true, "memmove": true, "strcpy": true, "strcat": true,
+	"strncpy": true, "strncat": true, "sprintf": true, "snprintf": true,
+	"g_malloc": true,
+}
+
+func (p *iproblem) transferCall(st istate, call *cast.CallExpr) istate {
+	name := call.Callee()
+	// Sink check: a possibly-wrapped value flowing into an allocation
+	// size is CWE-680, whatever the call's other effects are.
+	if positions, isSink := p.sinks[name]; isSink {
+		for _, idx := range positions {
+			arg := argAt(call, idx)
+			if arg == nil {
+				continue
+			}
+			av := p.eval(st, arg)
+			if av.wrapped && p.chk != nil {
+				p.chk.report680(call, arg, av)
+			}
+		}
+	} else if p.chk != nil {
+		// Non-sink calls: still surface wraps inside argument expressions.
+		for _, a := range call.Args {
+			p.eval(st, a)
+		}
+	}
+	if noEffectCalls[name] {
+		return st
+	}
+	return p.havocUserCall(st, call)
+}
+
+// havocUserCall forgets what a user (or unmodeled) call may change:
+// integer variables passed by address — unless the may-modify facts
+// prove the callee leaves that argument alone — and every global
+// integer.
+func (p *iproblem) havocUserCall(st istate, call *cast.CallExpr) istate {
+	for i, a := range call.Args {
+		u, ok := cast.Unparen(a).(*cast.UnaryExpr)
+		if !ok || u.Op != cast.UnaryAddrOf {
+			continue
+		}
+		id, ok := cast.Unparen(u.Operand).(*cast.Ident)
+		if !ok || id.Sym == nil || !isIntVar(id.Sym) {
+			continue
+		}
+		if p.mm != nil && !p.mm.MayModifyArg(call, i) {
+			continue // proven read-only: the value survives the call
+		}
+		st = st.set(id.Sym.ID, topIval())
+	}
+	out := st.clone()
+	for id := range out.vars {
+		if p.globalIDs[id] {
+			delete(out.vars, id)
+		}
+	}
+	return out
+}
+
+// --- pure evaluation --------------------------------------------------------
+
+// eval computes the abstract value of e under st, wrap-checking every
+// arithmetic step against the expression's C type and reporting through
+// the attached checker (when one is attached).
+func (p *iproblem) eval(st istate, e cast.Expr) ival {
+	if e == nil {
+		return topIval()
+	}
+	switch x := cast.Unparen(e).(type) {
+	case *cast.IntLit:
+		return ival{v: overflow.Const(x.Value)}
+	case *cast.CharLit:
+		return ival{v: overflow.Const(int64(x.Value))}
+	case *cast.Ident:
+		if x.Sym == nil {
+			return topIval()
+		}
+		if x.Sym.Kind == cast.SymEnumConst {
+			if v, ok := constOf(x); ok {
+				return ival{v: overflow.Const(v)}
+			}
+		}
+		if isIntVar(x.Sym) {
+			return st.get(x.Sym.ID)
+		}
+		return topIval()
+	case *cast.UnaryExpr:
+		switch x.Op {
+		case cast.UnaryMinus:
+			ov := p.eval(st, x.Operand)
+			out := p.wrapCheck(x, ov.v.Neg(), x.Type(), "negation", "")
+			return inheritTaint(out, ov)
+		case cast.UnaryPlus:
+			return p.eval(st, x.Operand)
+		case cast.UnaryNot:
+			return ival{v: overflow.Range(0, 1)}
+		case cast.UnaryBitNot:
+			ov := p.eval(st, x.Operand)
+			return inheritTaint(topIval(), ov)
+		case cast.UnaryPreInc:
+			return ival{v: p.eval(st, x.Operand).v.AddConst(1)}
+		case cast.UnaryPreDec:
+			return ival{v: p.eval(st, x.Operand).v.AddConst(-1)}
+		}
+		return topIval()
+	case *cast.PostfixExpr:
+		return p.eval(st, x.Operand)
+	case *cast.SizeofExpr:
+		if v, ok := constOf(x); ok {
+			return ival{v: overflow.Const(v)}
+		}
+		return ival{v: overflow.Range(0, overflow.PosInf)}
+	case *cast.BinaryExpr:
+		a, b := p.eval(st, x.X), p.eval(st, x.Y)
+		return p.evalBinop(x, x.Op, a, b)
+	case *cast.CastExpr:
+		return p.convert(x, p.eval(st, x.Operand), x.ToType)
+	case *cast.AssignExpr:
+		// The value of an assignment is the RHS converted to the LHS
+		// type; the store itself is transferAssign's job.
+		if id, ok := cast.Unparen(x.LHS).(*cast.Ident); ok && id.Sym != nil && isIntVar(id.Sym) {
+			return p.convert(x, p.eval(st, x.RHS), id.Sym.Type)
+		}
+		return p.eval(st, x.RHS)
+	case *cast.CommaExpr:
+		return p.eval(st, x.Y)
+	case *cast.CondExpr:
+		return p.eval(st, x.Then).join(p.eval(st, x.Else))
+	case *cast.CallExpr:
+		if x.Callee() == "strlen" {
+			return ival{v: overflow.Range(0, overflow.PosInf)}
+		}
+		return topIval()
+	}
+	return topIval()
+}
+
+// evalBinop computes site's value for op over a and b, wrap-checking
+// the arithmetic operators against the site's result type.
+func (p *iproblem) evalBinop(site cast.Expr, op cast.BinaryOp, a, b ival) ival {
+	var raw overflow.Interval
+	checked := true
+	switch op {
+	case cast.BinaryAdd:
+		raw = a.v.Add(b.v)
+	case cast.BinarySub:
+		raw = a.v.Sub(b.v)
+	case cast.BinaryMul:
+		raw = imul(a.v, b.v)
+	case cast.BinaryShl:
+		k, ok := b.v.Exact()
+		if !ok || k < 0 || k > 62 {
+			return inheritTaint(topIval(), a)
+		}
+		raw = imul(a.v, overflow.Const(int64(1)<<uint(k)))
+	case cast.BinaryDiv:
+		return inheritTaint(ival{v: idiv(a.v, b.v)}, a)
+	case cast.BinaryShr:
+		return inheritTaint(ival{v: ishr(a.v, b.v)}, a)
+	case cast.BinaryRem:
+		if k, ok := b.v.Exact(); ok && k > 0 && a.v.Lo >= 0 {
+			return inheritTaint(ival{v: overflow.Range(0, k-1)}, a)
+		}
+		return inheritTaint(topIval(), a)
+	case cast.BinaryAnd:
+		if m, ok := b.v.Exact(); ok && m >= 0 {
+			return ival{v: overflow.Range(0, m)}
+		}
+		if m, ok := a.v.Exact(); ok && m >= 0 {
+			return ival{v: overflow.Range(0, m)}
+		}
+		return inheritTaint(inheritTaint(topIval(), a), b)
+	case cast.BinaryXor, cast.BinaryOr:
+		return inheritTaint(inheritTaint(topIval(), a), b)
+	case cast.BinaryLt, cast.BinaryGt, cast.BinaryLe, cast.BinaryGe,
+		cast.BinaryEq, cast.BinaryNe, cast.BinaryLAnd, cast.BinaryLOr:
+		return ival{v: overflow.Range(0, 1)}
+	default:
+		checked = false
+		raw = overflow.Top()
+	}
+	var out ival
+	if checked {
+		guard := ""
+		if p.chk != nil {
+			guard = p.chk.guardForBinop(site, op)
+		}
+		out = p.wrapCheck(site, raw, siteType(site), opName(op), guard)
+	} else {
+		out = topIval()
+	}
+	return inheritTaint(inheritTaint(out, a), b)
+}
+
+// convert models an implicit or explicit conversion of v to the target
+// type, flagging truncation (CWE-190) and negative-to-unsigned
+// conversion (CWE-191).
+func (p *iproblem) convert(site cast.Expr, v ival, to ctype.Type) ival {
+	if to == nil || !ctype.IsInteger(to) {
+		return v
+	}
+	guard := ""
+	if p.chk != nil {
+		guard = p.chk.guardForConvert(site, v.v, to)
+	}
+	out := p.wrapCheck(site, v.v, to, "conversion", guard)
+	return inheritTaint(out, v)
+}
+
+// wrapCheck compares the mathematically exact interval raw against the
+// representable range of t. In range: the value passes through. Out of
+// range: the result is the full type range, marked wrapped, and (with a
+// checker attached) a CWE-190/191 finding is reported — definite when
+// every value in raw is out of range, possible when raw straddles the
+// boundary. Sentinel bounds produced by widening are skipped on their
+// own side, so saturating loop counters do not drown the report in
+// false positives.
+func (p *iproblem) wrapCheck(site cast.Expr, raw overflow.Interval, t ctype.Type, opName, guard string) ival {
+	lo, hi, ok := typeBounds(t)
+	if !ok || raw.IsEmpty() {
+		return ival{v: raw}
+	}
+	var over, overDef, under, underDef bool
+	if hi < overflow.PosInf {
+		switch {
+		case raw.Lo > hi:
+			over, overDef = true, true
+		case raw.Hi > hi && raw.Hi < overflow.PosInf:
+			over = true
+		}
+	}
+	switch {
+	case raw.Hi < lo:
+		under, underDef = true, true
+	case raw.Lo < lo && raw.Lo > overflow.NegInf:
+		under = true
+	}
+	if !over && !under {
+		return ival{v: raw.Meet(overflow.Range(lo, hi))}
+	}
+	out := ival{
+		v:        overflow.Range(lo, hi),
+		wrapped:  true,
+		definite: overDef || underDef,
+		guard:    guard,
+	}
+	if p.chk != nil {
+		if over {
+			p.chk.reportWrap(site, 190, overDef, raw, t, lo, hi, opName, guard)
+		}
+		if under {
+			p.chk.reportWrap(site, 191, underDef, raw, t, lo, hi, opName, guard)
+		}
+	}
+	return out
+}
+
+// inheritTaint propagates upstream wrap taint into a derived value.
+func inheritTaint(out, in ival) ival {
+	if !in.wrapped {
+		return out
+	}
+	out.wrapped = true
+	out.definite = out.definite || in.definite
+	if out.guard == "" {
+		out.guard = in.guard
+	}
+	return out
+}
+
+// siteType returns the C type computed for the expression by typecheck.
+func siteType(e cast.Expr) ctype.Type {
+	if e == nil {
+		return nil
+	}
+	return e.Type()
+}
+
+func opName(op cast.BinaryOp) string {
+	switch op {
+	case cast.BinaryAdd:
+		return "addition"
+	case cast.BinarySub:
+		return "subtraction"
+	case cast.BinaryMul:
+		return "multiplication"
+	case cast.BinaryShl:
+		return "left shift"
+	}
+	return "arithmetic"
+}
+
+// --- interval arithmetic beyond overflow.Interval ---------------------------
+
+// imul is a full interval multiplication (all four corner products with
+// saturation), more precise than overflow.Interval.Mul for non-singleton
+// operands — exactly the n*size case allocation overflows hinge on.
+func imul(a, b overflow.Interval) overflow.Interval {
+	if a.IsEmpty() || b.IsEmpty() {
+		return overflow.Top()
+	}
+	lo, hi := int64(0), int64(0)
+	first := true
+	for _, x := range [2]int64{a.Lo, a.Hi} {
+		for _, y := range [2]int64{b.Lo, b.Hi} {
+			c := cornerMul(x, y)
+			if first {
+				lo, hi = c, c
+				first = false
+				continue
+			}
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+	}
+	return overflow.Interval{Lo: lo, Hi: hi}
+}
+
+// cornerMul multiplies two possibly-sentinel bounds with saturation.
+func cornerMul(x, y int64) int64 {
+	if x == 0 || y == 0 {
+		return 0
+	}
+	pos := (x > 0) == (y > 0)
+	if x <= overflow.NegInf || x >= overflow.PosInf ||
+		y <= overflow.NegInf || y >= overflow.PosInf {
+		if pos {
+			return overflow.PosInf
+		}
+		return overflow.NegInf
+	}
+	r := x * y
+	if r/x != y {
+		if pos {
+			return overflow.PosInf
+		}
+		return overflow.NegInf
+	}
+	if r <= overflow.NegInf {
+		return overflow.NegInf
+	}
+	if r >= overflow.PosInf {
+		return overflow.PosInf
+	}
+	return r
+}
+
+// idiv divides a by b, precise for non-negative dividends and strictly
+// positive divisors (the shape of size computations); anything else is
+// unconstrained.
+func idiv(a, b overflow.Interval) overflow.Interval {
+	if a.IsEmpty() || b.IsEmpty() || a.Lo < 0 || b.Lo <= 0 {
+		return overflow.Top()
+	}
+	lo := int64(0)
+	if b.Hi < overflow.PosInf {
+		lo = a.Lo / b.Hi
+	}
+	hi := overflow.PosInf
+	if a.Hi < overflow.PosInf {
+		hi = a.Hi / b.Lo
+	}
+	return overflow.Range(lo, hi)
+}
+
+// ishr shifts a right by an exact non-negative count.
+func ishr(a, b overflow.Interval) overflow.Interval {
+	k, ok := b.Exact()
+	if !ok || k < 0 || k > 62 || a.IsEmpty() || a.Lo < 0 {
+		return overflow.Top()
+	}
+	hi := overflow.PosInf
+	if a.Hi < overflow.PosInf {
+		hi = a.Hi >> uint(k)
+	}
+	return overflow.Range(a.Lo>>uint(k), hi)
+}
+
+// --- branch refinement ------------------------------------------------------
+
+// refine narrows st under the assumption that cond evaluates to truth.
+// Refinement narrows value intervals only; wrap taint survives (a
+// bounds check after the wrap does not un-wrap the value).
+func (p *iproblem) refine(st istate, cond cast.Expr, truth bool) istate {
+	switch x := cast.Unparen(cond).(type) {
+	case *cast.IntLit:
+		if (x.Value != 0) != truth {
+			return unreached()
+		}
+		return st
+	case *cast.CharLit:
+		if (x.Value != 0) != truth {
+			return unreached()
+		}
+		return st
+	case *cast.UnaryExpr:
+		if x.Op == cast.UnaryNot {
+			return p.refine(st, x.Operand, !truth)
+		}
+		return st
+	case *cast.Ident:
+		if x.Sym == nil {
+			return st
+		}
+		if x.Sym.Kind == cast.SymEnumConst {
+			if v, ok := constOf(x); ok && (v != 0) != truth {
+				return unreached()
+			}
+			return st
+		}
+		if !isIntVar(x.Sym) {
+			return st
+		}
+		v := st.get(x.Sym.ID)
+		if truth {
+			if z, ok := v.v.Exact(); ok && z == 0 {
+				return unreached()
+			}
+			if v.v.Lo == 0 {
+				v.v.Lo = 1
+				return st.set(x.Sym.ID, v)
+			}
+			return st
+		}
+		nv := v.v.Meet(overflow.Const(0))
+		if nv.IsEmpty() {
+			return unreached()
+		}
+		v.v = nv
+		return st.set(x.Sym.ID, v)
+	case *cast.BinaryExpr:
+		switch x.Op {
+		case cast.BinaryLAnd:
+			if truth {
+				return p.refine(p.refine(st, x.X, true), x.Y, true)
+			}
+			return st
+		case cast.BinaryLOr:
+			if !truth {
+				return p.refine(p.refine(st, x.X, false), x.Y, false)
+			}
+			return st
+		case cast.BinaryLt, cast.BinaryLe, cast.BinaryGt, cast.BinaryGe,
+			cast.BinaryEq, cast.BinaryNe:
+			return p.refineCompare(st, x, truth)
+		}
+	}
+	return st
+}
+
+func (p *iproblem) refineCompare(st istate, x *cast.BinaryExpr, truth bool) istate {
+	op := x.Op
+	if !truth {
+		op = negateCompare(op)
+	}
+	st = p.refineSide(st, x.X, op, p.eval(st, x.Y).v)
+	if !st.reach {
+		return st
+	}
+	return p.refineSide(st, x.Y, flipCompare(op), p.eval(st, x.X).v)
+}
+
+// refineSide narrows the integer variable e under "e op bound".
+func (p *iproblem) refineSide(st istate, e cast.Expr, op cast.BinaryOp, bound overflow.Interval) istate {
+	id, ok := cast.Unparen(e).(*cast.Ident)
+	if !ok || id.Sym == nil || !isIntVar(id.Sym) || id.Sym.Kind == cast.SymEnumConst {
+		return st
+	}
+	iv := st.get(id.Sym.ID)
+	v := iv.v
+	switch op {
+	case cast.BinaryLt:
+		v = v.Meet(overflow.Range(overflow.NegInf, satDec(bound.Hi)))
+	case cast.BinaryLe:
+		v = v.Meet(overflow.Range(overflow.NegInf, bound.Hi))
+	case cast.BinaryGt:
+		v = v.Meet(overflow.Range(satInc(bound.Lo), overflow.PosInf))
+	case cast.BinaryGe:
+		v = v.Meet(overflow.Range(bound.Lo, overflow.PosInf))
+	case cast.BinaryEq:
+		v = v.Meet(bound)
+	case cast.BinaryNe:
+		if z, exact := bound.Exact(); exact {
+			if cur, curExact := v.Exact(); curExact && cur == z {
+				return unreached()
+			}
+			if v.Lo == z {
+				v.Lo = z + 1
+			} else if v.Hi == z {
+				v.Hi = z - 1
+			}
+		}
+	default:
+		return st
+	}
+	if v.IsEmpty() {
+		return unreached()
+	}
+	iv.v = v
+	return st.set(id.Sym.ID, iv)
+}
+
+func negateCompare(op cast.BinaryOp) cast.BinaryOp {
+	switch op {
+	case cast.BinaryLt:
+		return cast.BinaryGe
+	case cast.BinaryLe:
+		return cast.BinaryGt
+	case cast.BinaryGt:
+		return cast.BinaryLe
+	case cast.BinaryGe:
+		return cast.BinaryLt
+	case cast.BinaryEq:
+		return cast.BinaryNe
+	case cast.BinaryNe:
+		return cast.BinaryEq
+	}
+	return op
+}
+
+func flipCompare(op cast.BinaryOp) cast.BinaryOp {
+	switch op {
+	case cast.BinaryLt:
+		return cast.BinaryGt
+	case cast.BinaryLe:
+		return cast.BinaryGe
+	case cast.BinaryGt:
+		return cast.BinaryLt
+	case cast.BinaryGe:
+		return cast.BinaryLe
+	}
+	return op
+}
+
+// --- helpers ----------------------------------------------------------------
+
+// satInc/satDec step a bound without walking off a sentinel: an
+// infinity stays an infinity, so refined intervals never carry huge
+// finite bounds that would read as genuine values later.
+func satInc(n int64) int64 {
+	if n >= overflow.PosInf || n <= overflow.NegInf {
+		return n
+	}
+	return n + 1
+}
+
+func satDec(n int64) int64 {
+	if n >= overflow.PosInf || n <= overflow.NegInf {
+		return n
+	}
+	return n - 1
+}
+
+func argAt(call *cast.CallExpr, i int) cast.Expr {
+	if i >= 0 && i < len(call.Args) {
+		return call.Args[i]
+	}
+	return nil
+}
+
+// constOf evaluates compile-time integer constants (literals, sizeof,
+// enum constants).
+func constOf(e cast.Expr) (int64, bool) {
+	switch x := cast.Unparen(e).(type) {
+	case *cast.IntLit:
+		return x.Value, true
+	case *cast.CharLit:
+		return int64(x.Value), true
+	case *cast.SizeofExpr:
+		if x.OfType != nil && x.OfType.Size() >= 0 {
+			return int64(x.OfType.Size()), true
+		}
+		if x.Operand != nil && x.Operand.Type() != nil && x.Operand.Type().Size() >= 0 {
+			return int64(x.Operand.Type().Size()), true
+		}
+	case *cast.Ident:
+		if x.Sym != nil && x.Sym.Kind == cast.SymEnumConst {
+			if en, ok := ctype.Unqualify(x.Sym.Type).(*ctype.Enum); ok {
+				for _, c := range en.Consts {
+					if c.Name == x.Name {
+						return c.Value, true
+					}
+				}
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,400 @@
+// Package intflow is the integer-overflow oracle: a second static-
+// analysis client on the shared interval facts. It runs an
+// interprocedural value-range analysis over the same generic dataflow
+// solver the buffer oracle uses, tracking signed/unsigned integer
+// ranges and wraparound potential through arithmetic, casts, and
+// truncating assignments, and classifies findings as
+//
+//	CWE-190 — integer wraparound past the top of the type,
+//	CWE-191 — underflow below the bottom of the type,
+//	CWE-680 — a possibly-wrapped value reaching an allocation-size
+//	          sink (malloc/calloc/realloc/g_malloc or a wrapper
+//	          discovered through the call graph).
+//
+// For CWE-680 sites the oracle additionally renders an IntRepair-style
+// precondition guard (`if (a > MAX / b) ...`) as a *suggested*, never
+// applied, repair annotation (Finding.Guard).
+package intflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/callgraph"
+	"repro/internal/cast"
+	"repro/internal/cfg"
+	"repro/internal/dataflow"
+	"repro/internal/fault"
+	"repro/internal/interproc"
+	"repro/internal/overflow"
+)
+
+// Options configures the oracle.
+type Options struct {
+	// ContextDepth bounds how many call edges argument ranges are
+	// propagated along from each call-graph root. 0 disables the
+	// interprocedural pass.
+	ContextDepth int
+	// Limits bounds the oracle the same way the buffer oracle is
+	// bounded: the context is polled at solver iterations and between
+	// interprocedural contexts; Limits.Steps budgets each per-function
+	// solve and Limits.Contexts the interprocedural pass. Exhausted
+	// budgets degrade — affected functions get a SevPossible
+	// CWEIncomplete finding instead of silently passing.
+	Limits fault.Limits
+}
+
+// DefaultOptions returns the standard configuration.
+func DefaultOptions() Options {
+	return Options{ContextDepth: 2}
+}
+
+// Facts is the subset of shared analysis facts the oracle consumes when
+// an analysis snapshot is threaded in: the unit call graph, per-function
+// CFGs, and the may-modify summaries. Without a provider the oracle
+// derives private copies.
+type Facts interface {
+	CallGraph() *callgraph.Graph
+	CFG(fn *cast.FuncDef) *cfg.Graph
+	MayModify() *interproc.Result
+}
+
+// Analyzer runs the integer-overflow oracle over one translation unit.
+// It is not safe for concurrent use.
+type Analyzer struct {
+	unit  *cast.TranslationUnit
+	opts  Options
+	facts Facts
+
+	cg        *callgraph.Graph
+	mm        *interproc.Result
+	globalIDs map[int]bool
+	sinks     map[string][]int
+	cfgs      map[string]*cfg.Graph
+	memo      map[string]*solveEntry
+	ready     bool
+
+	// Fault-containment bookkeeping, mirroring the buffer oracle's.
+	degradedFns  map[string]bool
+	ctxSpent     int
+	interprocCut bool
+}
+
+type solveEntry struct {
+	g   *cfg.Graph
+	sol *dataflow.Solution[istate]
+	p   *iproblem
+}
+
+// New creates an analyzer with default options.
+func New(unit *cast.TranslationUnit) *Analyzer {
+	return NewWithOptions(unit, DefaultOptions())
+}
+
+// NewWithOptions creates an analyzer with explicit options.
+func NewWithOptions(unit *cast.TranslationUnit, opts Options) *Analyzer {
+	return &Analyzer{unit: unit, opts: opts}
+}
+
+// NewWithFacts creates an analyzer that reuses shared analysis facts
+// instead of rebuilding the call graph, CFGs and may-modify summaries.
+func NewWithFacts(unit *cast.TranslationUnit, opts Options, facts Facts) *Analyzer {
+	return &Analyzer{unit: unit, opts: opts, facts: facts}
+}
+
+func (a *Analyzer) ensure() {
+	if a.ready {
+		return
+	}
+	a.ready = true
+	if a.facts != nil {
+		a.cg = a.facts.CallGraph()
+		a.mm = a.facts.MayModify()
+	} else {
+		a.cg = callgraph.Build(a.unit)
+		a.mm = interproc.AnalyzeWith(a.unit, a.cg)
+	}
+	a.cfgs = make(map[string]*cfg.Graph)
+	a.memo = make(map[string]*solveEntry)
+	a.degradedFns = make(map[string]bool)
+	a.globalIDs = make(map[int]bool)
+	for _, sym := range a.unit.Symbols {
+		if sym != nil && sym.Kind == cast.SymVar && sym.IsGlobal && isIntVar(sym) {
+			a.globalIDs[sym.ID] = true
+		}
+	}
+	a.discoverSinks()
+}
+
+// discoverSinks seeds the allocation-size sinks with the library
+// allocators and then closes them over the call graph: a function that
+// forwards one of its integer parameters into a known sink's size
+// argument is itself a sink at that parameter position. This is how
+// `static char *wrapper(unsigned n) { return malloc(n); }` makes
+// `wrapper(a * b)` a CWE-680 site.
+func (a *Analyzer) discoverSinks() {
+	a.sinks = map[string][]int{
+		"malloc":   {0},
+		"calloc":   {0, 1},
+		"realloc":  {1},
+		"g_malloc": {0},
+	}
+	// Fixpoint: at most one new function per round can become a sink.
+	for round := 0; round <= len(a.unit.Funcs); round++ {
+		changed := false
+		for _, fn := range a.unit.Funcs {
+			for _, idx := range a.forwardedParams(fn) {
+				if !containsInt(a.sinks[fn.Name], idx) {
+					a.sinks[fn.Name] = append(a.sinks[fn.Name], idx)
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, positions := range a.sinks {
+		sort.Ints(positions)
+	}
+}
+
+// forwardedParams returns the indices of fn's integer parameters that
+// appear inside a size argument of a call to a current sink.
+func (a *Analyzer) forwardedParams(fn *cast.FuncDef) []int {
+	paramIdx := make(map[int]int) // Symbol.ID -> parameter position
+	for i, p := range fn.Params {
+		if p.Sym != nil && isIntVar(p.Sym) {
+			paramIdx[p.Sym.ID] = i
+		}
+	}
+	if len(paramIdx) == 0 || fn.Body == nil {
+		return nil
+	}
+	var out []int
+	cast.Inspect(fn.Body, func(n cast.Node) bool {
+		call, ok := n.(*cast.CallExpr)
+		if !ok {
+			return true
+		}
+		positions, isSink := a.sinks[call.Callee()]
+		if !isSink {
+			return true
+		}
+		for _, pos := range positions {
+			arg := argAt(call, pos)
+			if arg == nil {
+				continue
+			}
+			cast.InspectExprs(arg, func(e cast.Expr) bool {
+				if id, isIdent := e.(*cast.Ident); isIdent && id.Sym != nil {
+					if i, isParam := paramIdx[id.Sym.ID]; isParam && !containsInt(out, i) {
+						out = append(out, i)
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *Analyzer) cfgFor(fn *cast.FuncDef) *cfg.Graph {
+	if a.facts != nil {
+		return a.facts.CFG(fn)
+	}
+	if g, ok := a.cfgs[fn.Name]; ok {
+		return g
+	}
+	g := cfg.Build(fn)
+	a.cfgs[fn.Name] = g
+	return g
+}
+
+// solve runs (or recalls) the range analysis of fn under the given
+// parameter seed.
+func (a *Analyzer) solve(fn *cast.FuncDef, seed map[int]ival) *solveEntry {
+	key := fn.Name + "|" + seedKey(seed)
+	if ent, ok := a.memo[key]; ok {
+		return ent
+	}
+	g := a.cfgFor(fn)
+	p := &iproblem{fn: fn, seed: seed, globalIDs: a.globalIDs, sinks: a.sinks, mm: a.mm}
+	sol := dataflow.SolveForwardLimits[istate](g, p, a.opts.Limits)
+	if sol.Degraded {
+		a.degradedFns[fn.Name] = true
+	}
+	ent := &solveEntry{g: g, sol: sol, p: p}
+	a.memo[key] = ent
+	return ent
+}
+
+func seedKey(seed map[int]ival) string {
+	if len(seed) == 0 {
+		return ""
+	}
+	ids := make([]int, 0, len(seed))
+	for id := range seed {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var sb strings.Builder
+	for _, id := range ids {
+		v := seed[id]
+		fmt.Fprintf(&sb, "%d:%d,%d,%t,%t;", id, v.v.Lo, v.v.Hi, v.wrapped, v.definite)
+	}
+	return sb.String()
+}
+
+// Analyze runs the oracle and returns the deduplicated findings in
+// source order. Budget-degraded functions contribute a SevPossible
+// CWEIncomplete finding each, so an exhausted budget can never read as
+// a clean file.
+func (a *Analyzer) Analyze() []Finding {
+	a.ensure()
+	var all []Finding
+	// Pass 1: every function with unknown parameters.
+	for _, fn := range a.unit.Funcs {
+		fault.CheckCtx(a.opts.Limits.Ctx)
+		ent := a.solve(fn, nil)
+		all = append(all, a.check(fn, ent, nil)...)
+	}
+	// Pass 2: propagate argument ranges from the call-graph roots.
+	if a.opts.ContextDepth > 0 {
+		for _, root := range a.cg.Roots() {
+			all = append(all, a.propagate(root, nil, []string{root.Name}, a.opts.ContextDepth)...)
+		}
+	}
+	// Unit.Funcs order keeps degraded findings deterministic.
+	for _, fn := range a.unit.Funcs {
+		if a.degradedFns[fn.Name] {
+			all = append(all, a.degradedFinding(fn))
+		}
+	}
+	return dedup(all)
+}
+
+// check replays the solved transfer functions over every reached node
+// with a checker attached, so findings come from exactly the arithmetic
+// the fixpoint evaluated.
+func (a *Analyzer) check(fn *cast.FuncDef, ent *solveEntry, chain []string) []Finding {
+	chk := &ichecker{a: a, fn: fn, chain: chain}
+	rp := *ent.p
+	rp.chk = chk
+	for _, n := range ent.g.Nodes {
+		if !ent.sol.Reached[n.ID] {
+			continue
+		}
+		rp.transferNode(n, ent.sol.In[n.ID])
+	}
+	return chk.out
+}
+
+func (a *Analyzer) propagate(fn *cast.FuncDef, seed map[int]ival, chain []string, depth int) []Finding {
+	fault.CheckCtx(a.opts.Limits.Ctx)
+	if max := a.opts.Limits.Contexts; max > 0 && a.ctxSpent >= max {
+		a.interprocCut = true
+		return nil
+	}
+	a.ctxSpent++
+	ent := a.solve(fn, seed)
+	var out []Finding
+	if len(chain) > 1 {
+		// Pass 1 already checked the empty-seed root context.
+		out = a.check(fn, ent, chain)
+	}
+	if depth == 0 {
+		return out
+	}
+	for _, e := range a.cg.CallsFrom(fn.Name) {
+		if e.Callee == nil || inChain(chain, e.CalleeName) {
+			continue
+		}
+		n := ent.g.NodeContaining(e.Call)
+		if n == nil || !ent.sol.Reached[n.ID] {
+			continue
+		}
+		next := a.argSeed(ent.p, ent.sol.In[n.ID], e)
+		sub := append(append([]string(nil), chain...), e.CalleeName)
+		out = append(out, a.propagate(e.Callee, next, sub, depth-1)...)
+	}
+	return out
+}
+
+// argSeed evaluates the call's arguments under the caller's state at
+// the call site and binds the resulting values — including wrap taint —
+// to the callee's integer parameters.
+func (a *Analyzer) argSeed(p *iproblem, st istate, e callgraph.Edge) map[int]ival {
+	seed := make(map[int]ival)
+	for i, prm := range e.Callee.Params {
+		if prm.Sym == nil || i >= len(e.Call.Args) {
+			break
+		}
+		if !isIntVar(prm.Sym) {
+			continue
+		}
+		v := p.convert(e.Call.Args[i], p.eval(st, e.Call.Args[i]), prm.Sym.Type)
+		if !v.isTop() {
+			seed[prm.Sym.ID] = v
+		}
+	}
+	return seed
+}
+
+// degradedFinding is the never-silent marker for a function whose range
+// solve was cut short by the step budget.
+func (a *Analyzer) degradedFinding(fn *cast.FuncDef) Finding {
+	f := Finding{
+		CWE:          CWEIncomplete,
+		Severity:     overflow.SevPossible,
+		Function:     fn.Name,
+		Degraded:     true,
+		Msg:          "integer range analysis budget exhausted; arithmetic in this function is unverified",
+		SuggestedFix: "raise the solver step budget or audit the function manually",
+		Extent:       fn.Extent(),
+	}
+	if a.unit.File != nil {
+		f.Pos = a.unit.File.Position(f.Extent.Pos)
+	}
+	return f
+}
+
+// Degradations describes every budget cut the oracle took, for the
+// pipeline's Report.Degraded log.
+func (a *Analyzer) Degradations() []string {
+	if !a.ready {
+		return nil
+	}
+	var out []string
+	for _, fn := range a.unit.Funcs {
+		if a.degradedFns[fn.Name] {
+			out = append(out, fmt.Sprintf("intflow: range solve budget exhausted in %s", fn.Name))
+		}
+	}
+	if a.interprocCut {
+		out = append(out, fmt.Sprintf(
+			"intflow: interprocedural context budget exhausted after %d contexts", a.ctxSpent))
+	}
+	return out
+}
+
+// CWEIncomplete re-exports the degraded-finding marker for clients that
+// only import intflow.
+const CWEIncomplete = overflow.CWEIncomplete
+
+// Analyze is the package-level convenience entry point: run the oracle
+// with default options.
+func Analyze(unit *cast.TranslationUnit) []Finding {
+	return New(unit).Analyze()
+}

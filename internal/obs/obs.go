@@ -36,6 +36,7 @@ const (
 	StageMayMod    = "maymod"
 	StageBufLen    = "buflen"
 	StageOverflow  = "overflow"
+	StageIntflow   = "intflow"
 	StageSLR       = "slr"
 	StageSTR       = "str"
 	StageRewrite   = "rewrite"

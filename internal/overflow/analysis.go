@@ -297,7 +297,7 @@ func storeStrl(s, pos, v Interval) Interval {
 			return s // written strictly before the first NUL: unchanged
 		case pos.Lo == pos.Hi && pos.Lo == s.Lo:
 			// Definitely overwrites the earliest possible NUL position.
-			return Range(s.Lo+1, PosInf)
+			return Range(satAdd(s.Lo, 1), PosInf)
 		default:
 			return Range(s.Lo, PosInf)
 		}
@@ -388,7 +388,7 @@ func (p *funcProblem) memsetEffect(st state, dst cast.Expr, c, n Interval) state
 		vs.strl = Interval{min64(vs.strl.Lo, start.Lo), min64(vs.strl.Hi, start.Hi)}.ClampMin(0)
 	case cExact && cv != 0 && nExact && sExact:
 		// Bytes [sv, sv+nv-1] are all nonzero: no first NUL among them.
-		end := sv + nv
+		end := satAdd(sv, nv)
 		switch {
 		case vs.strl.Hi < sv:
 			// NUL definitely before the region: unchanged.

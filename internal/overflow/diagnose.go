@@ -64,6 +64,11 @@ type Finding struct {
 	Msg string
 	// SuggestedFix names the would-be SLR/STR repair.
 	SuggestedFix string
+	// Guard, set by the integer-overflow oracle (internal/intflow) for
+	// arithmetic and allocation-sink findings, is a suggested
+	// IntRepair-style precondition check rendered in C — an annotation
+	// only, never applied to the source.
+	Guard string
 	// Contexts lists interprocedural call chains under which the finding
 	// was (re)derived; empty for purely intraprocedural findings.
 	Contexts []string
@@ -96,8 +101,14 @@ func CWEName(cwe int) string {
 		return "Buffer Over-read"
 	case 127:
 		return "Buffer Under-read"
+	case 190:
+		return "Integer Overflow or Wraparound"
+	case 191:
+		return "Integer Underflow"
 	case 242:
 		return "Use of Inherently Dangerous Function"
+	case 680:
+		return "Integer Overflow to Buffer Overflow"
 	case CWEIncomplete:
 		return "Analysis Incomplete (budget exhausted)"
 	default:

@@ -87,6 +87,20 @@ func satAdd(a, b int64) int64 {
 	return clamp(a + b)
 }
 
+// satNeg negates with saturation. Plain negation is wrong at both
+// extremes: -math.MinInt64 wraps back to math.MinInt64, and a bound at or
+// beyond a sentinel must flip to the opposite infinity, not keep its
+// two's-complement image.
+func satNeg(n int64) int64 {
+	if n <= NegInf {
+		return PosInf
+	}
+	if n >= PosInf {
+		return NegInf
+	}
+	return -n
+}
+
 // Add returns the interval sum.
 func (iv Interval) Add(o Interval) Interval {
 	return Interval{satAdd(iv.Lo, o.Lo), satAdd(iv.Hi, o.Hi)}
@@ -97,12 +111,12 @@ func (iv Interval) AddConst(n int64) Interval { return iv.Add(Const(n)) }
 
 // Sub returns the interval difference iv - o.
 func (iv Interval) Sub(o Interval) Interval {
-	return Interval{satAdd(iv.Lo, -o.Hi), satAdd(iv.Hi, -o.Lo)}
+	return Interval{satAdd(iv.Lo, satNeg(o.Hi)), satAdd(iv.Hi, satNeg(o.Lo))}
 }
 
 // Neg returns the negated interval.
 func (iv Interval) Neg() Interval {
-	return Interval{satAdd(0, -iv.Hi), satAdd(0, -iv.Lo)}
+	return Interval{satNeg(iv.Hi), satNeg(iv.Lo)}
 }
 
 // MulConst scales the interval by k.
@@ -120,6 +134,18 @@ func (iv Interval) MulConst(k int64) Interval {
 func satMul(a, k int64) int64 {
 	if a <= NegInf || a >= PosInf {
 		if (a >= PosInf) == (k > 0) {
+			return PosInf
+		}
+		return NegInf
+	}
+	if k <= NegInf || k >= PosInf {
+		// An out-of-band multiplier saturates like an infinity. Deciding
+		// here also keeps a == -1 away from the r/a overflow probe below,
+		// where MinInt64 / -1 would trap.
+		if a == 0 {
+			return 0
+		}
+		if (a > 0) == (k > 0) {
 			return PosInf
 		}
 		return NegInf
@@ -145,7 +171,9 @@ func (iv Interval) Mul(o Interval) Interval {
 	return Top()
 }
 
-// Join returns the smallest interval covering both.
+// Join returns the smallest interval covering both. Bounds are clamped so
+// an interval built with raw int64 extremes normalizes to the sentinels
+// instead of leaking values the saturating arithmetic cannot classify.
 func (iv Interval) Join(o Interval) Interval {
 	if iv.IsEmpty() {
 		return o
@@ -153,12 +181,17 @@ func (iv Interval) Join(o Interval) Interval {
 	if o.IsEmpty() {
 		return iv
 	}
-	return Interval{min64(iv.Lo, o.Lo), max64(iv.Hi, o.Hi)}
+	return Interval{clamp(min64(iv.Lo, o.Lo)), clamp(max64(iv.Hi, o.Hi))}
 }
 
-// Meet intersects the intervals; the result may be empty.
+// Meet intersects the intervals; the result may be empty. Bounds are
+// clamped like Join's.
 func (iv Interval) Meet(o Interval) Interval {
-	return Interval{max64(iv.Lo, o.Lo), min64(iv.Hi, o.Hi)}
+	lo, hi := max64(iv.Lo, o.Lo), min64(iv.Hi, o.Hi)
+	if lo > hi {
+		return Interval{lo, hi} // preserve emptiness even at raw extremes
+	}
+	return Interval{clamp(lo), clamp(hi)}
 }
 
 // Widen extrapolates: bounds that moved since prev jump to infinity, so

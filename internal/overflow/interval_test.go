@@ -1,0 +1,123 @@
+package overflow
+
+import (
+	"math"
+	"testing"
+)
+
+// inBand reports that both bounds stay inside the sentinel band, the
+// invariant every saturating operation must preserve: a bound outside
+// [NegInf, PosInf] would itself wrap in later arithmetic.
+func inBand(iv Interval) bool {
+	if iv.IsEmpty() {
+		return true
+	}
+	return iv.Lo >= NegInf && iv.Lo <= PosInf && iv.Hi >= NegInf && iv.Hi <= PosInf
+}
+
+// rawExtreme is an interval built with raw int64 extremes, bypassing the
+// Range/Const clamping — the adversarial input for the saturation tests.
+var rawExtreme = Interval{math.MinInt64, math.MaxInt64}
+
+func TestSatNegBoundaries(t *testing.T) {
+	cases := []struct {
+		in, want int64
+	}{
+		{math.MinInt64, PosInf}, // plain -MinInt64 wraps back to MinInt64
+		{math.MaxInt64, NegInf},
+		{NegInf, PosInf},
+		{PosInf, NegInf},
+		{NegInf + 1, -(NegInf + 1)},
+		{0, 0},
+		{42, -42},
+	}
+	for _, c := range cases {
+		if got := satNeg(c.in); got != c.want {
+			t.Errorf("satNeg(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNegAtExtremes(t *testing.T) {
+	got := rawExtreme.Neg()
+	if want := Top(); got != want {
+		t.Errorf("Neg(%v) = %v, want %v", rawExtreme, got, want)
+	}
+	// The regression this guards: [-inf, 0].Neg() must be [0, +inf], not
+	// collapse both bounds to -inf via wrapped negation.
+	got = Interval{NegInf, 0}.Neg()
+	if want := (Interval{0, PosInf}); got != want {
+		t.Errorf("Neg([-inf,0]) = %v, want %v", got, want)
+	}
+}
+
+func TestSubAtExtremes(t *testing.T) {
+	// x - [-inf, lo]: subtracting an unboundedly negative value must push
+	// the upper bound to +inf. Before satNeg, negating a raw MinInt64
+	// lower bound wrapped and dragged the result to -inf instead.
+	got := Const(10).Sub(rawExtreme)
+	if want := Top(); got != want {
+		t.Errorf("[10,10] - raw extremes = %v, want %v", got, want)
+	}
+	got = Const(0).Sub(Interval{NegInf, 5})
+	if want := (Interval{-5, PosInf}); got != want {
+		t.Errorf("[0,0] - [-inf,5] = %v, want %v", got, want)
+	}
+	got = Const(0).Sub(Interval{5, PosInf})
+	if want := (Interval{NegInf, -5}); got != want {
+		t.Errorf("[0,0] - [5,+inf] = %v, want %v", got, want)
+	}
+}
+
+func TestJoinMeetClampExtremes(t *testing.T) {
+	if got := rawExtreme.Join(Const(3)); !inBand(got) || !got.IsTop() {
+		t.Errorf("Join with raw extremes = %v, want clamped top", got)
+	}
+	if got := rawExtreme.Meet(Top()); !inBand(got) || !got.IsTop() {
+		t.Errorf("Meet with raw extremes = %v, want clamped top", got)
+	}
+	// Meet must still report emptiness when the operands are disjoint.
+	if got := Const(1).Meet(Const(2)); !got.IsEmpty() {
+		t.Errorf("Meet of disjoint singletons = %v, want empty", got)
+	}
+}
+
+func TestArithmeticStaysInBand(t *testing.T) {
+	ivs := []Interval{
+		rawExtreme,
+		Top(),
+		{NegInf, NegInf},
+		{PosInf, PosInf},
+		{NegInf + 1, PosInf - 1},
+		Const(0),
+		Const(math.MaxInt64), // Const clamps; kept as a sanity input
+		{-7, 7},
+		{-1, 1}, // MulConst(-1, MinInt64) once trapped on MinInt64 / -1
+	}
+	for _, a := range ivs {
+		for _, b := range ivs {
+			for name, got := range map[string]Interval{
+				"Add":  a.Add(b),
+				"Sub":  a.Sub(b),
+				"Mul":  a.Mul(b),
+				"Join": a.Join(b),
+				"Meet": a.Meet(b),
+			} {
+				if !got.IsEmpty() && !inBand(got) {
+					t.Errorf("%v %s %v = %v escapes the sentinel band", a, name, b, got)
+				}
+			}
+		}
+		if got := a.Neg(); !got.IsEmpty() && !inBand(got) {
+			t.Errorf("Neg(%v) = %v escapes the sentinel band", a, got)
+		}
+		for _, k := range []int64{math.MinInt64, -1, 0, 1, math.MaxInt64} {
+			if got := a.MulConst(k); !got.IsEmpty() && !inBand(got) {
+				t.Errorf("MulConst(%v, %d) = %v escapes the sentinel band", a, k, got)
+			}
+			if got := a.AddConst(k); !got.IsEmpty() && !inBand(got) {
+				t.Errorf("AddConst(%v, %d) = %v escapes the sentinel band", a, k, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Integer-overflow slice of the synthetic corpus: Juliet-style CWE-190
+// (integer wraparound) and CWE-680 (wrapped size reaching an allocator)
+// programs for evaluating the integer-overflow oracle (internal/intflow).
+//
+// The structure mirrors samate.go exactly — every program pairs a good
+// function (in-range arithmetic) with a bad function (the same arithmetic
+// wrapping), wrapped in the shared control-flow variants — but the counts
+// are ours, not Table III's: the paper's benchmark has no integer-overflow
+// slice, so this extension enumerates each sink across all twelve flow
+// variants once.
+package samate
+
+import "fmt"
+
+// IntCWEs lists the integer-overflow corpus CWEs in report order.
+var IntCWEs = []int{190, 680}
+
+// IntTableCounts gives the generated program count per CWE: every sink
+// crossed with every control-flow variant.
+var IntTableCounts = map[int]int{
+	190: len(_sinks190) * len(_flows),
+	680: len(_sinks680) * len(_flows),
+}
+
+func init() {
+	CWENames[190] = "Integer Overflow or Wraparound"
+	CWENames[680] = "Integer Overflow to Buffer Overflow"
+}
+
+// --- CWE-190: integer overflow or wraparound --------------------------------
+
+var _sinks190 = []sink{
+	{
+		// A wider value truncated by an explicit cast: the classic
+		// (short)big idiom. good keeps the value in short range.
+		name: "trunc_cast",
+		gen: func(_, _ int) (string, string, string, string) {
+			decls := `    int big;
+    short out;`
+			good := "    big = 1200;\n    out = (short)big;"
+			bad := "    big = 100000;\n    out = (short)big;"
+			print := `    printf("%d\n", out);`
+			return decls, good, bad, print
+		},
+	},
+	{
+		// An unsigned char loop counter tested against a bound it can
+		// never reach: i++ wraps 255 -> 0. The total guard keeps the bad
+		// loop dynamically terminating (the wrap still happens at
+		// iteration 256, well before the break).
+		name: "uchar_loop_bound",
+		gen: func(_, _ int) (string, string, string, string) {
+			decls := `    unsigned char i;
+    int total;
+    total = 0;`
+			good := "    for (i = 0; i < 100; i++) { total = total + 1; }"
+			bad := "    for (i = 0; i < 300; i++) { total = total + 1; if (total > 600) { break; } }"
+			print := `    printf("%d\n", total);`
+			return decls, good, bad, print
+		},
+	},
+	{
+		// Compound addition overflowing an unsigned short accumulator.
+		name: "ushort_acc_add",
+		gen: func(_, _ int) (string, string, string, string) {
+			decls := "    unsigned short acc;"
+			good := "    acc = 1000;\n    acc += 2000;"
+			bad := "    acc = 60000;\n    acc += 60000;"
+			print := `    printf("%d\n", acc);`
+			return decls, good, bad, print
+		},
+	},
+}
+
+// --- CWE-680: integer overflow to buffer overflow ---------------------------
+
+var _sinks680 = []sink{
+	{
+		// Multiplication before malloc: count * esize wraps unsigned int,
+		// so the allocation is far smaller than intended.
+		name: "mul_before_malloc",
+		gen: func(_, _ int) (string, string, string, string) {
+			decls := `    char *buf;
+    unsigned int count;
+    unsigned int esize;`
+			good := "    count = 100;\n    esize = 8;\n    buf = malloc(count * esize);"
+			bad := "    count = 70000;\n    esize = 70000;\n    buf = malloc(count * esize);"
+			print := "    if (buf) { buf[0] = 'x'; free(buf); }\n    printf(\"ok\\n\");"
+			return decls, good, bad, print
+		},
+	},
+	{
+		// A truncating assignment whose result is stored, then used as an
+		// allocation size: the wrap taint travels through the variable.
+		name: "trunc_to_alloc",
+		gen: func(_, _ int) (string, string, string, string) {
+			decls := `    char *buf;
+    int want;
+    short n;`
+			good := "    want = 512;\n    n = (short)want;\n    buf = malloc(n);"
+			bad := "    want = 100000;\n    n = (short)want;\n    buf = malloc(n);"
+			print := "    if (buf) { buf[0] = 'y'; free(buf); }\n    printf(\"ok\\n\");"
+			return decls, good, bad, print
+		},
+	},
+	{
+		// The size flows through a static allocation wrapper, exercising
+		// the oracle's call-graph sink discovery: __HELPER__ forwards its
+		// parameter into malloc, so it is a sink too.
+		name: "wrapper_malloc",
+		gen: func(_, _ int) (string, string, string, string) {
+			decls := `    char *buf;
+    unsigned int count;`
+			good := "    count = 64;\n    buf = __HELPER__(count * 4);"
+			bad := "    count = 1100000000;\n    buf = __HELPER__(count * 4);"
+			print := "    if (buf) { buf[0] = 'z'; free(buf); }\n    printf(\"ok\\n\");"
+			return decls, good, bad, print
+		},
+		support: func(_, _ int) string {
+			return `static char *__HELPER__(unsigned int n) {
+    return malloc(n);
+}
+`
+		},
+	},
+}
+
+var _intSinksByCWE = map[int][]sink{
+	190: _sinks190,
+	680: _sinks680,
+}
+
+// IntGenerate returns exactly n programs for the integer-overflow CWE,
+// enumerated deterministically over (sink, flow) and cycling when n
+// exceeds the combination space. Sizes and overflow reaches are
+// irrelevant to these sinks; every program uses fixed in-source constants.
+func IntGenerate(cwe, n int) []Program {
+	sinks := _intSinksByCWE[cwe]
+	if len(sinks) == 0 {
+		return nil
+	}
+	out := make([]Program, 0, n)
+	seq := 0
+	for len(out) < n {
+		before := len(out)
+		for _, s := range sinks {
+			for _, fl := range _flows {
+				if len(out) >= n {
+					return out
+				}
+				seq++
+				id := fmt.Sprintf("CWE%d_v%04d", cwe, seq)
+				out = append(out, buildProgram(id, cwe, s, fl, 16, 2))
+			}
+		}
+		if len(out) == before {
+			break
+		}
+	}
+	return out
+}
+
+// IntGenerateAll produces the full integer-overflow corpus.
+func IntGenerateAll() map[int][]Program {
+	out := make(map[int][]Program, len(IntTableCounts))
+	for cwe, n := range IntTableCounts {
+		out[cwe] = IntGenerate(cwe, n)
+	}
+	return out
+}

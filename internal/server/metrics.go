@@ -35,6 +35,10 @@ type metrics struct {
 	batchFiles     atomic.Int64
 	healthRequests atomic.Int64
 
+	// intFindings counts integer-overflow oracle findings
+	// (CWE-190/191/680) across all served lint and fix responses.
+	intFindings atomic.Int64
+
 	rejected     atomic.Int64 // 429s from admission control
 	clientErrors atomic.Int64 // 4xx other than 429
 	serverErrors atomic.Int64 // 5xx
@@ -94,6 +98,21 @@ func (m *metrics) observeStage(name string, d time.Duration, degraded bool) {
 	}
 }
 
+// observeFindings counts the integer-overflow oracle's findings in one
+// response's finding list.
+func (m *metrics) observeFindings(fs []cfix.Finding) {
+	var n int64
+	for _, f := range fs {
+		switch f.CWE {
+		case 190, 191, 680:
+			n++
+		}
+	}
+	if n > 0 {
+		m.intFindings.Add(n)
+	}
+}
+
 // observe records one served request's latency into the histogram.
 func (m *metrics) observe(d time.Duration) {
 	i := 0
@@ -128,7 +147,11 @@ type Snapshot struct {
 	// DegradedResponses counts responses whose result carried at least
 	// one degradation note (budget exhaustion, skipped stage).
 	DegradedResponses int64 `json:"degraded_responses"`
-	InFlight          int64 `json:"in_flight"`
+	// IntflowFindings counts integer-overflow oracle findings
+	// (CWE-190/191/680) across all served lint and fix responses —
+	// the demand signal for the `-checks=int` oracle.
+	IntflowFindings int64 `json:"intflow_findings"`
+	InFlight        int64 `json:"in_flight"`
 	// Cache reports the result cache's counters; absent when the daemon
 	// runs uncached.
 	Cache *cfix.CacheStats `json:"cache,omitempty"`
@@ -167,6 +190,7 @@ func (m *metrics) snapshot(cache *cfix.ResultCache) Snapshot {
 	s.ServerErrors = m.serverErrors.Load()
 	s.PanicsRecovered = m.panics.Load()
 	s.DegradedResponses = m.degraded.Load()
+	s.IntflowFindings = m.intFindings.Load()
 	s.InFlight = m.inFlight.Load()
 	if cache != nil {
 		st := cache.Stats()

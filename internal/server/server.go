@@ -236,6 +236,7 @@ func (s *Server) handleFix(w http.ResponseWriter, r *http.Request) {
 	if len(rep.Degraded) > 0 {
 		s.m.degraded.Add(1)
 	}
+	s.m.observeFindings(rep.Findings)
 	s.writeJSON(w, http.StatusOK, cfix.NewFixResponse(filename, rep))
 }
 
@@ -271,6 +272,7 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 	if len(rep.Degraded) > 0 {
 		s.m.degraded.Add(1)
 	}
+	s.m.observeFindings(rep.Findings)
 	s.writeJSON(w, http.StatusOK, cfix.NewLintResponse(filename, rep))
 }
 
@@ -315,6 +317,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			if len(out.Degraded) > 0 {
 				s.m.degraded.Add(1)
 			}
+			s.m.observeFindings(out.Findings)
 		}
 	} else {
 		outs := cfix.FixAllContext(r.Context(), inputs, opts, s.conf.Workers)

@@ -60,6 +60,11 @@ type Options struct {
 	// attaches its verdicts to the SLR/STR candidate reports, ranking the
 	// summary by risk. The findings land in Report.Findings.
 	Lint bool
+	// Checks selects which static-analysis oracles lint runs: "buf" (the
+	// buffer-overflow oracle), "int" (the integer-overflow oracle,
+	// CWE-190/191/680 with suggested precondition guards), "all", or a
+	// comma list. Empty means "buf", the historical behavior.
+	Checks string
 	// Timeout bounds the processing of one file; 0 means none. On expiry
 	// the in-flight analysis is interrupted at its next iteration
 	// boundary and the file fails with context.DeadlineExceeded.
@@ -103,6 +108,7 @@ func coreOptions(opts Options) core.Options {
 		SelectOffset: sel,
 		EmitSupport:  opts.EmitSupport,
 		Lint:         opts.Lint,
+		Checks:       opts.Checks,
 		Timeout:      opts.Timeout,
 		Budget:       opts.Budget,
 		KeepGoing:    opts.KeepGoing,

@@ -27,6 +27,9 @@ type RequestOptions struct {
 	// Lint additionally runs the static overflow oracle and attaches
 	// findings to the fix response.
 	Lint bool `json:"lint,omitempty"`
+	// Checks selects which lint oracles run: "buf", "int", "all", or a
+	// comma list. Empty means "buf".
+	Checks string `json:"checks,omitempty"`
 	// TimeoutMs bounds the request's processing in milliseconds. The
 	// server clamps it to its configured maximum and applies its default
 	// when absent.
@@ -49,6 +52,7 @@ func (o RequestOptions) ToOptions() Options {
 		SelectAll:   o.SelectOffset == nil,
 		EmitSupport: o.EmitSupport,
 		Lint:        o.Lint,
+		Checks:      o.Checks,
 		Timeout:     time.Duration(o.TimeoutMs) * time.Millisecond,
 		Budget:      o.Budget,
 		KeepGoing:   o.KeepGoing,
@@ -199,16 +203,19 @@ type BatchResponse struct {
 // FindingJSON is the stable JSON shape of one static overflow finding —
 // the same lines `cfix -lint -json` streams.
 type FindingJSON struct {
-	File     string   `json:"file"`
-	Line     int      `json:"line"`
-	Col      int      `json:"col"`
-	CWE      int      `json:"cwe"`
-	CWEName  string   `json:"cwe_name"`
-	Severity string   `json:"severity"`
-	Function string   `json:"function"`
-	Object   string   `json:"object,omitempty"`
-	Message  string   `json:"message"`
-	Fix      string   `json:"fix"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	CWE      int    `json:"cwe"`
+	CWEName  string `json:"cwe_name"`
+	Severity string `json:"severity"`
+	Function string `json:"function"`
+	Object   string `json:"object,omitempty"`
+	Message  string `json:"message"`
+	Fix      string `json:"fix"`
+	// Guard is the suggested (never applied) IntRepair-style
+	// precondition check attached to integer-overflow findings.
+	Guard    string   `json:"guard,omitempty"`
 	Contexts []string `json:"contexts,omitempty"`
 	Degraded bool     `json:"degraded,omitempty"`
 }
@@ -226,6 +233,7 @@ func NewFindingJSON(f Finding) FindingJSON {
 		Object:   f.Object,
 		Message:  f.Msg,
 		Fix:      f.SuggestedFix,
+		Guard:    f.Guard,
 		Contexts: f.Contexts,
 		Degraded: f.Degraded,
 	}
