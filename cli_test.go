@@ -445,6 +445,88 @@ func TestCfixCLIJobsValidation(t *testing.T) {
 	}
 }
 
+// TestCfixCLIBackendFlag: -backend selects the repair dialect end to
+// end, and an unknown name is a usage error (exit 2) naming the valid
+// set — caught at flag validation, before any file is read.
+func TestCfixCLIBackendFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "cmd/cfix")
+	dir := t.TempDir()
+	in := filepath.Join(dir, "vuln.c")
+	if err := os.WriteFile(in, []byte(`
+void work(void) {
+    char buf[8];
+    strcpy(buf, "a string that is clearly too long");
+}
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct{ backend, want string }{
+		{"glib", "g_strlcpy(buf"},
+		{"bsd", "strlcpy(buf"},
+		{"c11k", "strcpy_s(buf"},
+	}
+	for _, c := range cases {
+		out := filepath.Join(dir, c.backend+".c")
+		if err := exec.Command(bin, "-summary=false", "-str=false", "-backend", c.backend,
+			"-support", "-o", out, in).Run(); err != nil {
+			t.Fatalf("-backend %s: %v", c.backend, err)
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), c.want) {
+			t.Fatalf("-backend %s output missing %q:\n%s", c.backend, c.want, data)
+		}
+	}
+
+	// The default is glib: no flag and -backend glib agree byte for byte.
+	defOut := filepath.Join(dir, "default.c")
+	if err := exec.Command(bin, "-summary=false", "-str=false", "-support", "-o", defOut, in).Run(); err != nil {
+		t.Fatal(err)
+	}
+	defData, _ := os.ReadFile(defOut)
+	glibData, _ := os.ReadFile(filepath.Join(dir, "glib.c"))
+	if string(defData) != string(glibData) {
+		t.Fatal("default output differs from -backend glib")
+	}
+
+	// Unknown backend: usage error before any processing.
+	cmd := exec.Command(bin, "-backend", "musl", in)
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	if code := exitCode(cmd.Run()); code != 2 {
+		t.Fatalf("-backend musl: exit %d, want 2", code)
+	}
+	for _, want := range []string{"musl", "glib", "bsd", "c11k"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Fatalf("-backend musl stderr missing %q:\n%s", want, stderr.String())
+		}
+	}
+}
+
+// TestCfixdCLIBackendFlag: cfixd validates -backend at startup (exit 2
+// on unknown names, before binding a port).
+func TestCfixdCLIBackendFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "cmd/cfixd")
+	cmd := exec.Command(bin, "-backend", "musl")
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	if code := exitCode(cmd.Run()); code != 2 {
+		t.Fatalf("-backend musl: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "glib, bsd, c11k") {
+		t.Fatalf("stderr missing valid set:\n%s", stderr.String())
+	}
+}
+
 // TestCfixCLICacheDir: a second run over unchanged inputs with
 // -cache-dir produces byte-identical output from the persisted cache.
 func TestCfixCLICacheDir(t *testing.T) {

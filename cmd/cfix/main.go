@@ -11,7 +11,8 @@
 //	-slr=false      disable SAFE LIBRARY REPLACEMENT
 //	-str=false      disable SAFE TYPE REPLACEMENT
 //	-at offset      apply SLR only to the call expression at this byte offset
-//	-support        prepend the stralloc library and glib prototypes
+//	-support        prepend the stralloc library and the selected
+//	                backend's safe-function prototypes
 //	-verify entry   additionally run <entry> under the checked interpreter
 //	                before and after, reporting violations
 //	-summary        print the per-site/per-variable change log to stderr
@@ -22,6 +23,10 @@
 //	                the default), "int" (integer wraparound/underflow and
 //	                overflow-to-allocation, CWE-190/191/680 with suggested
 //	                precondition guards), "all", or a comma list
+//	-backend name   safe-function dialect SLR rewrites to: "glib" (the
+//	                default, g_strlcpy/g_strlcat/g_snprintf), "bsd"
+//	                (strlcpy/strlcat/snprintf), or "c11k" (C11 Annex K
+//	                strcpy_s family, destination size before the source)
 //	-json           with -lint, print findings as JSON lines
 //	-j n            parallel workers for batch mode (0 = one per CPU;
 //	                negative values are a usage error)
@@ -86,6 +91,7 @@ type options struct {
 	diff         bool
 	lint         bool
 	checks       string
+	backend      string
 	json         bool
 	jobs         int
 	cacheDir     string
@@ -116,6 +122,7 @@ func (o options) fixOptions() cfix.Options {
 		// oracle's verdicts when they are available.
 		Lint:      o.summary,
 		Checks:    o.checks,
+		Backend:   o.backend,
 		Timeout:   o.timeout,
 		Budget:    o.budget,
 		KeepGoing: o.keepGoing,
@@ -137,6 +144,7 @@ func run() int {
 	flag.BoolVar(&opts.diff, "diff", false, "print a unified diff instead of the full source")
 	flag.BoolVar(&opts.lint, "lint", false, "run the static overflow oracle only; exit 3 on a definite overflow")
 	flag.StringVar(&opts.checks, "checks", "buf", `lint oracles to run: "buf", "int", "all", or a comma list`)
+	flag.StringVar(&opts.backend, "backend", "glib", `safe-function dialect SLR rewrites to: "glib", "bsd", or "c11k"`)
 	flag.BoolVar(&opts.json, "json", false, "with -lint, print findings as JSON lines")
 	flag.IntVar(&opts.jobs, "j", 0, "parallel workers for batch mode (0 = one worker per CPU; must be >= 0)")
 	flag.StringVar(&opts.cacheDir, "cache-dir", "", "reuse results across runs from a content-addressed cache under this directory")
@@ -160,6 +168,10 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "cfix: -checks: unknown check %q (valid: buf, int, all)\n", strings.TrimSpace(name))
 			return 2
 		}
+	}
+	if _, err := cfix.CanonicalBackend(opts.backend); err != nil {
+		fmt.Fprintf(os.Stderr, "cfix: -backend: %v\n", err)
+		return 2
 	}
 	if opts.cacheDir != "" {
 		size := opts.cacheSize << 20

@@ -24,6 +24,9 @@
 //	-budget n             default per-request solver budget; exhausted
 //	                      budgets degrade conservatively, never silence
 //	                      (default 0 = unlimited)
+//	-backend name         default repair backend for requests that name
+//	                      none: "glib" (default), "bsd", or "c11k";
+//	                      unknown names exit 2
 //	-j n                  batch endpoint worker pool (0 = one per CPU)
 //	-drain-timeout d      how long a SIGTERM waits for in-flight
 //	                      requests before forcing exit (default 30s)
@@ -69,6 +72,7 @@ func run() int {
 		timeout         = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 		maxTimeout      = flag.Duration("max-timeout", 2*time.Minute, "upper clamp on requested deadlines")
 		budget          = flag.Int("budget", 0, "default per-request solver budget (0 = unlimited); exhaustion degrades, never silences")
+		backendName     = flag.String("backend", "glib", `default repair backend for requests that name none: "glib", "bsd", or "c11k"`)
 		workers         = flag.Int("j", 0, "batch endpoint worker pool (0 = one worker per CPU; must be >= 0)")
 		drainTimeout    = flag.Duration("drain-timeout", 30*time.Second, "SIGTERM drain deadline for in-flight requests")
 		slowThreshold   = flag.Duration("slow-threshold", 0, "log requests slower than this with a per-stage breakdown (0 = disabled)")
@@ -82,6 +86,11 @@ func run() int {
 	}
 	if *workers < 0 {
 		fmt.Fprintln(os.Stderr, "cfixd: -j must be >= 0 (0 = one worker per CPU)")
+		return 2
+	}
+	defaultBackend, err := cfix.CanonicalBackend(*backendName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cfixd: -backend: %v\n", err)
 		return 2
 	}
 
@@ -106,6 +115,7 @@ func run() int {
 		DefaultTimeout:  *timeout,
 		MaxTimeout:      *maxTimeout,
 		Budget:          *budget,
+		Backend:         defaultBackend,
 		Workers:         *workers,
 		SlowThreshold:   *slowThreshold,
 		Log:             logger,

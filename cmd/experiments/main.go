@@ -17,6 +17,9 @@
 //	                             core.Fix passes over the corpus
 //	experiments -table 3 -stages additionally print the per-stage
 //	                             pipeline time breakdown (traced)
+//	experiments -table 3 -backend bsd
+//	                             run Table III with a different repair
+//	                             dialect (glib, bsd, c11k)
 //	experiments -bench-json f    run the SAMATE pipeline benchmark and
 //	                             write the per-stage report to f
 //	                             (BENCH_pipeline.json in CI; honors -stride)
@@ -29,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/pkg/cfix"
 )
 
 func main() { os.Exit(run()) }
@@ -47,11 +51,18 @@ func run() int {
 		filler   = flag.Int("filler", 2, "filler functions per corpus file (Table IV bulk)")
 		stages   = flag.Bool("stages", false, "with table 3: add the per-stage pipeline time breakdown")
 		benchOut = flag.String("bench-json", "", "run the SAMATE pipeline benchmark and write BENCH_pipeline.json here")
+		dialect  = flag.String("backend", "glib", `repair dialect for the SAMATE runs: "glib", "bsd", or "c11k"`)
 	)
 	flag.Parse()
 
+	be, err := cfix.CanonicalBackend(*dialect)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: -backend: %v\n", err)
+		return 2
+	}
+
 	if *benchOut != "" {
-		return runBenchJSON(*benchOut, *stride)
+		return runBenchJSON(*benchOut, *stride, be)
 	}
 
 	specific := *table != 0 || *figure != 0 || *rq != 0 || *cve || *lint || *ablation
@@ -65,7 +76,7 @@ func run() int {
 	}
 	if want(3) {
 		rows, err := experiments.RunTableIII(experiments.TableIIIOptions{
-			Stride: *stride, CacheWarm: *cacheRun, Stages: *stages})
+			Stride: *stride, CacheWarm: *cacheRun, Stages: *stages, Backend: be})
 		if err != nil {
 			return fail(err)
 		}
@@ -133,8 +144,8 @@ func run() int {
 // runBenchJSON runs the SAMATE pipeline benchmark (the Table III run
 // with per-stage tracing) and writes the machine-readable report CI
 // uploads as BENCH_pipeline.json. The table goes to stdout alongside.
-func runBenchJSON(path string, stride int) int {
-	opts := experiments.TableIIIOptions{Stride: stride, Stages: true}
+func runBenchJSON(path string, stride int, backend string) int {
+	opts := experiments.TableIIIOptions{Stride: stride, Stages: true, Backend: backend}
 	start := time.Now()
 	rows, err := experiments.RunTableIII(opts)
 	if err != nil {

@@ -1,0 +1,177 @@
+package cinterp
+
+import (
+	"repro/internal/cast"
+)
+
+// C11 Annex K (ISO/IEC TR 24731) bounds-checked functions, the repair
+// targets of the c11k backend. Each enforces its runtime constraints
+// before touching memory: on a constraint violation the destination is
+// cleared (dst[0] = '\0', or zero-filled for memcpy_s) when that is
+// itself safe, and a nonzero errno_t is returned — never an
+// out-of-bounds write. The interpreter needs them native so the Tier-1
+// checked-interpreter equivalence suite can execute c11k-repaired
+// programs.
+
+// einval is the errno_t the _s functions return on a runtime-constraint
+// violation (EINVAL on glibc-compatible systems).
+const einval = 22
+
+func registerAnnexKBuiltins(m map[string]builtin) {
+	m["strcpy_s"] = biStrcpyS
+	m["strncpy_s"] = biStrncpyS
+	m["strcat_s"] = biStrcatS
+	m["memcpy_s"] = biMemcpyS
+	m["sprintf_s"] = biSprintfS
+	m["vsprintf_s"] = biSprintfS
+	m["gets_s"] = biGetsS
+}
+
+// clearDst implements the Annex K violation handler for the string
+// functions: when the destination is a valid pointer into a live object
+// with room for at least one byte, store the empty string there.
+func (in *Interp) clearDst(dst Pointer, destsz int64, call *cast.CallExpr) {
+	if dst.IsNull() || dst.Obj.Dead || destsz <= 0 {
+		return
+	}
+	in.writeCBytes(dst, []byte{0}, call.Extent())
+}
+
+func biStrcpyS(in *Interp, args []Value, call *cast.CallExpr) (Value, error) {
+	dst := argPtr(args, 0)
+	destsz := argInt(args, 1)
+	srcp := argPtr(args, 2)
+	if dst.IsNull() || srcp.IsNull() || destsz <= 0 {
+		in.clearDst(dst, destsz, call)
+		return IntV(einval), nil
+	}
+	src := in.readCString(srcp, call.Extent())
+	if int64(len(src)) >= destsz {
+		in.clearDst(dst, destsz, call)
+		return IntV(einval), nil
+	}
+	in.writeCBytes(dst, append([]byte(src), 0), call.Extent())
+	return IntV(0), nil
+}
+
+func biStrncpyS(in *Interp, args []Value, call *cast.CallExpr) (Value, error) {
+	dst := argPtr(args, 0)
+	destsz := argInt(args, 1)
+	srcp := argPtr(args, 2)
+	n := argInt(args, 3)
+	if dst.IsNull() || srcp.IsNull() || destsz <= 0 || n < 0 {
+		in.clearDst(dst, destsz, call)
+		return IntV(einval), nil
+	}
+	src := in.readCString(srcp, call.Extent())
+	if int64(len(src)) > n {
+		src = src[:n]
+	}
+	if int64(len(src)) >= destsz {
+		in.clearDst(dst, destsz, call)
+		return IntV(einval), nil
+	}
+	in.writeCBytes(dst, append([]byte(src), 0), call.Extent())
+	return IntV(0), nil
+}
+
+func biStrcatS(in *Interp, args []Value, call *cast.CallExpr) (Value, error) {
+	dst := argPtr(args, 0)
+	destsz := argInt(args, 1)
+	srcp := argPtr(args, 2)
+	if dst.IsNull() || srcp.IsNull() || destsz <= 0 {
+		in.clearDst(dst, destsz, call)
+		return IntV(einval), nil
+	}
+	cur := in.readCString(dst, call.Extent())
+	src := in.readCString(srcp, call.Extent())
+	// m = destsz - strnlen(dst, destsz): the room left including the
+	// terminator. The source must fit strictly inside it.
+	room := destsz - int64(len(cur))
+	if room <= 0 || int64(len(src)) >= room {
+		in.clearDst(dst, destsz, call)
+		return IntV(einval), nil
+	}
+	p := dst
+	p.Off += int64(len(cur))
+	in.writeCBytes(p, append([]byte(src), 0), call.Extent())
+	return IntV(0), nil
+}
+
+func biMemcpyS(in *Interp, args []Value, call *cast.CallExpr) (Value, error) {
+	dst := argPtr(args, 0)
+	destsz := argInt(args, 1)
+	srcp := argPtr(args, 2)
+	n := argInt(args, 3)
+	if dst.IsNull() || srcp.IsNull() || destsz < 0 || n < 0 || n > destsz {
+		// Annex K zero-fills the destination on violation when it can.
+		if !dst.IsNull() && !dst.Obj.Dead && destsz > 0 {
+			in.writeCBytes(dst, make([]byte, destsz), call.Extent())
+		}
+		return IntV(einval), nil
+	}
+	// Checked read clamped to the source object, as in biMemcpy.
+	var data []byte
+	if !srcp.Obj.Dead && srcp.Off >= 0 {
+		avail := int64(len(srcp.Obj.Data)) - srcp.Off
+		take := n
+		if take > avail {
+			in.violate(srcp.Obj, srcp.Off+avail, false, call.Extent())
+			take = avail
+		}
+		if take > 0 {
+			data = append(data, srcp.Obj.Data[srcp.Off:srcp.Off+take]...)
+		}
+	} else {
+		in.checkAccess(srcp, 1, false, call.Extent())
+	}
+	for int64(len(data)) < n {
+		data = append(data, 0)
+	}
+	in.writeCBytes(dst, data, call.Extent())
+	return IntV(0), nil
+}
+
+func biSprintfS(in *Interp, args []Value, call *cast.CallExpr) (Value, error) {
+	dst := argPtr(args, 0)
+	destsz := argInt(args, 1)
+	fmtp := argPtr(args, 2)
+	if dst.IsNull() || fmtp.IsNull() || destsz <= 0 {
+		in.clearDst(dst, destsz, call)
+		return IntV(-1), nil
+	}
+	fmtStr := in.readCString(fmtp, call.Extent())
+	out := in.formatC(fmtStr, args[3:], call.Extent())
+	// Unlike snprintf, sprintf_s treats an output that does not fit as a
+	// runtime-constraint violation: nothing is kept, and the return is
+	// negative rather than the would-be length.
+	if int64(len(out)) >= destsz {
+		in.clearDst(dst, destsz, call)
+		return IntV(-1), nil
+	}
+	in.writeCBytes(dst, append([]byte(out), 0), call.Extent())
+	return IntV(int64(len(out))), nil
+}
+
+func biGetsS(in *Interp, args []Value, call *cast.CallExpr) (Value, error) {
+	dst := argPtr(args, 0)
+	n := argInt(args, 1)
+	if len(in.stdin) == 0 {
+		return NullV(), nil
+	}
+	// gets_s always consumes the line; unlike fgets it discards the
+	// newline, so the repaired program sees the same string gets gave it.
+	line := in.stdin[0]
+	in.stdin = in.stdin[1:]
+	if dst.IsNull() || n <= 0 {
+		return NullV(), nil
+	}
+	if int64(len(line)) > n-1 {
+		// Too long is a runtime-constraint violation: the handler clears
+		// the destination and gets_s returns NULL.
+		in.clearDst(dst, n, call)
+		return NullV(), nil
+	}
+	in.writeCBytes(dst, append([]byte(line), 0), call.Extent())
+	return args[0], nil
+}

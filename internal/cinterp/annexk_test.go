@@ -1,0 +1,182 @@
+package cinterp
+
+import (
+	"testing"
+)
+
+// The Annex K builtins back the c11k repair dialect: a repaired program
+// must execute without checked-memory violations, with constraint
+// violations surfacing as cleared destinations and nonzero errno_t
+// returns rather than out-of-bounds writes.
+
+func TestStrcpySFitsAndCopies(t *testing.T) {
+	res := run(t, `
+int main(void) {
+    char buf[8];
+    int r = strcpy_s(buf, sizeof(buf), "hello");
+    printf("%d %s\n", r, buf);
+    return 0;
+}
+`, "main")
+	if res.Stdout != "0 hello\n" {
+		t.Fatalf("stdout: %q", res.Stdout)
+	}
+	if res.HasViolations() {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+}
+
+func TestStrcpySTooLongClearsAndErrs(t *testing.T) {
+	res := run(t, `
+int main(void) {
+    char buf[4];
+    buf[0] = 'x';
+    buf[1] = 0;
+    int r = strcpy_s(buf, sizeof(buf), "overflowing");
+    printf("%d %d\n", r, buf[0]);
+    return 0;
+}
+`, "main")
+	if res.Stdout != "22 0\n" {
+		t.Fatalf("stdout: %q, want errno 22 and a cleared destination", res.Stdout)
+	}
+	if res.HasViolations() {
+		t.Fatalf("strcpy_s must prevent the overflow, got %v", res.Violations)
+	}
+}
+
+func TestStrncpySTruncatesByCount(t *testing.T) {
+	res := run(t, `
+int main(void) {
+    char buf[8];
+    int r = strncpy_s(buf, sizeof(buf), "abcdefghij", 3);
+    printf("%d %s\n", r, buf);
+    int bad = strncpy_s(buf, sizeof(buf), "abcdefghij", 9);
+    printf("%d\n", bad);
+    return 0;
+}
+`, "main")
+	if res.Stdout != "0 abc\n22\n" {
+		t.Fatalf("stdout: %q", res.Stdout)
+	}
+	if res.HasViolations() {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+}
+
+func TestStrcatSAppendsWithinRoom(t *testing.T) {
+	res := run(t, `
+int main(void) {
+    char buf[8];
+    strcpy_s(buf, sizeof(buf), "ab");
+    int r = strcat_s(buf, sizeof(buf), "cde");
+    printf("%d %s\n", r, buf);
+    int bad = strcat_s(buf, sizeof(buf), "fgh");
+    printf("%d %d\n", bad, buf[0]);
+    return 0;
+}
+`, "main")
+	// "abcde" leaves room for 2 more + NUL; "fgh" needs 3 → violation
+	// clears the destination.
+	if res.Stdout != "0 abcde\n22 0\n" {
+		t.Fatalf("stdout: %q", res.Stdout)
+	}
+	if res.HasViolations() {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+}
+
+func TestMemcpySBoundsAndZeroFill(t *testing.T) {
+	res := run(t, `
+int main(void) {
+    char dst[4];
+    char src[8];
+    strcpy_s(src, sizeof(src), "abcdefg");
+    int r = memcpy_s(dst, sizeof(dst), src, 4);
+    printf("%d %c%c%c%c\n", r, dst[0], dst[1], dst[2], dst[3]);
+    int bad = memcpy_s(dst, sizeof(dst), src, 8);
+    printf("%d %d\n", bad, dst[0]);
+    return 0;
+}
+`, "main")
+	if res.Stdout != "0 abcd\n22 0\n" {
+		t.Fatalf("stdout: %q", res.Stdout)
+	}
+	if res.HasViolations() {
+		t.Fatalf("memcpy_s must never write out of bounds, got %v", res.Violations)
+	}
+}
+
+func TestSprintfSFitsOrRejects(t *testing.T) {
+	res := run(t, `
+int main(void) {
+    char buf[8];
+    int r = sprintf_s(buf, sizeof(buf), "%s-%d", "ok", 1);
+    printf("%d %s\n", r, buf);
+    int bad = sprintf_s(buf, sizeof(buf), "%s", "waytoolongoutput");
+    printf("%d %d\n", bad, buf[0]);
+    return 0;
+}
+`, "main")
+	if res.Stdout != "4 ok-1\n-1 0\n" {
+		t.Fatalf("stdout: %q", res.Stdout)
+	}
+	if res.HasViolations() {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+}
+
+func TestGetsSBoundedRead(t *testing.T) {
+	res := run(t, `
+int main(void) {
+    char buf[8];
+    if (gets_s(buf, sizeof(buf)) != 0) {
+        printf("[%s]\n", buf);
+    }
+    return 0;
+}
+`, "main", "hi")
+	if res.Stdout != "[hi]\n" {
+		t.Fatalf("stdout: %q (gets_s discards the newline)", res.Stdout)
+	}
+	if res.HasViolations() {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+}
+
+func TestGetsSTooLongReturnsNull(t *testing.T) {
+	res := run(t, `
+int main(void) {
+    char buf[4];
+    buf[0] = 'x';
+    buf[1] = 0;
+    if (gets_s(buf, sizeof(buf)) == 0) {
+        printf("null %d\n", buf[0]);
+    }
+    return 0;
+}
+`, "main", "overlong line")
+	if res.Stdout != "null 0\n" {
+		t.Fatalf("stdout: %q, want NULL return and a cleared destination", res.Stdout)
+	}
+	if res.HasViolations() {
+		t.Fatalf("gets_s must prevent the overflow, got %v", res.Violations)
+	}
+}
+
+func TestVsprintfSAliasesSprintfS(t *testing.T) {
+	// The transformer rewrites vsprintf into vsprintf_s with the same
+	// shape; at interpretation time the va_list argument evaluates like a
+	// plain value, so the alias shares the sprintf_s handler.
+	res := run(t, `
+int main(void) {
+    char buf[16];
+    int r = vsprintf_s(buf, sizeof(buf), "%d", 42);
+    printf("%d %s\n", r, buf);
+    return 0;
+}
+`, "main")
+	if res.Stdout != "2 42\n" {
+		t.Fatalf("stdout: %q", res.Stdout)
+	}
+}

@@ -51,6 +51,7 @@ var _builtins = registerBuiltins()
 func registerBuiltins() map[string]builtin {
 	m := baseBuiltins()
 	registerStrallocBuiltins(m)
+	registerAnnexKBuiltins(m)
 	return m
 }
 

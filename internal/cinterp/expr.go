@@ -552,7 +552,9 @@ func (in *Interp) pointerBinary(op cast.BinaryOp, l, r Value, x *cast.BinaryExpr
 }
 
 // ptrOrd gives a total order for pointer comparisons (object ID then
-// offset); null sorts lowest.
+// offset); null sorts lowest. The ID is offset by one so a pointer to
+// the base of object 0 never collides with null — `p != 0` on a valid
+// pointer must be true.
 func ptrOrd(v Value) int64 {
 	if v.K != VPtr {
 		return v.AsInt()
@@ -560,7 +562,7 @@ func ptrOrd(v Value) int64 {
 	if v.P.IsNull() {
 		return v.P.Off
 	}
-	return int64(v.P.Obj.ID)<<32 + v.P.Off
+	return int64(v.P.Obj.ID+1)<<32 + v.P.Off
 }
 
 func boolV(b bool) Value {

@@ -17,7 +17,10 @@ import (
 // by deletion.
 // v2: the integer-overflow oracle joined the lint report (Options.Checks
 // and Finding.Guard), so v1 lint entries are stale by shape and content.
-const fingerprintVersion = "v2"
+// v3: SLR's repair dialect became pluggable (Options.Backend entered the
+// key and Report gained Backend/SiteResult.SafeName), so v2 fix entries
+// are stale by shape.
+const fingerprintVersion = "v3"
 
 // fingerprint renders every result-affecting option into the cache key.
 // Timeout is deliberately absent: a completed full-fidelity run does not
@@ -28,9 +31,9 @@ const fingerprintVersion = "v2"
 // degraded results are never stored anyway, an in-budget clean run under
 // budget B proves nothing about budget B' < B.
 func (o Options) fingerprint(kind string) string {
-	return fmt.Sprintf("%s|%s|slr=%t|str=%t|at=%d|support=%t|lint=%t|checks=%s|budget=%d|keep=%t",
+	return fmt.Sprintf("%s|%s|slr=%t|str=%t|at=%d|support=%t|lint=%t|checks=%s|backend=%s|budget=%d|keep=%t",
 		fingerprintVersion, kind, o.DisableSLR, o.DisableSTR, o.SelectOffset,
-		o.EmitSupport, o.Lint, canonicalChecks(o.Checks), o.Budget, o.KeepGoing)
+		o.EmitSupport, o.Lint, canonicalChecks(o.Checks), canonicalBackend(o.Backend), o.Budget, o.KeepGoing)
 }
 
 // cacheKey derives the content-addressed key for one request: the

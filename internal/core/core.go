@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/backend"
 	"repro/internal/cache"
 	"repro/internal/ctoken"
 	"repro/internal/fault"
@@ -25,7 +26,6 @@ import (
 	"repro/internal/overflow"
 	"repro/internal/slr"
 	"repro/internal/str"
-	"repro/internal/stralloc"
 )
 
 // Options selects which transformations run and how.
@@ -39,8 +39,15 @@ type Options struct {
 	// II-A2). Negative means batch mode.
 	SelectOffset int
 	// EmitSupport prepends the stralloc header/implementation and the
-	// glib prototypes the transformed file needs to build standalone.
+	// selected backend's prototypes the transformed file needs to build
+	// standalone.
 	EmitSupport bool
+	// Backend names the safe-function dialect SLR rewrites to: "glib"
+	// (the paper's default), "bsd" (strlcpy/strlcat), or "c11k" (C11
+	// Annex K *_s). Empty means glib; unknown names are an error. Like
+	// Checks, the value is canonicalized before entering the cache
+	// fingerprint, so "" and "glib" share cache entries.
+	Backend string
 	// Lint runs the static overflow oracle on the input before
 	// transforming and attaches its verdicts to the SLR/STR candidate
 	// reports (SiteResult.Risk / VarResult.Risk), so the summary can rank
@@ -93,6 +100,9 @@ type Options struct {
 type Report struct {
 	// Source is the transformed text.
 	Source string
+	// Backend is the canonical name of the repair dialect SLR targeted
+	// ("glib" when Options.Backend was empty).
+	Backend string
 	// SLR per-site outcomes (nil when SLR was disabled).
 	SLR *slr.FileResult
 	// STR per-variable outcomes (nil when STR was disabled).
@@ -141,8 +151,15 @@ func (r *Report) Summary() string {
 		}
 		for _, s := range sites {
 			if s.Applied {
+				safe := s.SafeName
+				if safe == "" {
+					// Reports decoded from a pre-backend cache entry or wire
+					// payload lack the per-site name; fall back to the default
+					// dialect's mapping.
+					safe = slr.SafeNameFor(s.Function)
+				}
 				fmt.Fprintf(&sb, "  %s: %s -> %s (size: %s)%s\n",
-					s.Pos, s.Function, slr.SafeNameFor(s.Function), s.Size.CText(), risk(s.Risk))
+					s.Pos, s.Function, safe, s.Size.CText(), risk(s.Risk))
 			} else {
 				fmt.Fprintf(&sb, "  %s: %s not transformed: %v%s\n", s.Pos, s.Function, s.Failure, risk(s.Risk))
 			}
@@ -218,6 +235,23 @@ func canonicalChecks(s string) string {
 	default:
 		return "buf"
 	}
+}
+
+// canonicalBackend renders Options.Backend in canonical form for the
+// cache fingerprint, so "" and "glib" (and whitespace variants) share
+// cache entries. Invalid names never reach the cache — Fix and Analyze
+// fail first — so the raw string is kept to keep the key distinct.
+func canonicalBackend(s string) string {
+	name, err := backend.Canonical(s)
+	if err != nil {
+		return s
+	}
+	return name
+}
+
+// Backends lists the valid Options.Backend names in registry order.
+func Backends() []string {
+	return backend.Names()
 }
 
 // lintFindings runs the selected oracles over one snapshot and merges
@@ -309,6 +343,11 @@ func analyzeReport(ctx context.Context, filename, source string, opts Options) (
 	if err != nil {
 		return nil, err
 	}
+	// Lint does not rewrite, but an invalid backend selection is still a
+	// caller error — catch it here rather than only on the Fix path.
+	if _, err := backend.Canonical(opts.Backend); err != nil {
+		return nil, err
+	}
 	ctx, cancel := fileCtx(ctx, opts)
 	defer cancel()
 	sp := opts.Tracer.Start(ctx, obs.StageLint, filename)
@@ -372,6 +411,10 @@ func fix(ctx context.Context, filename, source string, opts Options) (rep *Repor
 	if err != nil {
 		return nil, err
 	}
+	be, err := backend.Get(opts.Backend)
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := fileCtx(ctx, opts)
 	defer cancel()
 
@@ -381,7 +424,7 @@ func fix(ctx context.Context, filename, source string, opts Options) (rep *Repor
 	fileSpan := opts.Tracer.Start(ctx, obs.StageFix, filename)
 	defer fileSpan.End()
 
-	rep = &Report{Source: source}
+	rep = &Report{Source: source, Backend: be.Name()}
 	conf := analysis.Config{Limits: opts.limits(ctx), Tracer: opts.Tracer}
 
 	snap, err := analysis.ParseCtx(ctx, filename, source, conf)
@@ -408,7 +451,7 @@ func fix(ctx context.Context, filename, source string, opts Options) (rep *Repor
 		slrErr := stage(func() error {
 			sp := opts.Tracer.Start(ctx, obs.StageSLR, filename)
 			defer sp.End()
-			tr := slr.NewTransformerSnap(snap)
+			tr := slr.NewTransformerSnapBackend(snap, be)
 			var res *slr.FileResult
 			var err error
 			if opts.SelectOffset >= 0 {
@@ -491,12 +534,8 @@ func fix(ctx context.Context, filename, source string, opts Options) (rep *Repor
 	rw := opts.Tracer.Start(ctx, obs.StageRewrite, filename)
 	if opts.EmitSupport {
 		var support strings.Builder
-		if rep.NeedsStralloc {
-			support.WriteString(stralloc.FullSource())
-			support.WriteString("\n")
-		}
-		if rep.NeedsGlib {
-			support.WriteString(slr.GlibPrototypes())
+		for _, u := range backend.SupportUnits(rep.NeedsStralloc, rep.NeedsGlib, be) {
+			support.WriteString(u.Source)
 			support.WriteString("\n")
 		}
 		if support.Len() > 0 {

@@ -29,6 +29,10 @@ type BenchReport struct {
 	// Stride and Workers echo the run's sampling and parallelism.
 	Stride  int `json:"stride"`
 	Workers int `json:"workers"`
+	// Backend is the canonical repair dialect the run applied; numbers
+	// from different dialects are not comparable (different call shapes
+	// rewrite to different amounts of text).
+	Backend string `json:"backend"`
 	// Programs counts processed SAMATE programs; WallUs is the whole
 	// run's wall clock in microseconds.
 	Programs int   `json:"programs"`
@@ -86,6 +90,9 @@ func BuildBenchReport(rows []CWEResult, opts TableIIIOptions, wall time.Duration
 		Stride:    opts.Stride,
 		Workers:   opts.Workers,
 		WallUs:    us(wall),
+	}
+	if len(rows) > 0 {
+		rep.Backend = rows[0].Backend
 	}
 	for _, st := range totalStages(rows) {
 		rep.Stages = append(rep.Stages, BenchStage{

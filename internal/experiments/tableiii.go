@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/backend"
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/harness"
@@ -26,6 +27,10 @@ import (
 type CWEResult struct {
 	CWE  int
 	Name string
+	// Backend is the canonical repair dialect the run applied (the same
+	// for every row of one run); FormatTableIII prints it so archived
+	// tables from different dialects stay distinguishable.
+	Backend string
 	// Programs actually processed (equals Table III's count at stride 1).
 	Programs int
 	// SLRApplied / STRApplied count programs where the transformation
@@ -91,6 +96,9 @@ type TableIIIOptions struct {
 	// times stay exact even with parallel workers). No-op in a
 	// cfix_notrace build.
 	Stages bool
+	// Backend names the repair dialect SLR rewrites into ("" = glib).
+	// Unknown names fail the run up front rather than mid-corpus.
+	Backend string
 }
 
 // RunTableIII generates the Juliet-style corpus, applies SLR and STR to
@@ -98,6 +106,10 @@ type TableIIIOptions struct {
 func RunTableIII(opts TableIIIOptions) ([]CWEResult, error) {
 	if opts.Stride < 1 {
 		opts.Stride = 1
+	}
+	dialect, err := backend.Canonical(opts.Backend)
+	if err != nil {
+		return nil, err
 	}
 
 	ppOverhead := strings.Count(stralloc.FullSource(), "\n") + 1
@@ -116,7 +128,7 @@ func RunTableIII(opts TableIIIOptions) ([]CWEResult, error) {
 	var rows []CWEResult
 	for _, cwe := range samate.CWEs {
 		progs := samate.Generate(cwe, samate.TableIIICounts[cwe])
-		row := CWEResult{CWE: cwe, Name: samate.CWENames[cwe]}
+		row := CWEResult{CWE: cwe, Name: samate.CWENames[cwe], Backend: dialect}
 
 		type verdictOrErr struct {
 			v     *harness.Verdict
@@ -136,7 +148,7 @@ func RunTableIII(opts TableIIIOptions) ([]CWEResult, error) {
 			}
 			start := time.Now()
 			v, err := harness.Verify(p.ID, p.Source, p.ID+"_good", p.ID+"_bad",
-				harness.Options{Stdin: stdinFor(p), Tracer: tr})
+				harness.Options{Stdin: stdinFor(p), Backend: dialect, Tracer: tr})
 			out := verdictOrErr{v: v, err: err, loc: p.LOC(), wall: time.Since(start)}
 			if tr != nil {
 				out.stats = tr.StageStats()
@@ -176,7 +188,7 @@ func RunTableIII(opts TableIIIOptions) ([]CWEResult, error) {
 			}
 		}
 		if opts.CacheWarm {
-			measureCacheWarm(&row, picked, warmCache, opts.Workers)
+			measureCacheWarm(&row, picked, warmCache, dialect, opts.Workers)
 		}
 		row.ParseTime, row.AnalyzeTime, row.SLRTime, row.STRTime = groupStages(row.Stages)
 		rows = append(rows, row)
@@ -189,8 +201,8 @@ func RunTableIII(opts TableIIIOptions) ([]CWEResult, error) {
 // solves and populates the cache, the warm pass replays the identical
 // requests. The warm pass only starts after the cold pass has finished,
 // so every full-fidelity result is already stored.
-func measureCacheWarm(row *CWEResult, progs []samate.Program, c *cache.Cache, workers int) {
-	fixOpts := core.Options{Cache: c}
+func measureCacheWarm(row *CWEResult, progs []samate.Program, c *cache.Cache, dialect string, workers int) {
+	fixOpts := core.Options{Cache: c, Backend: dialect}
 	type sample struct {
 		wall time.Duration
 		hit  bool
@@ -248,6 +260,9 @@ func stdinFor(p samate.Program) []string {
 func FormatTableIII(rows []CWEResult) string {
 	var sb strings.Builder
 	sb.WriteString("Table III: CWEs Describing Buffer Overflows (synthetic Juliet corpus)\n")
+	if len(rows) > 0 && rows[0].Backend != "" {
+		sb.WriteString(fmt.Sprintf("Repair dialect: %s\n", rows[0].Backend))
+	}
 	sb.WriteString(fmt.Sprintf("%-42s %8s %8s %8s %9s %10s %8s %8s %9s %9s %8s\n",
 		"CWE", "SLR", "STR", "Programs", "KLOC", "PP KLOC", "VulnDet", "Fixed", "Preserved", "Wall", "Degraded"))
 	var tot CWEResult

@@ -57,6 +57,10 @@ type Options struct {
 	// SkipSLR / SkipSTR disable one transformation (for ablations).
 	SkipSLR bool
 	SkipSTR bool
+	// Backend names the repair dialect SLR rewrites into ("" = glib).
+	// The checked interpreter models every registered dialect's safe
+	// functions, so verification runs the same protocol regardless.
+	Backend string
 	// Tracer, when non-nil, records the transformation pipeline's stage
 	// spans (the experiment harness feeds them into Table III's
 	// per-stage breakdown). The verification executions are not traced;
@@ -114,6 +118,7 @@ func Transform(id, source string, opts Options, v *Verdict) (string, error) {
 		DisableSLR:   opts.SkipSLR,
 		DisableSTR:   opts.SkipSTR,
 		SelectOffset: -1,
+		Backend:      opts.Backend,
 		Tracer:       opts.Tracer,
 	})
 	if err != nil {

@@ -58,6 +58,32 @@ type metrics struct {
 	// monotonic under concurrent scrapes, drains and panics.
 	stageMu sync.RWMutex
 	stages  map[string]*stageHist
+
+	// backends counts transforming requests (fix, batch-fix) per repair
+	// dialect, keyed by the canonical backend name. Same locking shape
+	// as stages: the map only grows by registered-backend names, the
+	// counters are atomics.
+	backendMu sync.RWMutex
+	backends  map[string]*atomic.Int64
+}
+
+// observeBackend counts one transforming request against its dialect.
+func (m *metrics) observeBackend(name string) {
+	m.backendMu.RLock()
+	c := m.backends[name]
+	m.backendMu.RUnlock()
+	if c == nil {
+		m.backendMu.Lock()
+		if m.backends == nil {
+			m.backends = make(map[string]*atomic.Int64)
+		}
+		if c = m.backends[name]; c == nil {
+			c = new(atomic.Int64)
+			m.backends[name] = c
+		}
+		m.backendMu.Unlock()
+	}
+	c.Add(1)
 }
 
 // stageHist is one per-stage latency histogram plus its summed time and
@@ -159,6 +185,10 @@ type Snapshot struct {
 	// latencies (bucket label -> count), plus the summed milliseconds.
 	LatencyBuckets map[string]int64 `json:"latency_buckets"`
 	LatencyTotalMs int64            `json:"latency_total_ms"`
+	// BackendRequests counts transforming requests per repair dialect
+	// (canonical backend name -> count); empty until the first fix
+	// request.
+	BackendRequests map[string]int64 `json:"backend_requests,omitempty"`
 	// Stages maps each pipeline stage name (parse, typecheck, slr, ...)
 	// to its own latency histogram, aggregated from the stage spans of
 	// every served request. Empty until the first analysis request, and
@@ -201,6 +231,14 @@ func (m *metrics) snapshot(cache *cfix.ResultCache) Snapshot {
 		s.LatencyBuckets[label] = m.latency[i].Load()
 	}
 	s.LatencyTotalMs = m.latencyTotal.Load() / int64(time.Millisecond)
+	m.backendMu.RLock()
+	if len(m.backends) > 0 {
+		s.BackendRequests = make(map[string]int64, len(m.backends))
+		for name, c := range m.backends {
+			s.BackendRequests[name] = c.Load()
+		}
+	}
+	m.backendMu.RUnlock()
 	m.stageMu.RLock()
 	if len(m.stages) > 0 {
 		s.Stages = make(map[string]StageSnapshot, len(m.stages))

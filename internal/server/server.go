@@ -62,6 +62,11 @@ type Config struct {
 	// does not set one; 0 means unlimited (the deadline still bounds
 	// wall clock).
 	Budget int
+	// Backend is the repair dialect applied when a request names none
+	// ("glib", "bsd", or "c11k"; empty means glib). Requests may still
+	// select any registered backend explicitly; unknown names in either
+	// place answer 400.
+	Backend string
 	// Workers bounds the batch endpoint's worker pool; <= 0 means one
 	// per CPU.
 	Workers int
@@ -180,7 +185,8 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
 }
 
 // effectiveOptions applies the server's deadline clamp, default budget,
-// and cache to the request's options.
+// default backend, and cache to the request's options. Call
+// resolveBackend first: by this point the backend name is known valid.
 func (s *Server) effectiveOptions(ro cfix.RequestOptions) cfix.Options {
 	opts := ro.ToOptions()
 	switch {
@@ -192,8 +198,29 @@ func (s *Server) effectiveOptions(ro cfix.RequestOptions) cfix.Options {
 	if opts.Budget == 0 {
 		opts.Budget = s.conf.Budget
 	}
+	if opts.Backend == "" {
+		opts.Backend = s.conf.Backend
+	}
 	opts.Cache = s.conf.Cache
 	return opts
+}
+
+// resolveBackend validates the request's backend selection against the
+// registry, falling back to the server default for an empty name. An
+// unknown name is the client's mistake: answer 400 before any parsing
+// or solving happens, naming the valid set. The canonical name feeds
+// the per-backend request counter.
+func (s *Server) resolveBackend(w http.ResponseWriter, requested string) (string, bool) {
+	name := requested
+	if name == "" {
+		name = s.conf.Backend
+	}
+	canon, err := cfix.CanonicalBackend(name)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return "", false
+	}
+	return canon, true
 }
 
 // requestFilename defaults the diagnostic filename.
@@ -226,7 +253,13 @@ func (s *Server) handleFix(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	filename = requestFilename(req.Filename)
+	be, ok := s.resolveBackend(w, req.Options.Backend)
+	if !ok {
+		return
+	}
+	s.m.observeBackend(be)
 	opts := s.effectiveOptions(req.Options)
+	opts.Backend = be
 	opts.Tracer = tr
 	rep, err := cfix.FixContext(r.Context(), filename, req.Source, opts)
 	if err != nil {
@@ -262,7 +295,14 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	filename = requestFilename(req.Filename)
+	// Lint never rewrites, but an unknown backend is still the client's
+	// mistake — reject it the same way the fix path does.
+	be, ok := s.resolveBackend(w, req.Options.Backend)
+	if !ok {
+		return
+	}
 	opts := s.effectiveOptions(req.Options)
+	opts.Backend = be
 	opts.Tracer = tr
 	rep, err := cfix.AnalyzeReport(r.Context(), filename, req.Source, opts)
 	if err != nil {
@@ -298,12 +338,20 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	label = fmt.Sprintf("%d files", len(req.Files))
+	be, ok := s.resolveBackend(w, req.Options.Backend)
+	if !ok {
+		return
+	}
+	if !req.Lint {
+		s.m.observeBackend(be)
+	}
 	s.m.batchFiles.Add(int64(len(req.Files)))
 	inputs := make([]cfix.FileInput, len(req.Files))
 	for i, f := range req.Files {
 		inputs[i] = cfix.FileInput{Filename: requestFilename(f.Filename), Source: f.Source}
 	}
 	opts := s.effectiveOptions(req.Options)
+	opts.Backend = be
 	opts.Tracer = tr
 	resp := cfix.BatchResponse{Results: make([]cfix.BatchResult, len(inputs))}
 	if req.Lint {

@@ -1,8 +1,14 @@
 // Package slr implements the SAFE LIBRARY REPLACEMENT transformation
 // (Sections II-A and III-B): unsafe C library calls are replaced with safe,
 // size-bounded alternatives, with the destination-buffer size computed by
-// Algorithm 1 (internal/buflen).
+// Algorithm 1 (internal/buflen). The safe-function dialect the rewrite
+// targets is a pluggable internal/backend.Backend; the default is the
+// paper's glib dialect.
 package slr
+
+import (
+	"repro/internal/backend"
+)
 
 // Alternative describes one safe replacement option for an unsafe
 // function, as catalogued in Table I of the paper.
@@ -21,9 +27,11 @@ type CatalogEntry struct {
 
 // TableI is the unsafe-function catalogue of the paper (Table I): the
 // unsafe functions and the safer alternatives proposed by researchers and
-// standards bodies. The transformation itself uses the glib-style
-// alternatives (see _replacements) because they are syntactically closest
-// to the originals, keeping per-instance changes minimal (Section II-A3).
+// standards bodies. The default transformation uses the glib-style
+// alternatives (backend.Glib) because they are syntactically closest
+// to the originals, keeping per-instance changes minimal (Section II-A3);
+// the BSD strlcpy column is backend.BSD and the ISO/IEC TR 24731 column
+// is backend.C11K.
 var TableI = []CatalogEntry{
 	{
 		Unsafe:      "strcpy",
@@ -96,60 +104,26 @@ var TableI = []CatalogEntry{
 	},
 }
 
-// replaceKind selects the replacement mechanism (Section III-B splits the
-// six functions into three mechanisms).
-type replaceKind int
-
-const (
-	// kindRename: rename the call and append/insert the size parameter
-	// (strcpy, strcat, sprintf, vsprintf).
-	kindRename replaceKind = iota + 1
-	// kindGets: replace gets with fgets + newline stripping.
-	kindGets
-	// kindMemcpy: clamp the existing length parameter.
-	kindMemcpy
-)
-
-// replacement is the operational rule SLR applies for one unsafe function.
-type replacement struct {
-	unsafe string
-	safe   string
-	kind   replaceKind
-	// sizeAfterArg is the 0-based argument index after which the size
-	// parameter is inserted (strcpy appends after arg 1; sprintf inserts
-	// after arg 0).
-	sizeAfterArg int
-}
-
-// _replacements maps the six unsafe functions SLR handles (Section III-B)
-// to their operational rules.
-var _replacements = map[string]replacement{
-	"strcpy":   {unsafe: "strcpy", safe: "g_strlcpy", kind: kindRename, sizeAfterArg: 1},
-	"strcat":   {unsafe: "strcat", safe: "g_strlcat", kind: kindRename, sizeAfterArg: 1},
-	"sprintf":  {unsafe: "sprintf", safe: "g_snprintf", kind: kindRename, sizeAfterArg: 0},
-	"vsprintf": {unsafe: "vsprintf", safe: "g_vsnprintf", kind: kindRename, sizeAfterArg: 0},
-	"memcpy":   {unsafe: "memcpy", safe: "memcpy", kind: kindMemcpy},
-	"gets":     {unsafe: "gets", safe: "fgets", kind: kindGets},
-}
-
 // UnsafeFunctions returns the names of the unsafe functions SLR replaces,
-// in a stable order.
+// in a stable order. The set is dialect-independent; every backend
+// replaces the same six functions.
 func UnsafeFunctions() []string {
-	return []string{"strcpy", "strcat", "sprintf", "vsprintf", "memcpy", "gets"}
+	return backend.Default().UnsafeFunctions()
 }
 
 // IsUnsafe reports whether SLR targets the named function.
 func IsUnsafe(name string) bool {
-	_, ok := _replacements[name]
+	_, ok := backend.Default().Lookup(name)
 	return ok
 }
 
-// SafeNameFor returns the replacement name for an unsafe function ("" when
-// not targeted).
+// SafeNameFor returns the default (glib) dialect's replacement name for
+// an unsafe function ("" when not targeted). Per-site replacement names
+// under a non-default backend are on SiteResult.SafeName.
 func SafeNameFor(name string) string {
-	r, ok := _replacements[name]
+	r, ok := backend.Default().Lookup(name)
 	if !ok {
 		return ""
 	}
-	return r.safe
+	return r.Safe
 }

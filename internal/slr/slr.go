@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/backend"
 	"repro/internal/buflen"
 	"repro/internal/cast"
 	"repro/internal/ctoken"
@@ -19,6 +20,10 @@ import (
 type SiteResult struct {
 	// Function is the unsafe function at the site.
 	Function string
+	// SafeName is the replacement callee the active backend targets for
+	// this site (recorded even when the site was not transformed, so
+	// summaries can say what would have been emitted).
+	SafeName string
 	// Pos locates the call in the source.
 	Pos ctoken.Position
 	// Extent is the source range of the call expression.
@@ -41,9 +46,12 @@ type FileResult struct {
 	NewSource string
 	// Sites lists every candidate call site in source order.
 	Sites []SiteResult
-	// NeedsGlib reports that the output calls glib functions, so the
-	// build needs -lglib-2.0 (the paper edits the Makefile; we surface the
-	// requirement to the caller).
+	// NeedsGlib reports that the output calls safe functions outside the
+	// hosted C standard library, so the build needs the backend's
+	// library — -lglib-2.0 for the default glib dialect, -lbsd for BSD
+	// strlcpy, a TR 24731-1 implementation for c11k (the paper edits the
+	// Makefile; we surface the requirement to the caller). The field
+	// name predates pluggable backends and is kept for compatibility.
 	NeedsGlib bool
 }
 
@@ -105,37 +113,56 @@ func (r *FileResult) RankedSites() []SiteResult {
 type Transformer struct {
 	unit     *cast.TranslationUnit
 	analyzer *buflen.Analyzer
+	// be is the safe-function dialect the rewrite targets.
+	be backend.Backend
 	// usedNames tracks identifiers in the unit so generated temporaries
 	// are fresh.
 	usedNames map[string]struct{}
 }
 
-// NewTransformer prepares a transformer for the unit. The unit is
-// type-checked here if callers have not done so already (repeated checking
-// is harmless).
+// NewTransformer prepares a transformer for the unit with the default
+// (glib) backend. The unit is type-checked here if callers have not done
+// so already (repeated checking is harmless).
 func NewTransformer(unit *cast.TranslationUnit) *Transformer {
 	return NewTransformerOpts(unit, pointsto.Options{})
+}
+
+// NewTransformerBackend is NewTransformer targeting an explicit repair
+// backend.
+func NewTransformerBackend(unit *cast.TranslationUnit, be backend.Backend) *Transformer {
+	typecheck.Check(unit)
+	return newTransformer(unit, buflen.NewAnalyzerOpts(unit, pointsto.Options{}), be)
 }
 
 // NewTransformerOpts prepares a transformer with an explicit points-to
 // configuration; the precision ablation passes FieldSensitive.
 func NewTransformerOpts(unit *cast.TranslationUnit, ptOpts pointsto.Options) *Transformer {
 	typecheck.Check(unit)
-	return newTransformer(unit, buflen.NewAnalyzerOpts(unit, ptOpts))
+	return newTransformer(unit, buflen.NewAnalyzerOpts(unit, ptOpts), nil)
 }
 
 // NewTransformerSnap prepares a transformer on a shared analysis-facts
 // snapshot: type analysis, points-to, alias sets, CFGs and reaching
 // definitions are reused rather than re-derived from the bare unit.
 func NewTransformerSnap(s *analysis.Snapshot) *Transformer {
-	s.Typecheck()
-	return newTransformer(s.Unit(), s.BufLenAnalyzer())
+	return NewTransformerSnapBackend(s, nil)
 }
 
-func newTransformer(unit *cast.TranslationUnit, analyzer *buflen.Analyzer) *Transformer {
+// NewTransformerSnapBackend is NewTransformerSnap targeting an explicit
+// repair backend; nil selects the default (glib).
+func NewTransformerSnapBackend(s *analysis.Snapshot, be backend.Backend) *Transformer {
+	s.Typecheck()
+	return newTransformer(s.Unit(), s.BufLenAnalyzer(), be)
+}
+
+func newTransformer(unit *cast.TranslationUnit, analyzer *buflen.Analyzer, be backend.Backend) *Transformer {
+	if be == nil {
+		be = backend.Default()
+	}
 	t := &Transformer{
 		unit:      unit,
 		analyzer:  analyzer,
+		be:        be,
 		usedNames: make(map[string]struct{}),
 	}
 	for _, s := range unit.Symbols {
@@ -147,11 +174,14 @@ func newTransformer(unit *cast.TranslationUnit, analyzer *buflen.Analyzer) *Tran
 // Analyzer exposes the underlying buffer-length analyzer.
 func (t *Transformer) Analyzer() *buflen.Analyzer { return t.analyzer }
 
+// Backend exposes the dialect the transformer targets.
+func (t *Transformer) Backend() backend.Backend { return t.be }
+
 // candidate is one unsafe call found in the unit.
 type candidate struct {
 	fn   *cast.FuncDef
 	call *cast.CallExpr
-	rule replacement
+	rule backend.Replacement
 	// stmt is the smallest statement enclosing the call (for gets/memcpy
 	// which insert neighbouring statements).
 	stmt cast.Stmt
@@ -173,7 +203,7 @@ func (t *Transformer) findCandidates() []candidate {
 				if !ok {
 					return true
 				}
-				rule, ok := _replacements[call.Callee()]
+				rule, ok := t.be.Lookup(call.Callee())
 				if !ok {
 					return true
 				}
@@ -264,6 +294,7 @@ func (t *Transformer) apply(filter func(candidate) bool) (*FileResult, error) {
 		}
 		site := SiteResult{
 			Function: c.call.Callee(),
+			SafeName: c.rule.Safe,
 			Pos:      t.unit.File.Position(c.call.Extent().Pos),
 			Extent:   c.call.Extent(),
 		}
@@ -273,7 +304,7 @@ func (t *Transformer) apply(filter func(candidate) bool) (*FileResult, error) {
 		} else {
 			site.Applied = true
 			site.Size = size
-			if c.rule.kind == kindRename {
+			if c.rule.NeedsLib {
 				res.NeedsGlib = true
 			}
 		}
@@ -289,20 +320,23 @@ func (t *Transformer) apply(filter func(candidate) bool) (*FileResult, error) {
 
 // applyOne attempts one site, queueing edits on success.
 func (t *Transformer) applyOne(c candidate, edits *rewrite.Set) (buflen.Size, *buflen.Failure) {
-	if len(c.call.Args) == 0 {
-		return buflen.Size{}, &buflen.Failure{Reason: buflen.FailUnsupportedForm, Detail: "no arguments"}
+	if len(c.call.Args) < c.rule.MinArgs {
+		return buflen.Size{}, &buflen.Failure{
+			Reason: buflen.FailUnsupportedForm,
+			Detail: fmt.Sprintf("%s with fewer than %d arguments", c.rule.Unsafe, c.rule.MinArgs),
+		}
 	}
 	dest := c.call.Args[0]
 	size, fail := t.analyzer.BufferLength(c.fn, dest)
 	if fail != nil {
 		return buflen.Size{}, fail
 	}
-	switch c.rule.kind {
-	case kindRename:
+	switch c.rule.Kind {
+	case backend.KindRename:
 		t.editRename(c, size, edits)
-	case kindGets:
+	case backend.KindGets:
 		t.editGets(c, size, edits)
-	case kindMemcpy:
+	case backend.KindClamp:
 		if f := t.editMemcpy(c, size, edits); f != nil {
 			return buflen.Size{}, f
 		}
@@ -310,25 +344,36 @@ func (t *Transformer) applyOne(c candidate, edits *rewrite.Set) (buflen.Size, *b
 	return size, nil
 }
 
-// editRename renames the callee and inserts the size parameter:
-// strcpy(dst, src) -> g_strlcpy(dst, src, sizeof(buf)).
+// editRename renames the callee and inserts the size parameter where the
+// dialect wants it: strcpy(dst, src) -> g_strlcpy(dst, src, sizeof(buf))
+// under glib/bsd (size appended after the source), but
+// strcpy_s(dst, sizeof(buf), src) under c11k (size before the source).
 func (t *Transformer) editRename(c candidate, size buflen.Size, edits *rewrite.Set) {
 	fun := cast.Unparen(c.call.Fun)
-	edits.Replace(fun.Extent(), c.rule.safe, "rename "+c.rule.unsafe+" to "+c.rule.safe)
-	insertAfter := c.call.Args[c.rule.sizeAfterArg]
+	edits.Replace(fun.Extent(), c.rule.Safe, "rename "+c.rule.Unsafe+" to "+c.rule.Safe)
+	insertAfter := c.call.Args[c.rule.SizeAfterArg]
 	edits.InsertAfter(insertAfter.Extent(), ", "+size.CText(), "insert size parameter")
 }
 
-// editGets rewrites gets(dst) to fgets(dst, size, stdin) and appends the
-// newline-stripping sequence after the enclosing statement (Section
-// III-B2: fgets keeps the terminating newline that gets discards).
+// editGets rewrites gets(dst) to the dialect's bounded line reader —
+// fgets(dst, size, stdin) for glib/bsd, gets_s(dst, size) for c11k —
+// and, when the reader keeps the terminating newline gets discards
+// (fgets; Section III-B2), appends the newline-stripping sequence after
+// the enclosing statement.
 func (t *Transformer) editGets(c candidate, size buflen.Size, edits *rewrite.Set) {
 	fun := cast.Unparen(c.call.Fun)
-	edits.Replace(fun.Extent(), "fgets", "replace gets with fgets")
-	dest := c.call.Args[0]
-	edits.InsertAfter(dest.Extent(), ", "+size.CText()+", stdin", "fgets size and stream")
+	edits.Replace(fun.Extent(), c.rule.Safe, "replace gets with "+c.rule.Safe)
+	dest := c.call.Args[c.rule.SizeAfterArg]
+	ins := ", " + size.CText()
+	for _, extra := range c.rule.ExtraArgs {
+		ins += ", " + extra
+	}
+	edits.InsertAfter(dest.Extent(), ins, "bounded reader arguments")
+	if !c.rule.StripNewline {
+		return
+	}
 
-	destText := t.text(dest)
+	destText := t.text(c.call.Args[0])
 	checkVar := t.freshName("check")
 	indent := t.indentOf(c.stmt.Extent())
 	fix := fmt.Sprintf("\n%schar *%s = strchr(%s, '\\n');\n%sif (%s) { *%s = '\\0'; }",
@@ -473,15 +518,9 @@ func (t *Transformer) freshName(base string) string {
 }
 
 // GlibPrototypes returns the declarations a transformed file needs when
-// glib headers are unavailable; cmd/cfix can prepend them.
+// glib headers are unavailable; cmd/cfix can prepend them. Kept as a
+// convenience alias for the default backend's prototypes — other
+// dialects' declarations come from backend.Get(name).Prototypes().
 func GlibPrototypes() string {
-	var sb strings.Builder
-	sb.WriteString("/* Prototypes for glib-style safe string functions (link with -lglib-2.0\n")
-	sb.WriteString("   or provide the bundled implementations). */\n")
-	sb.WriteString("unsigned long g_strlcpy(char *dst, const char *src, unsigned long dst_size);\n")
-	sb.WriteString("unsigned long g_strlcat(char *dst, const char *src, unsigned long dst_size);\n")
-	sb.WriteString("int g_snprintf(char *string, unsigned long n, const char *format, ...);\n")
-	sb.WriteString("int g_vsnprintf(char *string, unsigned long n, const char *format, void *args);\n")
-	sb.WriteString("unsigned long malloc_usable_size(void *ptr);\n")
-	return sb.String()
+	return backend.Glib.Prototypes()
 }

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/cinterp"
 	"repro/internal/core"
 	"repro/internal/cparse"
@@ -65,6 +66,12 @@ type Options struct {
 	// CWE-190/191/680 with suggested precondition guards), "all", or a
 	// comma list. Empty means "buf", the historical behavior.
 	Checks string
+	// Backend names the safe-function dialect SLR rewrites to: "glib"
+	// (g_strlcpy and friends, the paper's default), "bsd"
+	// (strlcpy/strlcat), or "c11k" (C11 Annex K strcpy_s and friends,
+	// with the destination size before the source). Empty means glib;
+	// unknown names fail the request. See Backends.
+	Backend string
 	// Timeout bounds the processing of one file; 0 means none. On expiry
 	// the in-flight analysis is interrupted at its next iteration
 	// boundary and the file fails with context.DeadlineExceeded.
@@ -109,6 +116,7 @@ func coreOptions(opts Options) core.Options {
 		EmitSupport:  opts.EmitSupport,
 		Lint:         opts.Lint,
 		Checks:       opts.Checks,
+		Backend:      opts.Backend,
 		Timeout:      opts.Timeout,
 		Budget:       opts.Budget,
 		KeepGoing:    opts.KeepGoing,
@@ -274,7 +282,36 @@ func Verify(filename, source, goodEntry, badEntry string, stdin []string) (*Verd
 
 // SupportSource returns the C support code transformed programs may need:
 // the stralloc header and implementation plus prototypes for the
-// glib-style safe functions.
+// glib-style safe functions (the default backend).
 func SupportSource() string {
 	return stralloc.FullSource() + "\n" + slr.GlibPrototypes()
+}
+
+// SupportSourceFor is SupportSource for a named repair backend: the
+// stralloc runtime plus that dialect's safe-function prototypes.
+func SupportSourceFor(name string) (string, error) {
+	be, err := backend.Get(name)
+	if err != nil {
+		return "", err
+	}
+	return stralloc.FullSource() + "\n" + be.Prototypes(), nil
+}
+
+// Backends lists the valid Options.Backend names in registry order:
+// glib, bsd, c11k.
+func Backends() []string { return backend.Names() }
+
+// CanonicalBackend validates a backend name and returns its canonical
+// form ("" canonicalizes to "glib"). The error names the valid set —
+// CLIs surface it verbatim at flag-parse time.
+func CanonicalBackend(name string) (string, error) { return backend.Canonical(name) }
+
+// BackendDescription returns a one-line description of a named backend
+// (for -h output and docs); unknown names return an error.
+func BackendDescription(name string) (string, error) {
+	be, err := backend.Get(name)
+	if err != nil {
+		return "", err
+	}
+	return be.Description(), nil
 }

@@ -30,6 +30,11 @@ type RequestOptions struct {
 	// Checks selects which lint oracles run: "buf", "int", "all", or a
 	// comma list. Empty means "buf".
 	Checks string `json:"checks,omitempty"`
+	// Backend names the safe-function dialect SLR rewrites to: "glib",
+	// "bsd", or "c11k". Empty selects the server's configured default
+	// (glib unless cfixd ran with -backend); unknown names fail the
+	// request with 400.
+	Backend string `json:"backend,omitempty"`
 	// TimeoutMs bounds the request's processing in milliseconds. The
 	// server clamps it to its configured maximum and applies its default
 	// when absent.
@@ -53,6 +58,7 @@ func (o RequestOptions) ToOptions() Options {
 		EmitSupport: o.EmitSupport,
 		Lint:        o.Lint,
 		Checks:      o.Checks,
+		Backend:     o.Backend,
 		Timeout:     time.Duration(o.TimeoutMs) * time.Millisecond,
 		Budget:      o.Budget,
 		KeepGoing:   o.KeepGoing,
@@ -89,8 +95,12 @@ type FixResponse struct {
 	SLRCandidates int `json:"slr_candidates"`
 	STRApplied    int `json:"str_applied"`
 	STRCandidates int `json:"str_candidates"`
+	// Backend is the canonical name of the repair dialect the fix
+	// targeted ("glib" for the default).
+	Backend string `json:"backend,omitempty"`
 	// NeedsGlib / NeedsStralloc describe link-time requirements when
-	// support code was not emitted inline.
+	// support code was not emitted inline (NeedsGlib means "needs the
+	// backend's library"; the field name predates pluggable backends).
 	NeedsGlib     bool `json:"needs_glib,omitempty"`
 	NeedsStralloc bool `json:"needs_stralloc,omitempty"`
 	// Findings holds the static overflow oracle's verdicts (set when
@@ -111,6 +121,7 @@ func NewFixResponse(filename string, rep *Report) FixResponse {
 		Source:        rep.Source,
 		Changed:       rep.Changed(),
 		Summary:       rep.Summary(),
+		Backend:       rep.Backend,
 		NeedsGlib:     rep.NeedsGlib,
 		NeedsStralloc: rep.NeedsStralloc,
 		Findings:      NewFindingsJSON(rep.Findings),
