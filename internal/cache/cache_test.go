@@ -289,6 +289,130 @@ func TestDiskCorruptionRejected(t *testing.T) {
 	}
 }
 
+// TestDiskCorruptionConcurrentReaders is the fleet-shaped version of
+// the corruption test: many readers race onto one corrupted shard file
+// at once (a warm-restart thundering herd over a bad disk block). Every
+// reader must get the freshly recomputed, byte-exact payload — never
+// the corrupt or partial disk bytes — the bad file must be deleted and
+// replaced with a valid one, and the whole dance must be race-clean.
+func TestDiskCorruptionConcurrentReaders(t *testing.T) {
+	dir := t.TempDir()
+	writer, err := New(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("herd-victim")
+	good := []byte(`{"result":"the one true payload","n":12345}`)
+	writer.Put(key, good)
+
+	// Corrupt the persisted payload in place: valid header, bad bytes.
+	path := writer.diskPath(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-4] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A cold cache (empty memory tier) sends every reader to disk.
+	c, err := New(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const readers = 32
+	var computations atomic.Int64
+	vals := make([][]byte, readers)
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			val, _, err := c.Do(key, func() ([]byte, bool, error) {
+				computations.Add(1)
+				return append([]byte(nil), good...), true, nil
+			})
+			if err != nil {
+				t.Errorf("reader %d: %v", g, err)
+				return
+			}
+			vals[g] = val
+		}(g)
+	}
+	wg.Wait()
+
+	for g, val := range vals {
+		if !bytes.Equal(val, good) {
+			t.Fatalf("reader %d got %q, want the recomputed payload %q", g, val, good)
+		}
+	}
+	st := c.Stats()
+	if st.DiskRejects == 0 {
+		t.Fatalf("the corrupted shard was never rejected: %+v", st)
+	}
+	if computations.Load() == 0 {
+		t.Fatal("no reader recomputed; someone served the corrupt entry")
+	}
+
+	// The recompute must have replaced the bad file with a valid one:
+	// a third cold cache reads it back clean, without a reject.
+	reread, err := New(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val, ok := reread.Get(key)
+	if !ok || !bytes.Equal(val, good) {
+		t.Fatalf("disk entry not repaired: ok=%v val=%q", ok, val)
+	}
+	if st := reread.Stats(); st.DiskRejects != 0 || st.DiskHits != 1 {
+		t.Fatalf("repaired entry should load cleanly from disk: %+v", st)
+	}
+}
+
+// TestDiskCorruptionConcurrentGets races plain Gets (no computation to
+// fall back on) over a corrupted shard: every one must miss — a
+// checksum failure is a miss, never a short or corrupt payload.
+func TestDiskCorruptionConcurrentGets(t *testing.T) {
+	dir := t.TempDir()
+	writer, err := New(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("get-victim")
+	writer.Put(key, []byte("payload payload payload"))
+	path := writer.diskPath(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := New(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if val, ok := c.Get(key); ok {
+				t.Errorf("reader %d: truncated entry served: %q", g, val)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("truncated entry not deleted (err=%v)", err)
+	}
+	if st := c.Stats(); st.DiskRejects == 0 {
+		t.Errorf("no reject counted: %+v", st)
+	}
+}
+
 func TestDiskLayoutSharded(t *testing.T) {
 	dir := t.TempDir()
 	c, err := New(1<<20, dir)

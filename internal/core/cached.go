@@ -46,6 +46,14 @@ func cacheKey(kind, filename, source string, opts Options) string {
 	return cache.Key(source, opts.fingerprint(kind), filename)
 }
 
+// CacheKey exposes the content-addressed request key (cacheKey) to the
+// routing tier: the fleet router consistent-hashes requests by exactly
+// the fingerprint the result cache stores them under, so all identical
+// requests land on (and warm) the same shard. kind is "fix" or "lint".
+func CacheKey(kind, filename, source string, opts Options) string {
+	return cacheKey(kind, filename, source, opts)
+}
+
 // FixCached is Fix through the content-addressed result cache: a
 // repeated identical request is answered without parsing or solving
 // anything, and concurrent identical requests collapse into a single

@@ -1,0 +1,171 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// chaosBackend is a deterministic upstream: it echoes a fixed payload
+// and counts arrivals.
+func chaosBackend(t *testing.T) (*httptest.Server, *int, *sync.Mutex) {
+	t.Helper()
+	var mu sync.Mutex
+	hits := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		hits++
+		mu.Unlock()
+		if isProbe(r) {
+			w.WriteHeader(http.StatusOK)
+			io.WriteString(w, `{"status":"ready"}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"result":"the full, untruncated payload with enough bytes to halve"}`)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits, &mu
+}
+
+func startProxy(t *testing.T, target string, rules ...ChaosRule) *ChaosProxy {
+	t.Helper()
+	p := NewChaosProxy(target, rules...)
+	if err := p.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("starting chaos proxy: %v", err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func get(t *testing.T, url string) (status int, body string, err error) {
+	t.Helper()
+	c := &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, string(b), err
+	}
+	return resp.StatusCode, string(b), nil
+}
+
+// TestChaosPassthrough: with no matching rule the proxy is transparent.
+func TestChaosPassthrough(t *testing.T) {
+	ts, _, _ := chaosBackend(t)
+	p := startProxy(t, ts.URL)
+	status, body, err := get(t, p.URL()+"/v1/fix")
+	if err != nil || status != http.StatusOK || !strings.Contains(body, "untruncated") {
+		t.Fatalf("passthrough broken: status=%d body=%q err=%v", status, body, err)
+	}
+	if p.Injected() != 0 {
+		t.Errorf("no fault should have fired, got %d", p.Injected())
+	}
+}
+
+// TestChaosError: requests in the rule window answer 500 without
+// reaching the backend; outside it they pass through.
+func TestChaosError(t *testing.T) {
+	ts, hits, mu := chaosBackend(t)
+	p := startProxy(t, ts.URL, ChaosRule{From: 2, To: 3, Action: ChaosError})
+	wantStatuses := []int{200, 500, 500, 200}
+	for i, want := range wantStatuses {
+		status, _, err := get(t, p.URL()+"/v1/fix")
+		if err != nil || status != want {
+			t.Fatalf("request %d: want %d, got %d (%v)", i+1, want, status, err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if *hits != 2 {
+		t.Errorf("backend should see only the 2 passthrough requests, saw %d", *hits)
+	}
+	if p.Injected() != 2 {
+		t.Errorf("want 2 injected faults, got %d", p.Injected())
+	}
+}
+
+// TestChaosLatency: a matched request is delayed by the rule's latency.
+func TestChaosLatency(t *testing.T) {
+	ts, _, _ := chaosBackend(t)
+	p := startProxy(t, ts.URL, ChaosRule{From: 1, To: 1, Action: ChaosLatency, Latency: 200 * time.Millisecond})
+	start := time.Now()
+	if status, _, err := get(t, p.URL()+"/v1/fix"); err != nil || status != 200 {
+		t.Fatalf("latency-injected request should still succeed: %d %v", status, err)
+	}
+	if elapsed := time.Since(start); elapsed < 200*time.Millisecond {
+		t.Errorf("latency not injected: took %s", elapsed)
+	}
+}
+
+// TestChaosDropAndTruncate: both faults must surface as transport
+// errors, never as plausible short responses.
+func TestChaosDropAndTruncate(t *testing.T) {
+	ts, _, _ := chaosBackend(t)
+	p := startProxy(t, ts.URL,
+		ChaosRule{From: 1, To: 1, Action: ChaosDrop},
+		ChaosRule{From: 2, To: 2, Action: ChaosTruncate})
+
+	if _, _, err := get(t, p.URL()+"/v1/fix"); err == nil {
+		t.Fatal("dropped connection must error, got a response")
+	}
+	_, body, err := get(t, p.URL()+"/v1/fix")
+	if err == nil {
+		t.Fatalf("truncated response must error, got complete body %q", body)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) && !strings.Contains(err.Error(), "EOF") &&
+		!strings.Contains(err.Error(), "reset") {
+		t.Logf("truncation surfaced as: %v (acceptable as long as it errors)", err)
+	}
+}
+
+// TestChaosKillByRequestCount: the Nth request takes the whole backend
+// down; subsequent connections are refused like a dead process.
+func TestChaosKillByRequestCount(t *testing.T) {
+	ts, _, _ := chaosBackend(t)
+	p := startProxy(t, ts.URL, ChaosRule{From: 3, Action: ChaosKill})
+	for i := 0; i < 2; i++ {
+		if status, _, err := get(t, p.URL()+"/v1/fix"); err != nil || status != 200 {
+			t.Fatalf("request %d before the kill should succeed: %d %v", i+1, status, err)
+		}
+	}
+	if _, _, err := get(t, p.URL()+"/v1/fix"); err == nil {
+		t.Fatal("the killing request must not get a response")
+	}
+	if !p.Killed() {
+		t.Fatal("proxy should report itself killed")
+	}
+	// A fresh TCP connection must now be refused outright.
+	if conn, err := net.DialTimeout("tcp", p.Addr(), time.Second); err == nil {
+		conn.Close()
+		t.Fatal("a killed backend must refuse connections")
+	}
+}
+
+// TestChaosProbesSpared: health probes pass through untouched unless a
+// rule opts in, so a chaos script on the serving path cannot blind the
+// router's prober by accident.
+func TestChaosProbesSpared(t *testing.T) {
+	ts, _, _ := chaosBackend(t)
+	p := startProxy(t, ts.URL, ChaosRule{From: 1, Action: ChaosError})
+	if status, _, err := get(t, p.URL()+"/readyz"); err != nil || status != 200 {
+		t.Fatalf("probe should be spared: %d %v", status, err)
+	}
+	if status, _, _ := get(t, p.URL()+"/v1/fix"); status != 500 {
+		t.Fatalf("serving request should be faulted, got %d", status)
+	}
+
+	p2 := startProxy(t, ts.URL, ChaosRule{From: 1, Action: ChaosError, IncludeProbes: true})
+	if status, _, err := get(t, p2.URL()+"/readyz"); err == nil && status == 200 {
+		t.Fatal("IncludeProbes rule should fault the probe")
+	}
+}

@@ -1,0 +1,160 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state machine.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half_open"
+	}
+	return "unknown"
+}
+
+// Breaker is a per-backend circuit breaker: after Threshold consecutive
+// failures it opens and sheds every request for a cooldown, then lets
+// exactly one probe request through (half-open). The probe's success
+// closes the circuit; its failure reopens it with a doubled cooldown,
+// up to MaxCooldown. A success at any point resets the failure count
+// and the cooldown ladder.
+//
+// The breaker complements health ejection: ejection reacts to failed
+// *probes* (the backend is unreachable or draining), the breaker reacts
+// to failed *requests* (the backend answers probes but serves garbage —
+// chaos-injected 500s, torn bodies). Either alone leaves a gap.
+type Breaker struct {
+	mu sync.Mutex
+
+	threshold   int
+	cooldown    time.Duration
+	maxCooldown time.Duration
+
+	state       breakerState
+	consecFails int
+	openedAt    time.Time
+	curCooldown time.Duration
+	opens       int64 // cumulative open transitions (metrics)
+
+	// now is stubbed in tests.
+	now func() time.Time
+}
+
+// NewBreaker builds a breaker opening after threshold consecutive
+// failures (<= 0 means 5) with the given base cooldown (<= 0 means 1s),
+// doubling per consecutive open up to maxCooldown (<= 0 means 30s).
+func NewBreaker(threshold int, cooldown, maxCooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	if maxCooldown <= 0 {
+		maxCooldown = 30 * time.Second
+	}
+	return &Breaker{
+		threshold:   threshold,
+		cooldown:    cooldown,
+		maxCooldown: maxCooldown,
+		curCooldown: cooldown,
+		now:         time.Now,
+	}
+}
+
+// Allow reports whether a request may proceed. In the open state it
+// returns false until the cooldown expires, then transitions to
+// half-open and admits exactly one probe request; further Allows answer
+// false until that probe reports Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) >= b.curCooldown {
+			b.state = breakerHalfOpen
+			return true // the single half-open probe
+		}
+		return false
+	case breakerHalfOpen:
+		return false // a probe is already in flight
+	}
+	return false
+}
+
+// Success records a served request: the circuit closes and the failure
+// count and cooldown ladder reset.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.consecFails = 0
+	b.curCooldown = b.cooldown
+}
+
+// Failure records a failed request. In half-open it reopens immediately
+// with a doubled cooldown; in closed it opens once the consecutive
+// failure count reaches the threshold.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.curCooldown = min(2*b.curCooldown, b.maxCooldown)
+		b.open()
+	case breakerClosed:
+		b.consecFails++
+		if b.consecFails >= b.threshold {
+			b.open()
+		}
+	case breakerOpen:
+		// A straggler from before the open; nothing to update.
+	}
+}
+
+// open transitions to the open state. Callers hold b.mu.
+func (b *Breaker) open() {
+	b.state = breakerOpen
+	b.openedAt = b.now()
+	b.opens++
+}
+
+// Reset force-closes the circuit (health reinstatement gives a backend
+// a clean slate).
+func (b *Breaker) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.consecFails = 0
+	b.curCooldown = b.cooldown
+}
+
+// State names the current state for /metrics.
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String()
+}
+
+// Opens reports cumulative open transitions.
+func (b *Breaker) Opens() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

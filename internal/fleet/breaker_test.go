@@ -1,0 +1,98 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestBreaker(threshold int, cooldown, maxCooldown time.Duration) (*Breaker, *fakeClock) {
+	b := NewBreaker(threshold, cooldown, maxCooldown)
+	c := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = c.now
+	return b, c
+}
+
+// TestBreakerOpensAtThreshold: consecutive failures open the circuit;
+// a success along the way resets the count.
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3, time.Second, 30*time.Second)
+	b.Failure()
+	b.Failure()
+	b.Success() // resets
+	b.Failure()
+	b.Failure()
+	if !b.Allow() {
+		t.Fatal("2 consecutive failures out of 3 must not open the breaker")
+	}
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("3rd consecutive failure must open the breaker")
+	}
+	if b.State() != "open" {
+		t.Fatalf("want open, got %s", b.State())
+	}
+	if b.Opens() != 1 {
+		t.Fatalf("want 1 open transition, got %d", b.Opens())
+	}
+}
+
+// TestBreakerHalfOpenProbe: after the cooldown exactly one probe is
+// admitted; its success closes, its failure reopens with doubled
+// cooldown capped at the max.
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clock := newTestBreaker(1, time.Second, 3*time.Second)
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("breaker should be open")
+	}
+	clock.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown expired: one probe must be admitted")
+	}
+	if b.Allow() {
+		t.Fatal("only one half-open probe may be in flight")
+	}
+	b.Failure() // probe failed: reopen, cooldown doubles to 2s
+	clock.advance(time.Second)
+	if b.Allow() {
+		t.Fatal("doubled cooldown must not admit after 1s")
+	}
+	clock.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("doubled cooldown expired: probe must be admitted")
+	}
+	b.Failure() // doubles to 4s, capped at 3s
+	clock.advance(3 * time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown is capped at maxCooldown")
+	}
+	b.Success()
+	if b.State() != "closed" {
+		t.Fatalf("probe success must close the circuit, got %s", b.State())
+	}
+	// The ladder reset: one failure (threshold 1) reopens with the base
+	// cooldown again.
+	b.Failure()
+	clock.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown ladder should have reset after success")
+	}
+}
+
+// TestBreakerReset force-closes.
+func TestBreakerReset(t *testing.T) {
+	b, _ := newTestBreaker(1, time.Hour, time.Hour)
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("should be open")
+	}
+	b.Reset()
+	if !b.Allow() {
+		t.Fatal("Reset must close the circuit")
+	}
+}

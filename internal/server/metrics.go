@@ -8,24 +8,10 @@ import (
 	"repro/pkg/cfix"
 )
 
-// latencyBounds are the upper bounds of the latency histogram buckets,
-// chosen to straddle the pipeline's dynamic range: a cache hit lands in
-// the first bucket, a small-file solve in the middle, a pathological
-// interprocedural solve at the top.
-var latencyBounds = [...]time.Duration{
-	time.Millisecond,
-	10 * time.Millisecond,
-	100 * time.Millisecond,
-	time.Second,
-	10 * time.Second,
-}
-
-// latencyLabels name the buckets in /metrics output, one per bound plus
-// the overflow bucket.
-var latencyLabels = [...]string{"le_1ms", "le_10ms", "le_100ms", "le_1s", "le_10s", "gt_10s"}
-
 // metrics holds the daemon's expvar-style counters. Everything is an
 // atomic so the hot path never takes a lock; /metrics reads a snapshot.
+// Admission counts (in-flight, rejected) live on the server's Gate; the
+// request latency histogram is the shared LatencyHist.
 type metrics struct {
 	start time.Time
 
@@ -34,21 +20,18 @@ type metrics struct {
 	batchRequests  atomic.Int64
 	batchFiles     atomic.Int64
 	healthRequests atomic.Int64
+	readyRequests  atomic.Int64
 
 	// intFindings counts integer-overflow oracle findings
 	// (CWE-190/191/680) across all served lint and fix responses.
 	intFindings atomic.Int64
 
-	rejected     atomic.Int64 // 429s from admission control
 	clientErrors atomic.Int64 // 4xx other than 429
 	serverErrors atomic.Int64 // 5xx
 	panics       atomic.Int64 // recovered panics (contained crashes)
 	degraded     atomic.Int64 // responses carrying a degradation note
 
-	inFlight atomic.Int64
-
-	latency      [len(latencyBounds) + 1]atomic.Int64
-	latencyTotal atomic.Int64 // summed nanoseconds across observed requests
+	latency LatencyHist
 
 	// stages holds one latency histogram per pipeline stage name, fed
 	// from each request's stage spans. The map is guarded by stageMu
@@ -139,16 +122,6 @@ func (m *metrics) observeFindings(fs []cfix.Finding) {
 	}
 }
 
-// observe records one served request's latency into the histogram.
-func (m *metrics) observe(d time.Duration) {
-	i := 0
-	for i < len(latencyBounds) && d > latencyBounds[i] {
-		i++
-	}
-	m.latency[i].Add(1)
-	m.latencyTotal.Add(int64(d))
-}
-
 // Snapshot is the JSON shape of GET /metrics: every counter the daemon
 // exports, read atomically. Field order is the document order.
 type Snapshot struct {
@@ -160,7 +133,12 @@ type Snapshot struct {
 		Lint    int64 `json:"lint"`
 		Batch   int64 `json:"batch"`
 		Healthz int64 `json:"healthz"`
+		Readyz  int64 `json:"readyz"`
 	} `json:"requests"`
+	// Draining reports that graceful shutdown has begun: /readyz is
+	// answering 503 and the listener will close once in-flight requests
+	// finish (or the drain deadline forces it).
+	Draining   bool  `json:"draining,omitempty"`
 	BatchFiles int64 `json:"batch_files"`
 	// Rejected429 counts requests turned away by admission control.
 	Rejected429  int64 `json:"rejected_429"`
@@ -207,30 +185,29 @@ type StageSnapshot struct {
 }
 
 // snapshot reads every counter.
-func (m *metrics) snapshot(cache *cfix.ResultCache) Snapshot {
+func (m *metrics) snapshot(cache *cfix.ResultCache, gate *Gate, draining bool) Snapshot {
 	var s Snapshot
 	s.UptimeSeconds = time.Since(m.start).Seconds()
 	s.Requests.Fix = m.fixRequests.Load()
 	s.Requests.Lint = m.lintRequests.Load()
 	s.Requests.Batch = m.batchRequests.Load()
 	s.Requests.Healthz = m.healthRequests.Load()
+	s.Requests.Readyz = m.readyRequests.Load()
+	s.Draining = draining
 	s.BatchFiles = m.batchFiles.Load()
-	s.Rejected429 = m.rejected.Load()
+	s.Rejected429 = gate.Rejected()
 	s.ClientErrors = m.clientErrors.Load()
 	s.ServerErrors = m.serverErrors.Load()
 	s.PanicsRecovered = m.panics.Load()
 	s.DegradedResponses = m.degraded.Load()
 	s.IntflowFindings = m.intFindings.Load()
-	s.InFlight = m.inFlight.Load()
+	s.InFlight = gate.InFlight()
 	if cache != nil {
 		st := cache.Stats()
 		s.Cache = &st
 	}
-	s.LatencyBuckets = make(map[string]int64, len(latencyLabels))
-	for i, label := range latencyLabels {
-		s.LatencyBuckets[label] = m.latency[i].Load()
-	}
-	s.LatencyTotalMs = m.latencyTotal.Load() / int64(time.Millisecond)
+	s.LatencyBuckets = m.latency.Buckets()
+	s.LatencyTotalMs = m.latency.TotalMs()
 	m.backendMu.RLock()
 	if len(m.backends) > 0 {
 		s.BackendRequests = make(map[string]int64, len(m.backends))

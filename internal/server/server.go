@@ -34,6 +34,7 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fault"
@@ -99,12 +100,13 @@ func (c Config) withDefaults() Config {
 }
 
 // Server is the cfixd request handler. Create with New, mount with
-// Handler, drain with http.Server.Shutdown.
+// Handler, drain with BeginDrain + http.Server.Shutdown.
 type Server struct {
-	conf Config
-	sem  chan struct{}
-	m    metrics
-	mux  *http.ServeMux
+	conf     Config
+	gate     *Gate
+	m        metrics
+	mux      *http.ServeMux
+	draining atomic.Bool
 }
 
 // New builds a server from the configuration.
@@ -112,7 +114,7 @@ func New(conf Config) *Server {
 	conf = conf.withDefaults()
 	s := &Server{
 		conf: conf,
-		sem:  make(chan struct{}, conf.MaxInFlight),
+		gate: NewGate(conf.MaxInFlight),
 		m:    metrics{start: time.Now()},
 		mux:  http.NewServeMux(),
 	}
@@ -120,9 +122,19 @@ func New(conf Config) *Server {
 	s.mux.HandleFunc("POST /v1/lint", s.handleLint)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
+
+// BeginDrain flips /readyz to 503 so routing tiers eject this backend
+// before its listener closes. Call it when graceful shutdown starts,
+// then (optionally after a propagation grace) http.Server.Shutdown.
+// Liveness (/healthz) and in-flight work are unaffected; idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Handler returns the mounted API wrapped in the last-resort panic
 // containment: a crash that somehow escapes the per-file fault boundary
@@ -143,26 +155,19 @@ func (s *Server) Handler() http.Handler {
 
 // Metrics returns a snapshot of the daemon's counters (the /metrics
 // payload), for embedding and tests.
-func (s *Server) Metrics() Snapshot { return s.m.snapshot(s.conf.Cache) }
+func (s *Server) Metrics() Snapshot { return s.m.snapshot(s.conf.Cache, s.gate, s.draining.Load()) }
 
 // admit applies admission control: it claims one in-flight slot or
 // answers 429 + Retry-After. The returned release must be deferred by
 // the caller when ok.
 func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
-	select {
-	case s.sem <- struct{}{}:
-		s.m.inFlight.Add(1)
-		return func() {
-			<-s.sem
-			s.m.inFlight.Add(-1)
-		}, true
-	default:
-		s.m.rejected.Add(1)
+	release, ok = s.gate.Acquire()
+	if !ok {
 		w.Header().Set("Retry-After", "1")
 		s.writeError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("over capacity: %d requests in flight", s.conf.MaxInFlight))
-		return nil, false
 	}
+	return release, ok
 }
 
 // decode reads one JSON request body under the size cap. On failure it
@@ -389,7 +394,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // handlers' deferred paths, so stage spans land in /metrics even when
 // the request panicked or failed midway.
 func (s *Server) observeRequest(endpoint, label string, tr *cfix.Tracer, elapsed time.Duration) {
-	s.m.observe(elapsed)
+	s.m.latency.Observe(elapsed)
 	for _, sp := range tr.Spans() {
 		s.m.observeStage(sp.Name, sp.Dur, sp.Degraded())
 	}
@@ -440,6 +445,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.m.start).Seconds(),
 	})
+}
+
+// handleReadyz is the routing tier's probe target: distinct from
+// liveness, it answers 503 as soon as drain begins so a router ejects a
+// draining backend before its listener closes — no request races the
+// shutdown. A 503 here is not an error (the process is healthy, just
+// leaving the pool), so it is not counted against serverErrors.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.m.readyRequests.Add(1)
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

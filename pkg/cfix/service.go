@@ -2,6 +2,8 @@ package cfix
 
 import (
 	"time"
+
+	"repro/internal/core"
 )
 
 // This file defines the wire types of the cfixd HTTP/JSON API
@@ -67,6 +69,16 @@ func (o RequestOptions) ToOptions() Options {
 		opts.SelectOffset = *o.SelectOffset
 	}
 	return opts
+}
+
+// RequestKey derives the content-addressed fingerprint of one service
+// request — the same key the result cache stores its outcome under
+// (sha256 over source text, options fingerprint, diagnostic filename).
+// kind is "fix" or "lint". The fleet router consistent-hashes by this
+// key, so identical requests always land on the shard whose cache
+// already holds (or is computing) their result.
+func RequestKey(kind, filename, source string, o RequestOptions) string {
+	return core.CacheKey(kind, filename, source, coreOptions(o.ToOptions()))
 }
 
 // FixRequest asks the service to transform one preprocessed C
