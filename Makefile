@@ -10,7 +10,7 @@ BENCH_STRIDE ?= 20
 
 TMP := $(shell mktemp -d 2>/dev/null || echo /tmp)
 
-.PHONY: all build test race vet check staticgate bench bench-json bench-guard pipeline-guard trace-smoke clean
+.PHONY: all build test race vet check staticgate bench bench-json bench-guard pipeline-guard incremental-bench incremental-guard trace-smoke clean
 
 all: build test
 
@@ -70,6 +70,18 @@ bench-guard:
 pipeline-guard:
 	$(GO) run ./cmd/benchguard -pipeline BENCH_pipeline.json -stage intflow -max-share-pct 2 -require
 
+# Incremental latency report: warm per-edit re-analysis percentiles
+# measured through the real cfixlsp JSON-RPC loop
+# (BENCH_incremental.json; uploaded as a CI artifact).
+incremental-bench:
+	$(GO) run ./cmd/cfixlsp -bench 200 -bench-funcs 24 -bench-out BENCH_incremental.json
+	cat BENCH_incremental.json
+
+# Incremental latency gate: the warm re-analysis median (one didChange
+# to publishDiagnostics round trip) must stay under 10ms.
+incremental-guard:
+	$(GO) run ./cmd/benchguard -incremental BENCH_incremental.json -max-warm-p50-ms 10
+
 # Trace smoke: harden a generated SAMATE sample with -trace/-stage-stats
 # and validate the Chrome trace with the CI checker.
 trace-smoke:
@@ -81,4 +93,4 @@ trace-smoke:
 	$(TMP)/tracecheck -min-stages 10 -min-events 100 $(TMP)/trace.json
 
 clean:
-	rm -f BENCH_pipeline.json
+	rm -f BENCH_pipeline.json BENCH_incremental.json

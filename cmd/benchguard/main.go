@@ -9,6 +9,7 @@
 //
 //	benchguard [-max-pct p] [-stat min|median] candidate.txt baseline.txt
 //	benchguard -pipeline BENCH_pipeline.json -stage intflow [-max-share-pct p] [-require]
+//	benchguard -incremental BENCH_incremental.json [-max-warm-p50-ms p]
 //
 // Each file is standard `go test -bench` output; with -count=N every
 // benchmark contributes N samples. Samples are reduced with -stat (min
@@ -26,6 +27,11 @@
 // 0%; the budget trips only if the default pipeline starts paying for
 // it. An absent stage is 0% (pass) unless -require demands that the
 // report carries at least a supplementary measurement of it.
+//
+// The third form gates a BENCH_incremental.json report (cfixlsp
+// -bench): the median end-to-end latency of a warm incremental
+// re-analysis — one didChange to publishDiagnostics round trip through
+// the LSP loop — may not exceed -max-warm-p50-ms milliseconds.
 package main
 
 import (
@@ -48,7 +54,16 @@ func run() int {
 	stage := flag.String("stage", "intflow", "with -pipeline: the stage to budget")
 	maxShare := flag.Float64("max-share-pct", 2.0, "with -pipeline: maximum allowed share of pipeline self time, in percent")
 	require := flag.Bool("require", false, "with -pipeline: fail when the report carries no measurement of the stage at all")
+	incremental := flag.String("incremental", "", "BENCH_incremental.json report: gate the warm re-analysis median")
+	maxWarmP50 := flag.Float64("max-warm-p50-ms", 10.0, "with -incremental: maximum allowed warm p50, in milliseconds")
 	flag.Parse()
+	if *incremental != "" {
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "usage: benchguard -incremental BENCH_incremental.json [-max-warm-p50-ms p]")
+			return 2
+		}
+		return runIncremental(*incremental, *maxWarmP50)
+	}
 	if *pipeline != "" {
 		if flag.NArg() != 0 {
 			fmt.Fprintln(os.Stderr, "usage: benchguard -pipeline BENCH_pipeline.json -stage name [-max-share-pct p] [-require]")
@@ -168,6 +183,41 @@ func runPipeline(path, stage string, maxShare float64, require bool) int {
 		return 1
 	}
 	fmt.Printf("stage %-12s pipeline share %5.2f%% (<= %.1f%%) ok%s\n", stage, share, maxShare, note)
+	return 0
+}
+
+// incrementalReport is the slice of BENCH_incremental.json this gate
+// reads (cmd/cfixlsp benchReport; decoding ignores the rest).
+type incrementalReport struct {
+	Funcs     int     `json:"funcs"`
+	Edits     int     `json:"edits"`
+	WarmP50Ms float64 `json:"warm_p50_ms"`
+	WarmP99Ms float64 `json:"warm_p99_ms"`
+}
+
+// runIncremental gates the warm re-analysis median of a
+// BENCH_incremental.json report.
+func runIncremental(path string, maxP50 float64) int {
+	f, err := os.Open(path)
+	if err != nil {
+		return fail("%v", err)
+	}
+	defer f.Close()
+	var rep incrementalReport
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return fail("%s: %v", path, err)
+	}
+	if rep.Edits == 0 || rep.WarmP50Ms <= 0 {
+		return fail("%s: no warm edit samples in report", path)
+	}
+	if rep.WarmP50Ms > maxP50 {
+		fmt.Printf("incremental warm p50 %.2f ms over %d edits / %d funcs  FAIL (> %.1f ms; p99 %.2f ms)\n",
+			rep.WarmP50Ms, rep.Edits, rep.Funcs, maxP50, rep.WarmP99Ms)
+		fmt.Fprintln(os.Stderr, "benchguard: warm incremental re-analysis exceeds its latency budget")
+		return 1
+	}
+	fmt.Printf("incremental warm p50 %.2f ms over %d edits / %d funcs (<= %.1f ms) ok  (p99 %.2f ms)\n",
+		rep.WarmP50Ms, rep.Edits, rep.Funcs, maxP50, rep.WarmP99Ms)
 	return 0
 }
 

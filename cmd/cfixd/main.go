@@ -105,6 +105,7 @@ func run() int {
 		budget          = flag.Int("budget", 0, "default per-request solver budget (0 = unlimited); exhaustion degrades, never silences")
 		backendName     = flag.String("backend", "glib", `default repair backend for requests that name none: "glib", "bsd", or "c11k"`)
 		workers         = flag.Int("j", 0, "batch endpoint worker pool (0 = one worker per CPU; must be >= 0)")
+		maxSessions     = flag.Int("max-sessions", 0, "open incremental-session cap for /v1/session/* (0 = 64); excess opens answer 429")
 		drainGrace      = flag.Duration("drain-grace", 0, "after SIGTERM, keep serving while failing /readyz for this long so routers eject first")
 		drainTimeout    = flag.Duration("drain-timeout", 30*time.Second, "SIGTERM drain deadline; expired drains force connections closed")
 		slowThreshold   = flag.Duration("slow-threshold", 0, "log requests slower than this with a per-stage breakdown (0 = disabled)")
@@ -187,6 +188,7 @@ func run() int {
 		Budget:          *budget,
 		Backend:         defaultBackend,
 		Workers:         *workers,
+		MaxSessions:     *maxSessions,
 		SlowThreshold:   *slowThreshold,
 		Log:             logger,
 	})

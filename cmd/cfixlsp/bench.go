@@ -1,0 +1,225 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// benchReport is the BENCH_incremental.json schema: end-to-end latency
+// of warm incremental re-analysis measured through the real LSP loop
+// (framed JSON-RPC over a pipe, didChange in, publishDiagnostics out).
+// benchguard -incremental gates WarmP50Ms.
+type benchReport struct {
+	Funcs       int     `json:"funcs"`
+	Edits       int     `json:"edits"`
+	ColdOpenMs  float64 `json:"cold_open_ms"`
+	WarmP50Ms   float64 `json:"warm_p50_ms"`
+	WarmP99Ms   float64 `json:"warm_p99_ms"`
+	WarmMaxMs   float64 `json:"warm_max_ms"`
+	Reanalyzed  int64   `json:"funcs_reanalyzed"`
+	Reused      int64   `json:"funcs_reused"`
+	GoVersion   string  `json:"go_version,omitempty"`
+	DurationSec float64 `json:"duration_sec"`
+}
+
+// benchProgram builds a C file with n independent overflowing
+// functions, so a one-function edit leaves n-1 memoized.
+func benchProgram(n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "void fn%d(void) {\n    char buf%d[8];\n    strcpy(buf%d, \"0123456789\");\n}\n\n", i, i, i)
+	}
+	return sb.String()
+}
+
+// benchClient speaks framed JSON-RPC to an in-process server.
+type benchClient struct {
+	out *writer
+	in  *bufio.Reader
+}
+
+func (c *benchClient) request(id int, method string, params any) {
+	if err := c.out.write(struct {
+		JSONRPC string `json:"jsonrpc"`
+		ID      int    `json:"id"`
+		Method  string `json:"method"`
+		Params  any    `json:"params"`
+	}{"2.0", id, method, params}); err != nil {
+		panic(err)
+	}
+}
+
+func (c *benchClient) notify(method string, params any) {
+	if err := c.out.write(struct {
+		JSONRPC string `json:"jsonrpc"`
+		Method  string `json:"method"`
+		Params  any    `json:"params"`
+	}{"2.0", method, params}); err != nil {
+		panic(err)
+	}
+}
+
+// waitDiagnostics reads messages until the publishDiagnostics for the
+// given document version arrives.
+func (c *benchClient) waitDiagnostics(version int) publishDiagnosticsParams {
+	for {
+		body, err := readMessage(c.in)
+		if err != nil {
+			panic(err)
+		}
+		var msg struct {
+			Method string          `json:"method"`
+			Params json.RawMessage `json:"params"`
+		}
+		if err := json.Unmarshal(body, &msg); err != nil {
+			panic(err)
+		}
+		if msg.Method != "textDocument/publishDiagnostics" {
+			continue
+		}
+		var p publishDiagnosticsParams
+		if err := json.Unmarshal(msg.Params, &p); err != nil {
+			panic(err)
+		}
+		if p.Version == version || version < 0 {
+			return p
+		}
+	}
+}
+
+// runBench measures cold open and warm per-edit latency through the
+// full LSP loop and writes the report to outPath ("-" for stdout).
+func runBench(funcs, edits int, backendName, checks, outPath string) error {
+	start := time.Now()
+
+	clientToServer := newPipe()
+	serverToClient := newPipe()
+	srv := newLSPServer(serverToClient, backendName, checks, log.New(io.Discard, "", 0))
+	serverErr := make(chan error, 1)
+	go func() { serverErr <- srv.run(clientToServer) }()
+
+	client := &benchClient{out: &writer{out: clientToServer}, in: bufio.NewReader(serverToClient)}
+	client.request(1, "initialize", map[string]any{})
+	// Swallow the initialize response before timing anything.
+	if _, err := readMessage(client.in); err != nil {
+		return err
+	}
+
+	const uri = "file:///bench.c"
+	text := benchProgram(funcs)
+
+	coldStart := time.Now()
+	client.notify("textDocument/didOpen", didOpenParams{
+		TextDocument: textDocumentItem{URI: uri, Version: 1, Text: text},
+	})
+	if p := client.waitDiagnostics(1); len(p.Diagnostics) == 0 {
+		return fmt.Errorf("bench: cold open published no diagnostics")
+	}
+	coldMs := float64(time.Since(coldStart).Microseconds()) / 1000
+
+	// Warm edits: toggle one function's buffer size per edit, rotating
+	// over the functions, so each edit dirties exactly one function.
+	warm := make([]float64, 0, edits)
+	version := 1
+	for i := 0; i < edits; i++ {
+		fn := i % funcs
+		marker := fmt.Sprintf("buf%d[", fn)
+		at := strings.Index(text, marker) + len(marker)
+		old := text[at]
+		repl := "9"
+		if old == '9' {
+			repl = "8"
+		}
+		version++
+		change := contentChange{
+			Range: &lspRange{Start: lspPos(text, at), End: lspPos(text, at+1)},
+			Text:  repl,
+		}
+		text = text[:at] + repl + text[at+1:]
+
+		t0 := time.Now()
+		client.notify("textDocument/didChange", didChangeParams{
+			TextDocument:   versionedTextDocumentIdentifier{URI: uri, Version: version},
+			ContentChanges: []contentChange{change},
+		})
+		client.waitDiagnostics(version)
+		warm = append(warm, float64(time.Since(t0).Microseconds())/1000)
+	}
+
+	// Pull the session counters straight off the server: it runs in
+	// process, and the dispatch loop is idle once the diagnostics for
+	// the last version arrived.
+	var reanalyzed, reused int64
+	if doc := srv.docs[uri]; doc != nil && doc.session != nil {
+		c := doc.session.Counters()
+		reanalyzed, reused = c.FuncsReanalyzed, c.FuncsReused
+	}
+
+	client.notify("exit", nil)
+	clientToServer.Close()
+	<-serverErr
+
+	sort.Float64s(warm)
+	rep := benchReport{
+		Funcs:       funcs,
+		Edits:       edits,
+		ColdOpenMs:  coldMs,
+		WarmP50Ms:   percentile(warm, 50),
+		WarmP99Ms:   percentile(warm, 99),
+		WarmMaxMs:   warm[len(warm)-1],
+		Reanalyzed:  reanalyzed,
+		Reused:      reused,
+		DurationSec: time.Since(start).Seconds(),
+	}
+
+	body, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	body = append(body, '\n')
+	if outPath == "-" || outPath == "" {
+		_, err = os.Stdout.Write(body)
+		return err
+	}
+	return os.WriteFile(outPath, body, 0o644)
+}
+
+// percentile reads the p-th percentile from sorted samples
+// (nearest-rank).
+func percentile(sorted []float64, p int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (p*len(sorted) + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}
+
+// pipe is an in-process byte stream: everything the bench writes to it
+// is read back by the peer. io.Pipe gives the blocking semantics a
+// JSON-RPC connection needs.
+type pipe struct {
+	r *io.PipeReader
+	w *io.PipeWriter
+}
+
+func newPipe() *pipe {
+	r, w := io.Pipe()
+	return &pipe{r: r, w: w}
+}
+
+func (p *pipe) Read(b []byte) (int, error)  { return p.r.Read(b) }
+func (p *pipe) Write(b []byte) (int, error) { return p.w.Write(b) }
+func (p *pipe) Close() error                { p.w.Close(); return p.r.Close() }

@@ -1,0 +1,330 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/incremental"
+)
+
+// sample has two independent overflowing functions, so one-function
+// edits leave the other memoized.
+const sample = `void first(void) {
+    char a[8];
+    strcpy(a, "0123456789");
+}
+
+void second(void) {
+    char b[8];
+    strcpy(b, "abcdefghij");
+}
+`
+
+const sampleURI = "file:///t/sample.c"
+
+// harness runs an lspServer over in-process pipes and exposes the raw
+// client end plus the server for white-box inspection.
+type harness struct {
+	t      *testing.T
+	srv    *lspServer
+	client *benchClient
+	done   chan error
+	toSrv  *pipe
+}
+
+func newHarness(t *testing.T, backendName string) *harness {
+	t.Helper()
+	toSrv, toClient := newPipe(), newPipe()
+	srv := newLSPServer(toClient, backendName, "all", log.New(io.Discard, "", 0))
+	done := make(chan error, 1)
+	go func() { done <- srv.run(toSrv) }()
+	h := &harness{
+		t:      t,
+		srv:    srv,
+		client: &benchClient{out: &writer{out: toSrv}, in: bufio.NewReader(toClient)},
+		done:   done,
+		toSrv:  toSrv,
+	}
+	t.Cleanup(func() {
+		h.client.notify("exit", nil)
+		toSrv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("server loop: %v", err)
+		}
+	})
+	return h
+}
+
+// response reads messages until the response for id arrives.
+func (h *harness) response(id int) json.RawMessage {
+	h.t.Helper()
+	for {
+		body, err := readMessage(h.client.in)
+		if err != nil {
+			h.t.Fatalf("read: %v", err)
+		}
+		var msg struct {
+			ID     *int            `json:"id"`
+			Result json.RawMessage `json:"result"`
+			Error  *rpcError       `json:"error"`
+		}
+		if err := json.Unmarshal(body, &msg); err != nil {
+			h.t.Fatalf("unmarshal: %v", err)
+		}
+		if msg.ID == nil || *msg.ID != id {
+			continue
+		}
+		if msg.Error != nil {
+			h.t.Fatalf("request %d failed: %+v", id, msg.Error)
+		}
+		return msg.Result
+	}
+}
+
+// open initializes the connection and opens sample as version 1,
+// returning the first diagnostics.
+func (h *harness) open(text string) publishDiagnosticsParams {
+	h.t.Helper()
+	h.client.request(1, "initialize", map[string]any{})
+	h.response(1)
+	h.client.notify("initialized", map[string]any{})
+	h.client.notify("textDocument/didOpen", didOpenParams{
+		TextDocument: textDocumentItem{URI: sampleURI, Version: 1, Text: text},
+	})
+	return h.client.waitDiagnostics(1)
+}
+
+func TestInitializeAdvertisesIncrementalSync(t *testing.T) {
+	h := newHarness(t, "")
+	h.client.request(1, "initialize", map[string]any{})
+	var res initializeResult
+	if err := json.Unmarshal(h.response(1), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Capabilities.TextDocumentSync.Change != 2 {
+		t.Fatalf("sync change = %d, want 2 (incremental)", res.Capabilities.TextDocumentSync.Change)
+	}
+	if !res.Capabilities.CodeActionProvider {
+		t.Fatal("codeActionProvider not advertised")
+	}
+}
+
+func TestDidOpenPublishesOracleDiagnostics(t *testing.T) {
+	h := newHarness(t, "")
+	diags := h.open(sample)
+	if len(diags.Diagnostics) < 2 {
+		t.Fatalf("want >= 2 diagnostics for two overflows, got %+v", diags)
+	}
+	for _, d := range diags.Diagnostics {
+		if d.Source != "cfix" {
+			t.Fatalf("diagnostic source %q", d.Source)
+		}
+		if !strings.HasPrefix(d.Code, "CWE-") {
+			t.Fatalf("diagnostic code %q", d.Code)
+		}
+		if d.Severity != 1 && d.Severity != 2 {
+			t.Fatalf("diagnostic severity %d", d.Severity)
+		}
+	}
+}
+
+func TestIncrementalChangeReanalyzesOnlyDirtyFunction(t *testing.T) {
+	h := newHarness(t, "")
+	h.open(sample)
+
+	// Grow first's buffer past the literal: its findings go away.
+	at := strings.Index(sample, "a[8]") + len("a[")
+	h.client.notify("textDocument/didChange", didChangeParams{
+		TextDocument: versionedTextDocumentIdentifier{URI: sampleURI, Version: 2},
+		ContentChanges: []contentChange{{
+			Range: &lspRange{Start: lspPos(sample, at), End: lspPos(sample, at+1)},
+			Text:  "99",
+		}},
+	})
+	diags := h.client.waitDiagnostics(2)
+
+	newText := sample[:at] + "99" + sample[at+1:]
+	want, err := core.Analyze(context.Background(), "sample.c", newText, core.Options{Checks: "all"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags.Diagnostics) != len(want) {
+		t.Fatalf("published %d diagnostics, full analysis finds %d", len(diags.Diagnostics), len(want))
+	}
+
+	c := h.srv.docs[sampleURI].session.Counters()
+	if c.FuncsReanalyzed != 1 || c.FuncsReused != 1 {
+		t.Fatalf("counters after one-function edit: %+v", c)
+	}
+
+	// A comment-only change must reuse both functions.
+	at2 := strings.Index(newText, "void second")
+	h.client.notify("textDocument/didChange", didChangeParams{
+		TextDocument: versionedTextDocumentIdentifier{URI: sampleURI, Version: 3},
+		ContentChanges: []contentChange{{
+			Range: &lspRange{Start: lspPos(newText, at2), End: lspPos(newText, at2)},
+			Text:  "/* note */\n",
+		}},
+	})
+	h.client.waitDiagnostics(3)
+	c2 := h.srv.docs[sampleURI].session.Counters()
+	if c2.FuncsReanalyzed != c.FuncsReanalyzed || c2.FuncsReused != c.FuncsReused+2 {
+		t.Fatalf("counters after comment edit: %+v (before: %+v)", c2, c)
+	}
+}
+
+func TestParseBreakingChangeKeepsDiagnosticsAndResyncs(t *testing.T) {
+	h := newHarness(t, "")
+	before := h.open(sample)
+
+	// Break the parse; the server must keep serving the last good set.
+	h.client.notify("textDocument/didChange", didChangeParams{
+		TextDocument: versionedTextDocumentIdentifier{URI: sampleURI, Version: 2},
+		ContentChanges: []contentChange{{
+			Range: &lspRange{Start: lspPos(sample, 0), End: lspPos(sample, 0)},
+			Text:  ")))",
+		}},
+	})
+	broken := h.client.waitDiagnostics(2)
+	if len(broken.Diagnostics) != len(before.Diagnostics) {
+		t.Fatalf("broken state dropped diagnostics: %d -> %d", len(before.Diagnostics), len(broken.Diagnostics))
+	}
+
+	// Undo; the session is behind the editor, so the change falls back
+	// to a whole-file resync, which Minimize keeps incremental.
+	brokenText := ")))" + sample
+	h.client.notify("textDocument/didChange", didChangeParams{
+		TextDocument: versionedTextDocumentIdentifier{URI: sampleURI, Version: 3},
+		ContentChanges: []contentChange{{
+			Range: &lspRange{Start: lspPos(brokenText, 0), End: lspPos(brokenText, 3)},
+			Text:  "",
+		}},
+	})
+	fixed := h.client.waitDiagnostics(3)
+	if len(fixed.Diagnostics) != len(before.Diagnostics) {
+		t.Fatalf("resync lost diagnostics: %d -> %d", len(before.Diagnostics), len(fixed.Diagnostics))
+	}
+	if got := h.srv.docs[sampleURI].session.Text(); got != sample {
+		t.Fatalf("session did not resync to editor text")
+	}
+}
+
+func TestCodeActionAppliesBackendFix(t *testing.T) {
+	h := newHarness(t, "bsd")
+	h.open(sample)
+
+	// Ask for actions over the whole document.
+	h.client.request(2, "textDocument/codeAction", codeActionParams{
+		TextDocument: textDocumentIdentifier{URI: sampleURI},
+		Range:        lspRangeOf(sample, 0, len(sample)),
+	})
+	var actions []codeAction
+	if err := json.Unmarshal(h.response(2), &actions); err != nil {
+		t.Fatal(err)
+	}
+	if len(actions) == 0 {
+		t.Fatal("no code actions over a file with eligible sites")
+	}
+
+	var slrAction *codeAction
+	for i := range actions {
+		if strings.Contains(actions[i].Title, "strlcpy") {
+			slrAction = &actions[i]
+			break
+		}
+	}
+	if slrAction == nil {
+		t.Fatalf("no strlcpy action under -backend bsd: %+v", actions)
+	}
+
+	// Applying the workspace edit client-side must reproduce the exact
+	// single-site core.Fix output.
+	edits := slrAction.Edit.Changes[sampleURI]
+	if len(edits) == 0 {
+		t.Fatal("empty workspace edit")
+	}
+	applied := applyTextEdits(sample, edits)
+	if !strings.Contains(applied, "strlcpy") {
+		t.Fatalf("applied action does not call strlcpy:\n%s", applied)
+	}
+	var slrOffset int = -1
+	for _, site := range h.srv.docs[sampleURI].session.Sites() {
+		if site.Kind == incremental.SiteSLR && site.Eligible {
+			slrOffset = int(site.Extent.Pos)
+			break
+		}
+	}
+	if slrOffset < 0 {
+		t.Fatal("no eligible SLR site")
+	}
+	rep, err := core.Fix(context.Background(), "t/sample.c", sample, core.Options{
+		SelectOffset: slrOffset, Backend: "bsd",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != rep.Source {
+		t.Fatalf("workspace edit diverges from core.Fix:\n--- action\n%s\n--- fix\n%s", applied, rep.Source)
+	}
+}
+
+// applyTextEdits splices LSP text edits into text. Edits from
+// workspaceEditFor are non-overlapping and ordered; apply back to
+// front so earlier offsets stay valid.
+func applyTextEdits(text string, edits []textEdit) string {
+	for i := len(edits) - 1; i >= 0; i-- {
+		e := edits[i]
+		start := byteOffset(text, e.Range.Start)
+		end := byteOffset(text, e.Range.End)
+		text = text[:start] + e.NewText + text[end:]
+	}
+	return text
+}
+
+func TestDidCloseClearsDiagnostics(t *testing.T) {
+	h := newHarness(t, "")
+	h.open(sample)
+	h.client.notify("textDocument/didClose", didCloseParams{
+		TextDocument: textDocumentIdentifier{URI: sampleURI},
+	})
+	cleared := h.client.waitDiagnostics(-1)
+	if len(cleared.Diagnostics) != 0 {
+		t.Fatalf("didClose published %d diagnostics, want 0", len(cleared.Diagnostics))
+	}
+	if _, open := h.srv.docs[sampleURI]; open {
+		t.Fatal("document still tracked after close")
+	}
+}
+
+func TestBenchSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_incremental.json")
+	if err := runBench(3, 6, "", "all", out); err != nil {
+		t.Fatal(err)
+	}
+	body, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Funcs != 3 || rep.Edits != 6 {
+		t.Fatalf("report shape: %+v", rep)
+	}
+	if rep.WarmP50Ms <= 0 || rep.WarmP99Ms < rep.WarmP50Ms {
+		t.Fatalf("percentiles: %+v", rep)
+	}
+	// Every warm edit dirties exactly one function.
+	if rep.Reanalyzed != 6 || rep.Reused != 6*2 {
+		t.Fatalf("bench counters: %+v", rep)
+	}
+}

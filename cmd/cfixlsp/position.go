@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"unicode/utf8"
+)
+
+// utf16Len counts the UTF-16 code units encoding r: two for the
+// supplementary planes (surrogate pair), one otherwise.
+func utf16Len(r rune) int {
+	if r >= 0x10000 {
+		return 2
+	}
+	return 1
+}
+
+// LSP positions count lines by \n and characters in UTF-16 code units
+// (the protocol's default encoding). The session and the pipeline work
+// in byte offsets, so every boundary crossing goes through these two
+// conversions. Positions past the end of a line or file clamp, which is
+// what the spec prescribes for out-of-range positions.
+
+// byteOffset converts an LSP position to a byte offset into text.
+func byteOffset(text string, p lspPosition) int {
+	off := 0
+	for line := 0; line < p.Line; line++ {
+		nl := strings.IndexByte(text[off:], '\n')
+		if nl < 0 {
+			return len(text)
+		}
+		off += nl + 1
+	}
+	// Walk the line rune-by-rune, spending UTF-16 units.
+	units := p.Character
+	for units > 0 && off < len(text) && text[off] != '\n' {
+		r, size := utf8.DecodeRuneInString(text[off:])
+		units -= utf16Len(r)
+		if units < 0 {
+			break
+		}
+		off += size
+	}
+	return off
+}
+
+// lspPos converts a byte offset into text to an LSP position.
+func lspPos(text string, off int) lspPosition {
+	if off > len(text) {
+		off = len(text)
+	}
+	line := strings.Count(text[:off], "\n")
+	lineStart := 0
+	if i := strings.LastIndexByte(text[:off], '\n'); i >= 0 {
+		lineStart = i + 1
+	}
+	units := 0
+	for _, r := range text[lineStart:off] {
+		units += utf16Len(r)
+	}
+	return lspPosition{Line: line, Character: units}
+}
+
+// lspRangeOf converts a byte extent to an LSP range.
+func lspRangeOf(text string, pos, end int) lspRange {
+	return lspRange{Start: lspPos(text, pos), End: lspPos(text, end)}
+}

@@ -1,0 +1,242 @@
+// JSON-RPC 2.0 framing and the minimal slice of the Language Server
+// Protocol cfixlsp speaks. Zero dependencies: the framing is
+// Content-Length header + JSON body over any io.Reader/Writer, and the
+// types below are hand-rolled structs covering exactly the requests the
+// server implements.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// rpcMessage is one incoming JSON-RPC request or notification. ID is
+// kept raw: it must be echoed byte-for-byte (number or string) and a
+// missing ID marks a notification.
+type rpcMessage struct {
+	JSONRPC string          `json:"jsonrpc"`
+	ID      json.RawMessage `json:"id,omitempty"`
+	Method  string          `json:"method"`
+	Params  json.RawMessage `json:"params,omitempty"`
+}
+
+// IsNotification reports a message without an id.
+func (m *rpcMessage) IsNotification() bool { return len(m.ID) == 0 || string(m.ID) == "null" }
+
+// rpcError is the JSON-RPC error object.
+type rpcError struct {
+	Code    int    `json:"code"`
+	Message string `json:"message"`
+}
+
+// JSON-RPC error codes the server uses.
+const (
+	codeParseError     = -32700
+	codeMethodNotFound = -32601
+	codeInvalidParams  = -32602
+	codeInternalError  = -32603
+)
+
+// readMessage reads one Content-Length framed JSON-RPC body.
+func readMessage(r *bufio.Reader) ([]byte, error) {
+	length := -1
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "" {
+			break
+		}
+		name, value, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("malformed header line %q", line)
+		}
+		if strings.EqualFold(strings.TrimSpace(name), "Content-Length") {
+			n, err := strconv.Atoi(strings.TrimSpace(value))
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("bad Content-Length %q", strings.TrimSpace(value))
+			}
+			length = n
+		}
+	}
+	if length < 0 {
+		return nil, fmt.Errorf("missing Content-Length header")
+	}
+	body := make([]byte, length)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// writer serializes framed writes: responses from the dispatch loop and
+// publishDiagnostics notifications must never interleave.
+type writer struct {
+	mu  sync.Mutex
+	out io.Writer
+}
+
+// write frames and sends one JSON value.
+func (w *writer) write(v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := fmt.Fprintf(w.out, "Content-Length: %d\r\n\r\n", len(body)); err != nil {
+		return err
+	}
+	_, err = w.out.Write(body)
+	return err
+}
+
+// respond answers a request.
+func (w *writer) respond(id json.RawMessage, result any) error {
+	return w.write(struct {
+		JSONRPC string          `json:"jsonrpc"`
+		ID      json.RawMessage `json:"id"`
+		Result  any             `json:"result"`
+	}{"2.0", id, result})
+}
+
+// respondError answers a request with an error.
+func (w *writer) respondError(id json.RawMessage, code int, msg string) error {
+	if len(id) == 0 {
+		id = json.RawMessage("null")
+	}
+	return w.write(struct {
+		JSONRPC string          `json:"jsonrpc"`
+		ID      json.RawMessage `json:"id"`
+		Error   rpcError        `json:"error"`
+	}{"2.0", id, rpcError{code, msg}})
+}
+
+// notify sends a server-initiated notification.
+func (w *writer) notify(method string, params any) error {
+	return w.write(struct {
+		JSONRPC string `json:"jsonrpc"`
+		Method  string `json:"method"`
+		Params  any    `json:"params"`
+	}{"2.0", method, params})
+}
+
+// ---- LSP structures (the consumed subset) ----
+
+// lspPosition is a zero-based line/character position; characters count
+// UTF-16 code units, per the protocol default.
+type lspPosition struct {
+	Line      int `json:"line"`
+	Character int `json:"character"`
+}
+
+// lspRange is a half-open [start, end) range.
+type lspRange struct {
+	Start lspPosition `json:"start"`
+	End   lspPosition `json:"end"`
+}
+
+type textDocumentItem struct {
+	URI     string `json:"uri"`
+	Version int    `json:"version"`
+	Text    string `json:"text"`
+}
+
+type textDocumentIdentifier struct {
+	URI string `json:"uri"`
+}
+
+type versionedTextDocumentIdentifier struct {
+	URI     string `json:"uri"`
+	Version int    `json:"version"`
+}
+
+type didOpenParams struct {
+	TextDocument textDocumentItem `json:"textDocument"`
+}
+
+// contentChange is one change in a didChange notification: a ranged
+// incremental change, or a full-text replacement when Range is absent.
+type contentChange struct {
+	Range *lspRange `json:"range,omitempty"`
+	Text  string    `json:"text"`
+}
+
+type didChangeParams struct {
+	TextDocument   versionedTextDocumentIdentifier `json:"textDocument"`
+	ContentChanges []contentChange                 `json:"contentChanges"`
+}
+
+type didCloseParams struct {
+	TextDocument textDocumentIdentifier `json:"textDocument"`
+}
+
+type didSaveParams struct {
+	TextDocument textDocumentIdentifier `json:"textDocument"`
+	Text         string                 `json:"text,omitempty"`
+}
+
+// diagnostic is the published shape; severity 1 = error, 2 = warning.
+type diagnostic struct {
+	Range    lspRange `json:"range"`
+	Severity int      `json:"severity"`
+	Code     string   `json:"code,omitempty"`
+	Source   string   `json:"source"`
+	Message  string   `json:"message"`
+}
+
+type publishDiagnosticsParams struct {
+	URI         string       `json:"uri"`
+	Version     int          `json:"version,omitempty"`
+	Diagnostics []diagnostic `json:"diagnostics"`
+}
+
+type codeActionContext struct {
+	Diagnostics []diagnostic `json:"diagnostics,omitempty"`
+	Only        []string     `json:"only,omitempty"`
+}
+
+type codeActionParams struct {
+	TextDocument textDocumentIdentifier `json:"textDocument"`
+	Range        lspRange               `json:"range"`
+	Context      codeActionContext      `json:"context"`
+}
+
+type textEdit struct {
+	Range   lspRange `json:"range"`
+	NewText string   `json:"newText"`
+}
+
+type workspaceEdit struct {
+	Changes map[string][]textEdit `json:"changes"`
+}
+
+type codeAction struct {
+	Title string        `json:"title"`
+	Kind  string        `json:"kind"`
+	Edit  workspaceEdit `json:"edit"`
+}
+
+// initializeResult advertises the server's capabilities: incremental
+// sync (2) with didSave, plus quick-fix code actions.
+type initializeResult struct {
+	Capabilities struct {
+		TextDocumentSync struct {
+			OpenClose bool `json:"openClose"`
+			Change    int  `json:"change"`
+			Save      bool `json:"save"`
+		} `json:"textDocumentSync"`
+		CodeActionProvider bool `json:"codeActionProvider"`
+	} `json:"capabilities"`
+	ServerInfo struct {
+		Name    string `json:"name"`
+		Version string `json:"version"`
+	} `json:"serverInfo"`
+}

@@ -1,0 +1,407 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ctoken"
+	"repro/internal/edit"
+	"repro/internal/incremental"
+	"repro/internal/overflow"
+)
+
+// document is one open text document: the editor's authoritative text
+// plus the incremental session analyzing it. The two can diverge when
+// an intermediate editor state does not parse — the session then stays
+// on the last good text and resynchronizes (via a minimized whole-file
+// replace) on the next parseable state, while lastDiags keeps serving
+// the last good diagnostics, the standard LSP behavior for broken
+// intermediate states.
+type document struct {
+	uri     string
+	version int
+	text    string
+	session *incremental.Session
+	// lastDiags is what the server last published for this document.
+	lastDiags []diagnostic
+}
+
+// inSync reports that the session has analyzed exactly the editor text.
+func (d *document) inSync() bool {
+	return d.session != nil && d.session.Text() == d.text
+}
+
+// lspServer is one stdio LSP connection.
+type lspServer struct {
+	out     *writer
+	docs    map[string]*document
+	backend string
+	checks  string
+	log     *log.Logger
+
+	shutdown bool
+	exited   bool
+}
+
+// newLSPServer builds a server writing to w.
+func newLSPServer(w io.Writer, backendName, checks string, logger *log.Logger) *lspServer {
+	if checks == "" {
+		checks = "all"
+	}
+	return &lspServer{
+		out:     &writer{out: w},
+		docs:    make(map[string]*document),
+		backend: backendName,
+		checks:  checks,
+		log:     logger,
+	}
+}
+
+// run serves one connection until exit or EOF. The returned error is
+// nil for an orderly exit.
+func (s *lspServer) run(r io.Reader) error {
+	in := bufio.NewReader(r)
+	for !s.exited {
+		body, err := readMessage(in)
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		var msg rpcMessage
+		if err := json.Unmarshal(body, &msg); err != nil {
+			s.out.respondError(nil, codeParseError, err.Error())
+			continue
+		}
+		s.dispatch(&msg)
+	}
+	return nil
+}
+
+// dispatch routes one message. Handler panics are contained per
+// message: an editor keystroke must never kill the server.
+func (s *lspServer) dispatch(msg *rpcMessage) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.log.Printf("cfixlsp: panic in %s: %v", msg.Method, rec)
+			if !msg.IsNotification() {
+				s.out.respondError(msg.ID, codeInternalError, "internal error (panic recovered)")
+			}
+		}
+	}()
+	switch msg.Method {
+	case "initialize":
+		var res initializeResult
+		res.Capabilities.TextDocumentSync.OpenClose = true
+		res.Capabilities.TextDocumentSync.Change = 2 // incremental
+		res.Capabilities.TextDocumentSync.Save = true
+		res.Capabilities.CodeActionProvider = true
+		res.ServerInfo.Name = "cfixlsp"
+		res.ServerInfo.Version = "0.1"
+		s.out.respond(msg.ID, res)
+	case "initialized", "$/cancelRequest", "workspace/didChangeConfiguration":
+		// Notifications we accept and ignore.
+	case "shutdown":
+		s.shutdown = true
+		s.out.respond(msg.ID, nil)
+	case "exit":
+		s.exited = true
+	case "textDocument/didOpen":
+		var p didOpenParams
+		if s.params(msg, &p) {
+			s.didOpen(p)
+		}
+	case "textDocument/didChange":
+		var p didChangeParams
+		if s.params(msg, &p) {
+			s.didChange(p)
+		}
+	case "textDocument/didSave":
+		var p didSaveParams
+		if s.params(msg, &p) {
+			s.didSave(p)
+		}
+	case "textDocument/didClose":
+		var p didCloseParams
+		if s.params(msg, &p) {
+			s.didClose(p)
+		}
+	case "textDocument/codeAction":
+		var p codeActionParams
+		if s.params(msg, &p) {
+			s.out.respond(msg.ID, s.codeActions(p))
+		}
+	default:
+		if !msg.IsNotification() {
+			s.out.respondError(msg.ID, codeMethodNotFound, "unhandled method "+msg.Method)
+		}
+	}
+}
+
+// params decodes a message's params, answering invalid-params on a
+// request decode failure.
+func (s *lspServer) params(msg *rpcMessage, into any) bool {
+	if err := json.Unmarshal(msg.Params, into); err != nil {
+		if !msg.IsNotification() {
+			s.out.respondError(msg.ID, codeInvalidParams, err.Error())
+		} else {
+			s.log.Printf("cfixlsp: bad %s params: %v", msg.Method, err)
+		}
+		return false
+	}
+	return true
+}
+
+func (s *lspServer) didOpen(p didOpenParams) {
+	doc := &document{uri: p.TextDocument.URI, version: p.TextDocument.Version, text: p.TextDocument.Text}
+	s.docs[doc.uri] = doc
+	sess, _, err := incremental.Open(context.Background(), fileOf(doc.uri), doc.text,
+		incremental.Config{Checks: s.checks, Backend: s.backend})
+	if err != nil {
+		// Unparseable on open: no diagnostics yet; a later edit that
+		// parses will open the session.
+		s.log.Printf("cfixlsp: open %s: %v", doc.uri, err)
+		s.publish(doc, nil)
+		return
+	}
+	doc.session = sess
+	s.publish(doc, diagnosticsOf(doc.text, sess.Findings()))
+}
+
+func (s *lspServer) didChange(p didChangeParams) {
+	doc := s.docs[p.TextDocument.URI]
+	if doc == nil {
+		s.log.Printf("cfixlsp: change for unopened %s", p.TextDocument.URI)
+		return
+	}
+	doc.version = p.TextDocument.Version
+
+	// Content changes apply sequentially, each against the text the
+	// previous one produced. A single ranged change against the session's
+	// own text converts losslessly to one delta; anything else falls back
+	// to a whole-file replace, which edit.Minimize shrinks back to the
+	// touched bytes.
+	var deltas []edit.Delta
+	base := doc.text
+	sessionBase := ""
+	if doc.session != nil {
+		sessionBase = doc.session.Text()
+	}
+	if len(p.ContentChanges) == 1 && p.ContentChanges[0].Range != nil && base == sessionBase {
+		c := p.ContentChanges[0]
+		start := byteOffset(base, c.Range.Start)
+		end := byteOffset(base, c.Range.End)
+		deltas = []edit.Delta{edit.Replace(ctoken.Extent{Pos: ctoken.Pos(start), End: ctoken.Pos(end)}, c.Text)}
+		doc.text = base[:start] + c.Text + base[end:]
+	} else {
+		for _, c := range p.ContentChanges {
+			if c.Range == nil {
+				doc.text = c.Text
+				continue
+			}
+			start := byteOffset(doc.text, c.Range.Start)
+			end := byteOffset(doc.text, c.Range.End)
+			doc.text = doc.text[:start] + c.Text + doc.text[end:]
+		}
+		deltas = []edit.Delta{edit.Replace(ctoken.Extent{Pos: 0, End: ctoken.Pos(len(sessionBase))}, doc.text)}
+	}
+
+	if doc.session == nil {
+		// The open never parsed; try from scratch on the new text.
+		sess, _, err := incremental.Open(context.Background(), fileOf(doc.uri), doc.text,
+			incremental.Config{Checks: s.checks, Backend: s.backend})
+		if err != nil {
+			s.publish(doc, doc.lastDiags)
+			return
+		}
+		doc.session = sess
+		s.publish(doc, diagnosticsOf(doc.text, sess.Findings()))
+		return
+	}
+
+	res, err := doc.session.Edit(context.Background(), deltas)
+	if err != nil {
+		// Broken intermediate state: keep the last good diagnostics; the
+		// session stays on its previous text and resyncs later.
+		s.publish(doc, doc.lastDiags)
+		return
+	}
+	s.publish(doc, diagnosticsOf(res.Text, res.Findings))
+}
+
+func (s *lspServer) didSave(p didSaveParams) {
+	doc := s.docs[p.TextDocument.URI]
+	if doc == nil {
+		return
+	}
+	if doc.inSync() {
+		// Nothing changed since the last analysis; re-publish.
+		s.publish(doc, diagnosticsOf(doc.text, doc.session.Findings()))
+		return
+	}
+	// Out of sync (e.g. edits while broken): resynchronize now.
+	s.resync(doc)
+}
+
+// resync forces the session onto doc.text via a minimized whole-file
+// replace, publishing fresh diagnostics on success.
+func (s *lspServer) resync(doc *document) {
+	if doc.session == nil {
+		sess, _, err := incremental.Open(context.Background(), fileOf(doc.uri), doc.text,
+			incremental.Config{Checks: s.checks, Backend: s.backend})
+		if err != nil {
+			s.publish(doc, doc.lastDiags)
+			return
+		}
+		doc.session = sess
+		s.publish(doc, diagnosticsOf(doc.text, sess.Findings()))
+		return
+	}
+	base := doc.session.Text()
+	res, err := doc.session.Edit(context.Background(), []edit.Delta{
+		edit.Replace(ctoken.Extent{Pos: 0, End: ctoken.Pos(len(base))}, doc.text),
+	})
+	if err != nil {
+		s.publish(doc, doc.lastDiags)
+		return
+	}
+	s.publish(doc, diagnosticsOf(res.Text, res.Findings))
+}
+
+func (s *lspServer) didClose(p didCloseParams) {
+	doc := s.docs[p.TextDocument.URI]
+	if doc == nil {
+		return
+	}
+	delete(s.docs, p.TextDocument.URI)
+	// Clear the document's diagnostics in the editor.
+	s.out.notify("textDocument/publishDiagnostics",
+		publishDiagnosticsParams{URI: p.TextDocument.URI, Diagnostics: []diagnostic{}})
+}
+
+// codeActions offers quick fixes for the repair sites overlapping the
+// requested range: one per eligible SLR call site, plus one batch STR
+// action when any variable is eligible. Each action's workspace edit is
+// computed by the same core.Fix the CLI runs, minimized to the touched
+// bytes.
+func (s *lspServer) codeActions(p codeActionParams) []codeAction {
+	doc := s.docs[p.TextDocument.URI]
+	if doc == nil || !doc.inSync() {
+		return []codeAction{}
+	}
+	start := byteOffset(doc.text, p.Range.Start)
+	end := byteOffset(doc.text, p.Range.End)
+
+	actions := []codeAction{}
+	strOffered := false
+	for _, site := range doc.session.Sites() {
+		if !site.Eligible {
+			continue
+		}
+		if int(site.Extent.End) < start || int(site.Extent.Pos) > end {
+			continue
+		}
+		switch site.Kind {
+		case incremental.SiteSLR:
+			rep, err := core.Fix(context.Background(), fileOf(doc.uri), doc.text, core.Options{
+				SelectOffset: int(site.Extent.Pos),
+				Backend:      s.backend,
+			})
+			if err != nil || !rep.Changed() {
+				continue
+			}
+			actions = append(actions, codeAction{
+				Title: fmt.Sprintf("Replace %s with %s (safe library routine)", site.Name, site.SafeName),
+				Kind:  "quickfix",
+				Edit:  workspaceEditFor(doc.uri, doc.text, rep.Source),
+			})
+		case incremental.SiteSTR:
+			if strOffered {
+				continue
+			}
+			rep, err := core.Fix(context.Background(), fileOf(doc.uri), doc.text, core.Options{
+				SelectOffset: -1,
+				DisableSLR:   true,
+				Backend:      s.backend,
+			})
+			if err != nil || !rep.Changed() {
+				continue
+			}
+			strOffered = true
+			actions = append(actions, codeAction{
+				Title: "Replace unsafe char buffers with stralloc (safe type replacement)",
+				Kind:  "quickfix",
+				Edit:  workspaceEditFor(doc.uri, doc.text, rep.Source),
+			})
+		}
+	}
+	return actions
+}
+
+// workspaceEditFor renders old -> new as minimized LSP text edits.
+func workspaceEditFor(uri, oldText, newText string) workspaceEdit {
+	deltas := edit.Minimize(oldText, []edit.Delta{
+		edit.Replace(ctoken.Extent{Pos: 0, End: ctoken.Pos(len(oldText))}, newText),
+	})
+	edits := make([]textEdit, len(deltas))
+	for i, d := range deltas {
+		edits[i] = textEdit{
+			Range:   lspRangeOf(oldText, int(d.Extent.Pos), int(d.Extent.End)),
+			NewText: d.Text,
+		}
+	}
+	return workspaceEdit{Changes: map[string][]textEdit{uri: edits}}
+}
+
+// publish sends diagnostics and remembers them as the document's last
+// published state.
+func (s *lspServer) publish(doc *document, diags []diagnostic) {
+	if diags == nil {
+		diags = []diagnostic{}
+	}
+	doc.lastDiags = diags
+	s.out.notify("textDocument/publishDiagnostics", publishDiagnosticsParams{
+		URI:         doc.uri,
+		Version:     doc.version,
+		Diagnostics: diags,
+	})
+}
+
+// diagnosticsOf renders oracle findings against text.
+func diagnosticsOf(text string, findings []overflow.Finding) []diagnostic {
+	out := make([]diagnostic, len(findings))
+	for i, f := range findings {
+		sev := 2 // warning
+		if f.Severity == overflow.SevDefinite {
+			sev = 1 // error
+		}
+		msg := f.Msg
+		if f.SuggestedFix != "" {
+			msg += " (fix: " + f.SuggestedFix + ")"
+		}
+		out[i] = diagnostic{
+			Range:    lspRangeOf(text, int(f.Extent.Pos), int(f.Extent.End)),
+			Severity: sev,
+			Code:     fmt.Sprintf("CWE-%d", f.CWE),
+			Source:   "cfix",
+			Message:  msg,
+		}
+	}
+	return out
+}
+
+// fileOf turns a document URI into the diagnostic filename.
+func fileOf(uri string) string {
+	name := strings.TrimPrefix(uri, "file://")
+	if name == "" {
+		return "input.c"
+	}
+	return name
+}

@@ -90,6 +90,9 @@ type Snapshot struct {
 	intOnce     sync.Once
 	intFindings []overflow.Finding
 
+	hashOnce   sync.Once
+	funcHashes map[string]string
+
 	cfgMu sync.Mutex
 	cfgs  map[*cast.FuncDef]*cfg.Graph
 

@@ -270,6 +270,22 @@ func lintFindings(snap *analysis.Snapshot, cs checkSet) []overflow.Finding {
 	return fs
 }
 
+// LintSnapshot runs the oracles selected by checks ("buf", "int",
+// "all"; empty means "buf") over an existing analysis snapshot and
+// returns the merged findings in source order. It is the seam
+// incremental sessions (internal/incremental) lint through: they manage
+// their own parses and memoized facts, so the findings come out exactly
+// as Analyze would produce them on the same text — including the
+// cross-run memo's replayed results, which the equivalence suite holds
+// byte-identical to a from-scratch run.
+func LintSnapshot(snap *analysis.Snapshot, checks string) ([]overflow.Finding, error) {
+	cs, err := parseChecks(checks)
+	if err != nil {
+		return nil, err
+	}
+	return lintFindings(snap, cs), nil
+}
+
 // sortFindings restores source order over a merged finding list.
 func sortFindings(fs []overflow.Finding) {
 	sort.SliceStable(fs, func(i, j int) bool {

@@ -1,0 +1,503 @@
+// Package edit models source modifications as position-stable deltas:
+// insertions, deletions and replacements expressed against the byte
+// offsets of one fixed original text. Because every delta is anchored in
+// original coordinates, a producer never tracks offset drift — deltas
+// collected in any order are sorted, validated against the original
+// length, and spliced in one pass.
+//
+// The package is the single home of the splice and offset-remapping
+// arithmetic: internal/rewrite (the transformation rewriter) delegates
+// its extent splicing here, and internal/incremental consumes Script,
+// Compose and Mapper to model editor traffic (LSP didChange batches)
+// against live analysis sessions. It sits at the leaf of the dependency
+// graph and imports only internal/ctoken.
+package edit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ctoken"
+)
+
+// Delta is one insertion, deletion or replacement against the original
+// text. The extent is a half-open byte range in original coordinates; a
+// zero-length extent inserts Text at Extent.Pos, an empty Text deletes
+// the extent, and the general form replaces the extent's bytes with
+// Text.
+type Delta struct {
+	Extent ctoken.Extent
+	Text   string
+}
+
+// Insert builds a pure insertion at pos.
+func Insert(pos ctoken.Pos, text string) Delta {
+	return Delta{Extent: ctoken.Extent{Pos: pos, End: pos}, Text: text}
+}
+
+// Delete builds a pure deletion of ext.
+func Delete(ext ctoken.Extent) Delta {
+	return Delta{Extent: ext}
+}
+
+// Replace builds a replacement of ext with text.
+func Replace(ext ctoken.Extent, text string) Delta {
+	return Delta{Extent: ext, Text: text}
+}
+
+// IsInsert reports a zero-width delta.
+func (d Delta) IsInsert() bool { return d.Extent.Len() == 0 }
+
+// Shift returns the length change the delta contributes.
+func (d Delta) Shift() int { return len(d.Text) - d.Extent.Len() }
+
+// String renders the delta compactly for logs and error messages.
+func (d Delta) String() string {
+	switch {
+	case d.IsInsert():
+		return fmt.Sprintf("insert %q at %d", clip(d.Text), d.Extent.Pos)
+	case d.Text == "":
+		return fmt.Sprintf("delete [%d,%d)", d.Extent.Pos, d.Extent.End)
+	default:
+		return fmt.Sprintf("replace [%d,%d) with %q", d.Extent.Pos, d.Extent.End, clip(d.Text))
+	}
+}
+
+func clip(s string) string {
+	if len(s) > 24 {
+		return s[:24] + "…"
+	}
+	return s
+}
+
+// BoundsError reports a delta that does not fit the original text. Index
+// is the delta's position in the sorted order that was being applied.
+type BoundsError struct {
+	Index  int
+	Delta  Delta
+	SrcLen int
+}
+
+func (e *BoundsError) Error() string {
+	return fmt.Sprintf("edit: delta %d (%s) has invalid extent [%d,%d) for source of %d bytes",
+		e.Index, e.Delta, e.Delta.Extent.Pos, e.Delta.Extent.End, e.SrcLen)
+}
+
+// OverlapError reports two deltas that claim the same original bytes.
+// Index is the later delta's position in the sorted order.
+type OverlapError struct {
+	Index int
+	Delta Delta
+	At    ctoken.Pos
+}
+
+func (e *OverlapError) Error() string {
+	return fmt.Sprintf("edit: delta %d (%s) overlaps a previous delta at offset %d",
+		e.Index, e.Delta, e.At)
+}
+
+// Sort orders deltas by start position, then end position, stably, so
+// same-position insertions keep their queue order and an insertion at a
+// replaced span's start lands before the replacement. It sorts in place
+// and returns its argument for chaining.
+func Sort(deltas []Delta) []Delta {
+	sort.SliceStable(deltas, func(i, j int) bool {
+		if deltas[i].Extent.Pos != deltas[j].Extent.Pos {
+			return deltas[i].Extent.Pos < deltas[j].Extent.Pos
+		}
+		return deltas[i].Extent.End < deltas[j].Extent.End
+	})
+	return deltas
+}
+
+// Validate checks deltas against a source length: every extent must be
+// valid and in bounds, and no two deltas may claim the same original
+// byte. Multiple insertions at one position are legal and apply in queue
+// order. The slice is not modified.
+func Validate(srcLen int, deltas []Delta) error {
+	return validateSorted(srcLen, Sort(append([]Delta(nil), deltas...)))
+}
+
+// validateSorted is Validate over already-sorted deltas.
+func validateSorted(srcLen int, deltas []Delta) error {
+	cursor := ctoken.Pos(0)
+	for i, d := range deltas {
+		if !d.Extent.IsValid() || int(d.Extent.End) > srcLen {
+			return &BoundsError{Index: i, Delta: d, SrcLen: srcLen}
+		}
+		if d.Extent.Pos < cursor {
+			return &OverlapError{Index: i, Delta: d, At: d.Extent.Pos}
+		}
+		if d.Extent.End > cursor {
+			cursor = d.Extent.End
+		}
+	}
+	return nil
+}
+
+// Splice applies sorted deltas to src in one pass, re-checking bounds
+// and overlap as it goes. It is the single splice implementation shared
+// by this package and internal/rewrite; callers sort first (Sort).
+func Splice(src string, deltas []Delta) (string, error) {
+	var sb strings.Builder
+	grow := len(src)
+	for _, d := range deltas {
+		grow += len(d.Text)
+	}
+	sb.Grow(grow)
+	cursor := 0
+	for i, d := range deltas {
+		if !d.Extent.IsValid() || int(d.Extent.End) > len(src) {
+			return "", &BoundsError{Index: i, Delta: d, SrcLen: len(src)}
+		}
+		if int(d.Extent.Pos) < cursor {
+			return "", &OverlapError{Index: i, Delta: d, At: d.Extent.Pos}
+		}
+		sb.WriteString(src[cursor:d.Extent.Pos])
+		sb.WriteString(d.Text)
+		cursor = int(d.Extent.End)
+	}
+	sb.WriteString(src[cursor:])
+	return sb.String(), nil
+}
+
+// Script is an ordered batch of deltas against one original text.
+type Script struct {
+	deltas []Delta
+}
+
+// NewScript builds a script from deltas. The deltas are copied and kept
+// in arrival order; sorting happens at application time so queue order
+// of same-position inserts survives.
+func NewScript(deltas ...Delta) *Script {
+	return &Script{deltas: append([]Delta(nil), deltas...)}
+}
+
+// Add appends a delta and returns the script for chaining.
+func (s *Script) Add(d Delta) *Script {
+	s.deltas = append(s.deltas, d)
+	return s
+}
+
+// Len returns the number of deltas.
+func (s *Script) Len() int { return len(s.deltas) }
+
+// Deltas returns a sorted copy of the script's deltas.
+func (s *Script) Deltas() []Delta {
+	return Sort(append([]Delta(nil), s.deltas...))
+}
+
+// Validate checks the script against a source length.
+func (s *Script) Validate(srcLen int) error {
+	return Validate(srcLen, s.deltas)
+}
+
+// Apply validates the script against src and splices the new text.
+func (s *Script) Apply(src string) (string, error) {
+	sorted := s.Deltas()
+	if err := validateSorted(len(src), sorted); err != nil {
+		return "", err
+	}
+	return Splice(src, sorted)
+}
+
+// NewLen returns the length of the text the script produces from a
+// source of srcLen bytes.
+func (s *Script) NewLen(srcLen int) int {
+	n := srcLen
+	for _, d := range s.deltas {
+		n += d.Shift()
+	}
+	return n
+}
+
+// piece is one run of the edited text: either a retained span of the
+// original (ins false) or synthetic text introduced by a delta (ins
+// true). A piece table — retained spans always in increasing original
+// order — is how Compose reasons about an applied script.
+type piece struct {
+	orig ctoken.Extent // retained original span (ins false)
+	text string        // synthetic text (ins true)
+	ins  bool
+}
+
+func (p piece) len() int {
+	if p.ins {
+		return len(p.text)
+	}
+	return p.orig.Len()
+}
+
+// pieceTable materializes the output of sorted deltas over a source of
+// srcLen bytes as a piece sequence.
+func pieceTable(srcLen int, deltas []Delta) []piece {
+	var pieces []piece
+	cursor := ctoken.Pos(0)
+	for _, d := range deltas {
+		if d.Extent.Pos > cursor {
+			pieces = append(pieces, piece{orig: ctoken.Extent{Pos: cursor, End: d.Extent.Pos}})
+		}
+		if d.Text != "" {
+			pieces = append(pieces, piece{text: d.Text, ins: true})
+		}
+		if d.Extent.End > cursor {
+			cursor = d.Extent.End
+		}
+	}
+	if int(cursor) < srcLen {
+		pieces = append(pieces, piece{orig: ctoken.Extent{Pos: cursor, End: ctoken.Pos(srcLen)}})
+	}
+	return pieces
+}
+
+// splitAt splits the piece sequence so that output offset p (relative to
+// the concatenation of pieces) is a piece boundary, and returns the new
+// sequence plus the index of the piece starting at p (len(pieces) when p
+// is the total length).
+func splitAt(pieces []piece, p int) ([]piece, int) {
+	off := 0
+	for i := 0; i < len(pieces); i++ {
+		if off == p {
+			return pieces, i
+		}
+		n := pieces[i].len()
+		if off+n <= p {
+			off += n
+			continue
+		}
+		// p falls strictly inside piece i: split it.
+		k := p - off
+		pc := pieces[i]
+		var left, right piece
+		if pc.ins {
+			left = piece{text: pc.text[:k], ins: true}
+			right = piece{text: pc.text[k:], ins: true}
+		} else {
+			mid := pc.orig.Pos + ctoken.Pos(k)
+			left = piece{orig: ctoken.Extent{Pos: pc.orig.Pos, End: mid}}
+			right = piece{orig: ctoken.Extent{Pos: mid, End: pc.orig.End}}
+		}
+		out := make([]piece, 0, len(pieces)+1)
+		out = append(out, pieces[:i]...)
+		out = append(out, left, right)
+		out = append(out, pieces[i+1:]...)
+		return out, i + 1
+	}
+	return pieces, len(pieces)
+}
+
+// Compose folds two sequential scripts into one: first rewrites the
+// original text, second rewrites first's output, and the returned script
+// applied to the original text produces exactly second's output. srcLen
+// is the original text's length. Composition is how a batch of editor
+// changes — each expressed against the document state its predecessor
+// produced, as LSP didChange content changes are — becomes a single
+// original-coordinate script and hence a single re-analysis.
+func Compose(srcLen int, first, second *Script) (*Script, error) {
+	fs := first.Deltas()
+	if err := validateSorted(srcLen, fs); err != nil {
+		return nil, fmt.Errorf("compose: first script: %w", err)
+	}
+	ss := second.Deltas()
+	if err := validateSorted(first.NewLen(srcLen), ss); err != nil {
+		return nil, fmt.Errorf("compose: second script: %w", err)
+	}
+
+	// Build first's output as a piece table, then apply second's deltas
+	// to the table: split at each delta's boundaries, drop the covered
+	// pieces, and put the delta's text in their place. Walking
+	// back-to-front keeps earlier deltas' mid-text offsets stable.
+	pieces := pieceTable(srcLen, fs)
+	for i := len(ss) - 1; i >= 0; i-- {
+		d := ss[i]
+		var lo, hi int
+		pieces, lo = splitAt(pieces, int(d.Extent.Pos))
+		// Find hi by consuming the deleted length from lo, splitting the
+		// final piece if the boundary lands inside it.
+		rem := d.Extent.Len()
+		hi = lo
+		for rem > 0 {
+			n := pieces[hi].len()
+			if n <= rem {
+				rem -= n
+				hi++
+				continue
+			}
+			pieces, _ = splitAt(pieces, int(d.Extent.Pos)+d.Extent.Len())
+			// The split inserted one boundary exactly at the target; the
+			// pieces [lo,hi] now end there after hi advances once more.
+			hi++
+			rem = 0
+		}
+		var repl []piece
+		if d.Text != "" {
+			repl = []piece{{text: d.Text, ins: true}}
+		}
+		tail := make([]piece, 0, len(repl)+len(pieces)-hi)
+		tail = append(tail, repl...)
+		tail = append(tail, pieces[hi:]...)
+		pieces = append(pieces[:lo], tail...)
+	}
+
+	// Read the composed deltas off the final piece table: retained
+	// original spans appear in increasing order; everything between two
+	// consecutive retained spans (dropped original bytes plus synthetic
+	// text) is one replacement.
+	out := NewScript()
+	cursor := ctoken.Pos(0)
+	var pending strings.Builder
+	flush := func(upto ctoken.Pos) {
+		if pending.Len() > 0 || upto > cursor {
+			out.Add(Delta{Extent: ctoken.Extent{Pos: cursor, End: upto}, Text: pending.String()})
+			pending.Reset()
+		}
+		cursor = upto
+	}
+	for _, pc := range pieces {
+		if pc.ins {
+			pending.WriteString(pc.text)
+			continue
+		}
+		flush(pc.orig.Pos)
+		cursor = pc.orig.End
+	}
+	flush(ctoken.Pos(srcLen))
+	return out, nil
+}
+
+// Mapper remaps byte offsets across one applied script: OldToNew carries
+// positions of the original text into the edited text, NewToOld inverts.
+// Positions inside a replaced or deleted span collapse to the span's
+// (new) start; positions inside inserted text map back to the insertion
+// point. This is the one offset-remapping implementation in the tree —
+// consumers that need to know whether a range survived an edit intact
+// use MapExtent, which additionally reports whether any delta touched
+// the range.
+type Mapper struct {
+	deltas []Delta // sorted
+}
+
+// NewMapper builds a mapper for the script. The script must be valid for
+// the text it was applied to; Mapper does not re-validate.
+func NewMapper(s *Script) *Mapper {
+	return &Mapper{deltas: s.Deltas()}
+}
+
+// mapPos maps an original position forward. With right affinity an
+// insertion exactly at p shifts p past the inserted text; with left
+// affinity it does not.
+func (m *Mapper) mapPos(p ctoken.Pos, right bool) ctoken.Pos {
+	shift := 0
+	for _, d := range m.deltas {
+		if d.Extent.Pos > p {
+			break
+		}
+		if d.Extent.Pos == p && !(right && d.IsInsert()) {
+			break
+		}
+		if !d.IsInsert() && d.Extent.End > p {
+			// p lies inside a replaced/deleted span: collapse to the
+			// span's new start.
+			return ctoken.Pos(int(d.Extent.Pos) + shift)
+		}
+		shift += d.Shift()
+	}
+	return ctoken.Pos(int(p) + shift)
+}
+
+// OldToNew maps a position in the original text to the edited text with
+// right affinity: an insertion exactly at the position lands before it.
+func (m *Mapper) OldToNew(p ctoken.Pos) ctoken.Pos { return m.mapPos(p, true) }
+
+// NewToOld maps a position in the edited text back to the original.
+// Positions inside inserted or replacement text map to the delta's
+// original start.
+func (m *Mapper) NewToOld(p ctoken.Pos) ctoken.Pos {
+	shift := 0 // running new-minus-old offset before the current delta
+	for _, d := range m.deltas {
+		newStart := int(d.Extent.Pos) + shift
+		if ctoken.Pos(newStart) > p {
+			break
+		}
+		newEnd := newStart + len(d.Text)
+		if int(p) < newEnd {
+			return d.Extent.Pos
+		}
+		shift += d.Shift()
+	}
+	return ctoken.Pos(int(p) - shift)
+}
+
+// MapExtent maps an original-coordinate extent into the edited text.
+// The boolean reports exactness: true when no delta landed inside the
+// extent, so the mapped extent covers byte-for-byte the same content;
+// false when the extent was touched and the result is the collapsed
+// approximation. Insertions exactly at either endpoint leave the extent
+// exact: the mapped start uses right affinity and the mapped end left
+// affinity, so endpoint insertions fall outside the mapped range.
+func (m *Mapper) MapExtent(e ctoken.Extent) (ctoken.Extent, bool) {
+	exact := true
+	for _, d := range m.deltas {
+		if d.Extent.Pos >= e.End {
+			break
+		}
+		switch {
+		case d.IsInsert():
+			if d.Extent.Pos > e.Pos && d.Extent.Pos < e.End {
+				exact = false
+			}
+		case d.Extent.Overlaps(e):
+			exact = false
+		}
+	}
+	mapped := ctoken.Extent{Pos: m.mapPos(e.Pos, true), End: m.mapPos(e.End, false)}
+	if mapped.End < mapped.Pos {
+		// A zero-width extent sitting exactly on an insertion point:
+		// collapse consistently to the left-affinity position.
+		mapped.Pos = mapped.End
+	}
+	return mapped, exact
+}
+
+// Minimize shrinks each delta to the bytes it actually changes against
+// src, by trimming the common prefix and suffix between the replaced
+// span and the replacement text, and drops deltas that change nothing.
+// Out-of-bounds deltas pass through untouched so Validate can report
+// them.
+//
+// Minimizing never changes what Apply produces; it changes what the
+// Mapper considers touched. A client that re-sends a whole span (or the
+// whole file) with a one-byte change would otherwise report every
+// retained extent inside the span as edited, defeating incremental
+// reuse — and, worse, a replace that covers bytes without changing them
+// collapses extents that a fresh parse would keep, so downstream
+// consumers that trust exact remaps (overflow.Memo) rely on scripts
+// being minimized first.
+func Minimize(src string, deltas []Delta) []Delta {
+	out := make([]Delta, 0, len(deltas))
+	for _, d := range deltas {
+		if d.Extent.Pos < 0 || d.Extent.End < d.Extent.Pos || int(d.Extent.End) > len(src) {
+			out = append(out, d)
+			continue
+		}
+		old := src[d.Extent.Pos:d.Extent.End]
+		rep := d.Text
+		p := 0
+		for p < len(old) && p < len(rep) && old[p] == rep[p] {
+			p++
+		}
+		sfx := 0
+		for sfx < len(old)-p && sfx < len(rep)-p && old[len(old)-1-sfx] == rep[len(rep)-1-sfx] {
+			sfx++
+		}
+		if p == len(old) && p == len(rep) {
+			continue // pure no-op
+		}
+		out = append(out, Delta{
+			Extent: ctoken.Extent{Pos: d.Extent.Pos + ctoken.Pos(p), End: d.Extent.End - ctoken.Pos(sfx)},
+			Text:   rep[p : len(rep)-sfx],
+		})
+	}
+	return out
+}

@@ -1,0 +1,461 @@
+package edit
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/ctoken"
+)
+
+func ext(pos, end int) ctoken.Extent {
+	return ctoken.Extent{Pos: ctoken.Pos(pos), End: ctoken.Pos(end)}
+}
+
+func mustApply(t *testing.T, s *Script, src string) string {
+	t.Helper()
+	out, err := s.Apply(src)
+	if err != nil {
+		t.Fatalf("Apply(%q): %v", src, err)
+	}
+	return out
+}
+
+func TestApplyBasics(t *testing.T) {
+	src := "hello world"
+	tests := []struct {
+		name string
+		s    *Script
+		want string
+	}{
+		{"empty script", NewScript(), "hello world"},
+		{"insert at start", NewScript(Insert(0, ">> ")), ">> hello world"},
+		{"insert at EOF", NewScript(Insert(ctoken.Pos(len(src)), "!")), "hello world!"},
+		{"delete word", NewScript(Delete(ext(5, 11))), "hello"},
+		{"replace word", NewScript(Replace(ext(6, 11), "gopher")), "hello gopher"},
+		{"delete everything", NewScript(Delete(ext(0, 11))), ""},
+		{"replace everything", NewScript(Replace(ext(0, 11), "x")), "x"},
+		{
+			"unsorted deltas sort before applying",
+			NewScript(Replace(ext(6, 11), "there"), Replace(ext(0, 5), "why")),
+			"why there",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := mustApply(t, tc.s, src); got != tc.want {
+				t.Fatalf("got %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+// Adjacent deltas — one ending exactly where the next starts — must not
+// be treated as overlapping, in either queue order.
+func TestApplyAdjacentDeltas(t *testing.T) {
+	src := "abcdef"
+	s := NewScript(Delete(ext(0, 2)), Replace(ext(2, 4), "XY"), Delete(ext(4, 6)))
+	if got := mustApply(t, s, src); got != "XY" {
+		t.Fatalf("adjacent deltas: got %q, want %q", got, "XY")
+	}
+	// Insert exactly at a deletion's end boundary.
+	s = NewScript(Delete(ext(0, 3)), Insert(3, "Z"))
+	if got := mustApply(t, s, src); got != "Zdef" {
+		t.Fatalf("insert at deletion end: got %q, want %q", got, "Zdef")
+	}
+	// Insert exactly at a replacement's start: the insert sorts first.
+	s = NewScript(Replace(ext(3, 6), "!"), Insert(3, "Z"))
+	if got := mustApply(t, s, src); got != "abcZ!" {
+		t.Fatalf("insert at replacement start: got %q, want %q", got, "abcZ!")
+	}
+}
+
+// Multiple zero-width inserts at one position apply in queue order.
+func TestApplyZeroWidthInsertOrder(t *testing.T) {
+	src := "ab"
+	s := NewScript(Insert(1, "1"), Insert(1, "2"), Insert(1, "3"))
+	if got := mustApply(t, s, src); got != "a123b" {
+		t.Fatalf("queue order: got %q, want %q", got, "a123b")
+	}
+	// Same position, added in a different order.
+	s = NewScript(Insert(1, "3"), Insert(1, "1"), Insert(1, "2"))
+	if got := mustApply(t, s, src); got != "a312b" {
+		t.Fatalf("queue order preserved: got %q, want %q", got, "a312b")
+	}
+}
+
+func TestApplyAtEOF(t *testing.T) {
+	src := "end"
+	eof := ctoken.Pos(len(src))
+	// Insert at EOF, delete ending at EOF, replace ending at EOF.
+	if got := mustApply(t, NewScript(Insert(eof, ".")), src); got != "end." {
+		t.Fatalf("insert at EOF: got %q", got)
+	}
+	if got := mustApply(t, NewScript(Delete(ext(1, 3))), src); got != "e" {
+		t.Fatalf("delete to EOF: got %q", got)
+	}
+	if got := mustApply(t, NewScript(Replace(ext(2, 3), "ough")), src); got != "enough" {
+		t.Fatalf("replace to EOF: got %q", got)
+	}
+	// Empty source: only inserts at 0 are legal.
+	if got := mustApply(t, NewScript(Insert(0, "new")), ""); got != "new" {
+		t.Fatalf("insert into empty: got %q", got)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	src := "0123456789"
+	var be *BoundsError
+	var oe *OverlapError
+
+	_, err := NewScript(Delete(ext(5, 11))).Apply(src)
+	if !errors.As(err, &be) {
+		t.Fatalf("past-EOF delete: got %v, want BoundsError", err)
+	}
+	if be.SrcLen != 10 || be.Index != 0 {
+		t.Fatalf("BoundsError fields: %+v", be)
+	}
+
+	_, err = NewScript(Delta{Extent: ext(7, 3)}).Apply(src)
+	if !errors.As(err, &be) {
+		t.Fatalf("inverted extent: got %v, want BoundsError", err)
+	}
+
+	_, err = NewScript(Delete(ext(0, 5)), Replace(ext(4, 8), "x")).Apply(src)
+	if !errors.As(err, &oe) {
+		t.Fatalf("overlap: got %v, want OverlapError", err)
+	}
+	if oe.At != 4 || oe.Index != 1 {
+		t.Fatalf("OverlapError fields: %+v", oe)
+	}
+
+	// Insert strictly inside a deleted span is an overlap (ambiguous).
+	_, err = NewScript(Delete(ext(0, 5)), Insert(3, "x")).Apply(src)
+	if !errors.As(err, &oe) {
+		t.Fatalf("insert inside deletion: got %v, want OverlapError", err)
+	}
+
+	// Validate alone agrees with Apply.
+	if err := Validate(10, []Delta{Delete(ext(0, 5)), Replace(ext(4, 8), "x")}); err == nil {
+		t.Fatal("Validate missed the overlap")
+	}
+	if err := Validate(10, []Delta{Delete(ext(0, 5)), Insert(5, "x"), Delete(ext(5, 7))}); err != nil {
+		t.Fatalf("Validate rejected legal adjacency: %v", err)
+	}
+}
+
+func TestNewLen(t *testing.T) {
+	s := NewScript(Delete(ext(0, 3)), Insert(5, "abcd"), Replace(ext(7, 9), "x"))
+	src := "0123456789"
+	out := mustApply(t, s, src)
+	if got := s.NewLen(len(src)); got != len(out) {
+		t.Fatalf("NewLen = %d, actual output %d bytes (%q)", got, len(out), out)
+	}
+}
+
+func TestComposeSequential(t *testing.T) {
+	src := "the quick brown fox"
+	first := NewScript(Replace(ext(4, 9), "slow"))    // "the slow brown fox"
+	second := NewScript(Replace(ext(9, 14), "green")) // against first's output
+	composed, err := Compose(len(src), first, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := mustApply(t, first, src)
+	want := mustApply(t, second, mid)
+	got := mustApply(t, composed, src)
+	if got != want {
+		t.Fatalf("Compose: got %q, want %q", got, want)
+	}
+}
+
+func TestComposeSecondEditsInsertedText(t *testing.T) {
+	src := "ab"
+	first := NewScript(Insert(1, "XYZ")) // "aXYZb"
+	// Delete the middle of the inserted text plus the following original
+	// byte.
+	second := NewScript(Delete(ext(2, 5))) // "aX"
+	composed, err := Compose(len(src), first, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := mustApply(t, first, src)
+	want := mustApply(t, second, mid)
+	if got := mustApply(t, composed, src); got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestComposeEmptyScripts(t *testing.T) {
+	src := "unchanged"
+	composed, err := Compose(len(src), NewScript(), NewScript())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if composed.Len() != 0 {
+		t.Fatalf("empty∘empty has %d deltas", composed.Len())
+	}
+	first := NewScript(Replace(ext(0, 2), "ch"))
+	composed, err = Compose(len(src), first, NewScript())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustApply(t, composed, src); got != mustApply(t, first, src) {
+		t.Fatalf("first∘empty: got %q", got)
+	}
+}
+
+func TestComposeInvalid(t *testing.T) {
+	if _, err := Compose(5, NewScript(Delete(ext(0, 9))), NewScript()); err == nil {
+		t.Fatal("invalid first script accepted")
+	}
+	// Second script validated against first's output length (3), not the
+	// original length (5).
+	first := NewScript(Delete(ext(0, 2))) // 5 -> 3 bytes
+	if _, err := Compose(5, first, NewScript(Delete(ext(2, 5)))); err == nil {
+		t.Fatal("second script past mid-text EOF accepted")
+	}
+	if _, err := Compose(5, first, NewScript(Delete(ext(1, 3)))); err != nil {
+		t.Fatalf("legal second script rejected: %v", err)
+	}
+}
+
+// randScript builds a valid random script against a text of length n:
+// non-overlapping spans, random insert/delete/replace mix.
+func randScript(rng *rand.Rand, n int) *Script {
+	s := NewScript()
+	pos := 0
+	for pos <= n {
+		gap := rng.Intn(6)
+		pos += gap
+		if pos > n {
+			break
+		}
+		switch rng.Intn(3) {
+		case 0: // insert
+			s.Add(Insert(ctoken.Pos(pos), randText(rng)))
+			pos++ // keep subsequent spans clear of this boundary
+		case 1: // delete
+			end := pos + rng.Intn(4)
+			if end > n {
+				end = n
+			}
+			s.Add(Delete(ext(pos, end)))
+			pos = end + 1
+		default: // replace
+			end := pos + rng.Intn(4)
+			if end > n {
+				end = n
+			}
+			s.Add(Replace(ext(pos, end), randText(rng)))
+			pos = end + 1
+		}
+		if rng.Intn(3) == 0 {
+			break
+		}
+	}
+	return s
+}
+
+func randText(rng *rand.Rand) string {
+	const alphabet = "xyz_AB"
+	n := rng.Intn(5)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(alphabet[rng.Intn(len(alphabet))])
+	}
+	return sb.String()
+}
+
+// The compose property: Compose(a,b).Apply(src) == b.Apply(a.Apply(src))
+// over randomized script pairs, including chained composition of three.
+func TestComposeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	src := "int main(void) { char buf[16]; strcpy(buf, argv[1]); return 0; }"
+	for i := 0; i < 500; i++ {
+		a := randScript(rng, len(src))
+		mid, err := a.Apply(src)
+		if err != nil {
+			t.Fatalf("iter %d: first script invalid: %v", i, err)
+		}
+		b := randScript(rng, len(mid))
+		want, err := b.Apply(mid)
+		if err != nil {
+			t.Fatalf("iter %d: second script invalid: %v", i, err)
+		}
+		ab, err := Compose(len(src), a, b)
+		if err != nil {
+			t.Fatalf("iter %d: Compose: %v", i, err)
+		}
+		got, err := ab.Apply(src)
+		if err != nil {
+			t.Fatalf("iter %d: composed script invalid: %v\na=%v\nb=%v", i, err, a.Deltas(), b.Deltas())
+		}
+		if got != want {
+			t.Fatalf("iter %d: composed output %q, want %q\na=%v\nb=%v", i, got, want, a.Deltas(), b.Deltas())
+		}
+		// Chain a third script to exercise composed∘composed.
+		c := randScript(rng, len(want))
+		final, err := c.Apply(want)
+		if err != nil {
+			t.Fatalf("iter %d: third script invalid: %v", i, err)
+		}
+		abc, err := Compose(len(src), ab, c)
+		if err != nil {
+			t.Fatalf("iter %d: Compose chained: %v", i, err)
+		}
+		got3, err := abc.Apply(src)
+		if err != nil {
+			t.Fatalf("iter %d: chained composed invalid: %v", i, err)
+		}
+		if got3 != final {
+			t.Fatalf("iter %d: chained output %q, want %q", i, got3, final)
+		}
+	}
+}
+
+func TestMapperOldToNew(t *testing.T) {
+	src := "0123456789"
+	s := NewScript(Delete(ext(2, 4)), Insert(6, "ab")) // "01" + "45" + "ab" + "6789"
+	out := mustApply(t, s, src)
+	if out != "0145ab6789" {
+		t.Fatalf("setup: %q", out)
+	}
+	m := NewMapper(s)
+	cases := []struct{ old, new int }{
+		{0, 0}, {1, 1},
+		{2, 2}, {3, 2}, // inside deletion: collapse to its new start
+		{4, 2}, {5, 3},
+		{6, 6}, // right affinity: lands after "ab"
+		{7, 7}, {9, 9}, {10, 10},
+	}
+	for _, c := range cases {
+		if got := m.OldToNew(ctoken.Pos(c.old)); int(got) != c.new {
+			t.Errorf("OldToNew(%d) = %d, want %d", c.old, got, c.new)
+		}
+	}
+}
+
+func TestMapperNewToOld(t *testing.T) {
+	s := NewScript(Delete(ext(2, 4)), Insert(6, "ab"))
+	m := NewMapper(s)
+	// Output "0145ab6789": positions 4,5 are inserted text → map to 6.
+	cases := []struct{ new, old int }{
+		{0, 0}, {1, 1}, {2, 4}, {3, 5}, {4, 6}, {5, 6}, {6, 6}, {7, 7}, {9, 9},
+	}
+	for _, c := range cases {
+		if got := m.NewToOld(ctoken.Pos(c.new)); int(got) != c.old {
+			t.Errorf("NewToOld(%d) = %d, want %d", c.new, got, c.old)
+		}
+	}
+}
+
+// Round-trip property: for positions untouched by any delta,
+// NewToOld(OldToNew(p)) == p.
+func TestMapperRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	src := strings.Repeat("abcdefgh", 16)
+	for i := 0; i < 200; i++ {
+		s := randScript(rng, len(src))
+		m := NewMapper(s)
+		deltas := s.Deltas()
+	pos:
+		for p := 0; p <= len(src); p++ {
+			for _, d := range deltas {
+				// Skip positions a delta touches; their mapping is
+				// deliberately lossy.
+				if d.IsInsert() {
+					if int(d.Extent.Pos) == p {
+						continue pos
+					}
+				} else if p >= int(d.Extent.Pos) && p <= int(d.Extent.End) {
+					continue pos
+				}
+			}
+			if got := m.NewToOld(m.OldToNew(ctoken.Pos(p))); int(got) != p {
+				t.Fatalf("iter %d: round trip %d -> %d -> %d\nscript=%v",
+					i, p, m.OldToNew(ctoken.Pos(p)), got, deltas)
+			}
+		}
+	}
+}
+
+func TestMapExtent(t *testing.T) {
+	src := "0123456789abcdef"
+	s := NewScript(Delete(ext(2, 4)), Insert(8, "XY"), Replace(ext(10, 12), "z"))
+	out := mustApply(t, s, src)
+	m := NewMapper(s)
+
+	// Untouched extent after all the action shifts exactly.
+	mapped, exact := m.MapExtent(ext(12, 16))
+	if !exact {
+		t.Fatal("untouched extent reported inexact")
+	}
+	if out[mapped.Pos:mapped.End] != src[12:16] {
+		t.Fatalf("mapped text %q, want %q", out[mapped.Pos:mapped.End], src[12:16])
+	}
+
+	// Untouched extent between deltas.
+	mapped, exact = m.MapExtent(ext(4, 8))
+	if !exact || out[mapped.Pos:mapped.End] != src[4:8] {
+		t.Fatalf("between deltas: exact=%v text=%q", exact, out[mapped.Pos:mapped.End])
+	}
+
+	// Extent with an insertion exactly at its end stays exact and does
+	// not swallow the inserted text.
+	mapped, exact = m.MapExtent(ext(6, 8))
+	if !exact || out[mapped.Pos:mapped.End] != src[6:8] {
+		t.Fatalf("insert at end: exact=%v text=%q", exact, out[mapped.Pos:mapped.End])
+	}
+
+	// Extent with an insertion exactly at its start stays exact; right
+	// affinity keeps the inserted text out.
+	mapped, exact = m.MapExtent(ext(8, 10))
+	if !exact || out[mapped.Pos:mapped.End] != src[8:10] {
+		t.Fatalf("insert at start: exact=%v text=%q", exact, out[mapped.Pos:mapped.End])
+	}
+
+	// Extent overlapping a replacement is inexact.
+	if _, exact = m.MapExtent(ext(9, 11)); exact {
+		t.Fatal("overlapping replacement reported exact")
+	}
+	// Extent containing an insertion strictly inside is inexact.
+	if _, exact = m.MapExtent(ext(7, 9)); exact {
+		t.Fatal("interior insertion reported exact")
+	}
+	// Extent inside a deleted span collapses.
+	mapped, exact = m.MapExtent(ext(2, 3))
+	if exact || mapped.Len() != 0 {
+		t.Fatalf("deleted span: exact=%v mapped=%+v", exact, mapped)
+	}
+}
+
+// Exactness property: whenever MapExtent reports exact, the mapped
+// extent's bytes in the edited text equal the original extent's bytes.
+func TestMapExtentExactnessProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	src := strings.Repeat("0123456789", 10)
+	for i := 0; i < 300; i++ {
+		s := randScript(rng, len(src))
+		out := mustApply(t, s, src)
+		m := NewMapper(s)
+		for j := 0; j < 50; j++ {
+			a := rng.Intn(len(src))
+			b := a + rng.Intn(len(src)-a)
+			e := ext(a, b)
+			mapped, exact := m.MapExtent(e)
+			if !exact {
+				continue
+			}
+			if int(mapped.End) > len(out) || mapped.Pos > mapped.End {
+				t.Fatalf("iter %d: exact extent out of bounds: %+v -> %+v (out %d bytes)\nscript=%v",
+					i, e, mapped, len(out), s.Deltas())
+			}
+			if out[mapped.Pos:mapped.End] != src[e.Pos:e.End] {
+				t.Fatalf("iter %d: exact extent changed: %+v(%q) -> %+v(%q)\nscript=%v",
+					i, e, src[e.Pos:e.End], mapped, out[mapped.Pos:mapped.End], s.Deltas())
+			}
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package incremental
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ctoken"
+	"repro/internal/edit"
+	"repro/internal/intflow"
+	"repro/internal/overflow"
+)
+
+// twoFuncs holds two overflowing functions with no call edges between
+// them, so each is its own dependency-closure root: editing one must
+// not re-derive the other.
+const twoFuncs = `
+void first(void) {
+    char a[8];
+    strcpy(a, "0123456789");
+}
+
+void second(void) {
+    char b[8];
+    strcpy(b, "abcdefghij");
+}
+`
+
+// structUsers shares one struct between two functions; a third is
+// independent of it.
+const structUsers = `
+struct pkt { char body[8]; };
+
+void reader(struct pkt *p) {
+    strcpy(p->body, "0123456789");
+}
+
+void writer(struct pkt *p) {
+    memset(p->body, 0, 16);
+}
+
+void loner(void) {
+    char c[4];
+    strcpy(c, "xxxxxxxx");
+}
+`
+
+func open(t *testing.T, src string) (*Session, *Result) {
+	t.Helper()
+	s, res, err := Open(context.Background(), "s.c", src, Config{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s, res
+}
+
+// fresh is the equivalence baseline: a from-scratch core.Analyze plus a
+// from-scratch session open for the site list.
+func fresh(t *testing.T, src string) ([]overflow.Finding, []Site) {
+	t.Helper()
+	findings, err := core.Analyze(context.Background(), "s.c", src, core.Options{Checks: "all"})
+	if err != nil {
+		t.Fatalf("fresh Analyze: %v", err)
+	}
+	_, res, err := Open(context.Background(), "s.c", src, Config{})
+	if err != nil {
+		t.Fatalf("fresh Open: %v", err)
+	}
+	return findings, res.Sites
+}
+
+func requireEquivalent(t *testing.T, s *Session) {
+	t.Helper()
+	wantF, wantS := fresh(t, s.Text())
+	if got := s.Findings(); !reflect.DeepEqual(got, wantF) {
+		t.Fatalf("findings diverge from fresh analysis:\nsession: %+v\nfresh:   %+v", got, wantF)
+	}
+	if got := s.Sites(); !reflect.DeepEqual(got, wantS) {
+		t.Fatalf("sites diverge from fresh discovery:\nsession: %+v\nfresh:   %+v", got, wantS)
+	}
+}
+
+func TestOpenMatchesFreshAnalyze(t *testing.T) {
+	s, res := open(t, twoFuncs)
+	if len(res.Findings) == 0 {
+		t.Fatal("expected findings in overflowing sample")
+	}
+	if len(res.Sites) == 0 {
+		t.Fatal("expected SLR sites in overflowing sample")
+	}
+	requireEquivalent(t, s)
+}
+
+// TestCommentEditReusesEverything pins the satellite guarantee: an edit
+// that only touches comments/whitespace invalidates nothing — zero
+// functions re-analyzed, zero new fixpoint solves in either oracle, and
+// the site list reused without re-running the transformers.
+func TestCommentEditReusesEverything(t *testing.T) {
+	s, _ := open(t, twoFuncs)
+
+	at := ctoken.Pos(strings.Index(s.Text(), "    char b[8];"))
+	ovf0, int0 := overflow.Solves(), intflow.Solves()
+	res, err := s.Edit(context.Background(), []edit.Delta{
+		edit.Insert(at, "/* a comment on its own line */\n"),
+	})
+	if err != nil {
+		t.Fatalf("Edit: %v", err)
+	}
+	if res.FuncsReanalyzed != 0 || res.FuncsReused != 2 {
+		t.Fatalf("comment edit: reanalyzed=%d reused=%d, want 0/2", res.FuncsReanalyzed, res.FuncsReused)
+	}
+	if d := overflow.Solves() - ovf0; d != 0 {
+		t.Fatalf("comment edit ran %d overflow solves, want 0", d)
+	}
+	if d := intflow.Solves() - int0; d != 0 {
+		t.Fatalf("comment edit ran %d intflow solves, want 0", d)
+	}
+	requireEquivalent(t, s)
+}
+
+// TestSingleFunctionEditSolvesOnlyDirty pins the counter proof from the
+// acceptance criteria: after an edit inside one function, the fixpoint
+// solver runs for that function alone.
+func TestSingleFunctionEditSolvesOnlyDirty(t *testing.T) {
+	s, _ := open(t, twoFuncs)
+
+	// Grow first's buffer: first is dirty, second must replay.
+	at := strings.Index(s.Text(), "a[8]") + len("a[")
+	ovf0, int0 := overflow.Solves(), intflow.Solves()
+	res, err := s.Edit(context.Background(), []edit.Delta{
+		edit.Replace(ctoken.Extent{Pos: ctoken.Pos(at), End: ctoken.Pos(at + 1)}, "9"),
+	})
+	if err != nil {
+		t.Fatalf("Edit: %v", err)
+	}
+	if res.FuncsReanalyzed != 1 || res.FuncsReused != 1 {
+		t.Fatalf("single-function edit: reanalyzed=%d reused=%d, want 1/1", res.FuncsReanalyzed, res.FuncsReused)
+	}
+	if d := overflow.Solves() - ovf0; d != 1 {
+		t.Fatalf("overflow solves after single-function edit: %d, want exactly 1 (the edited function)", d)
+	}
+	if d := intflow.Solves() - int0; d != 1 {
+		t.Fatalf("intflow solves after single-function edit: %d, want exactly 1 (the edited function)", d)
+	}
+	requireEquivalent(t, s)
+}
+
+// TestSharedStructEditInvalidatesUsers pins dependency-hash propagation
+// through file-scope declarations: shrinking a struct both reader and
+// writer reference dirties exactly those two, never the loner.
+func TestSharedStructEditInvalidatesUsers(t *testing.T) {
+	s, _ := open(t, structUsers)
+
+	at := strings.Index(s.Text(), "body[8]") + len("body[")
+	res, err := s.Edit(context.Background(), []edit.Delta{
+		edit.Replace(ctoken.Extent{Pos: ctoken.Pos(at), End: ctoken.Pos(at + 1)}, "4"),
+	})
+	if err != nil {
+		t.Fatalf("Edit: %v", err)
+	}
+	if res.FuncsReanalyzed != 2 || res.FuncsReused != 1 {
+		t.Fatalf("struct edit: reanalyzed=%d reused=%d, want 2 users dirty and 1 loner reused",
+			res.FuncsReanalyzed, res.FuncsReused)
+	}
+	requireEquivalent(t, s)
+}
+
+// TestWholeFileResendIsIncremental pins the Minimize path used by
+// full-text-sync LSP clients: re-sending the entire file with a
+// one-byte change must count as that one byte, not as a whole-file
+// replace that collapses every retained extent.
+func TestWholeFileResendIsIncremental(t *testing.T) {
+	s, _ := open(t, twoFuncs)
+
+	// Identical resend: a pure no-op, nothing re-derived.
+	ovf0 := overflow.Solves()
+	whole := ctoken.Extent{Pos: 0, End: ctoken.Pos(len(s.Text()))}
+	res, err := s.Edit(context.Background(), []edit.Delta{edit.Replace(whole, s.Text())})
+	if err != nil {
+		t.Fatalf("identity resend: %v", err)
+	}
+	if res.FuncsReanalyzed != 0 || overflow.Solves() != ovf0 {
+		t.Fatalf("identity resend re-derived work: reanalyzed=%d solves=%d",
+			res.FuncsReanalyzed, overflow.Solves()-ovf0)
+	}
+
+	// Whole-file resend with one byte changed inside second.
+	edited := strings.Replace(s.Text(), "b[8]", "b[6]", 1)
+	ovf0 = overflow.Solves()
+	res, err = s.Edit(context.Background(), []edit.Delta{edit.Replace(whole, edited)})
+	if err != nil {
+		t.Fatalf("one-byte resend: %v", err)
+	}
+	if s.Text() != edited {
+		t.Fatal("resend did not apply")
+	}
+	if res.FuncsReanalyzed != 1 || res.FuncsReused != 1 {
+		t.Fatalf("one-byte resend: reanalyzed=%d reused=%d, want 1/1", res.FuncsReanalyzed, res.FuncsReused)
+	}
+	if d := overflow.Solves() - ovf0; d != 1 {
+		t.Fatalf("one-byte resend ran %d overflow solves, want 1", d)
+	}
+	requireEquivalent(t, s)
+}
+
+// TestEditInsideFindingExtentStaysEquivalent exercises the remap
+// exactness gate: a comment inserted inside a finding's call expression
+// leaves the hash unchanged but must force re-derivation, because the
+// fresh extent grows to cover the comment.
+func TestEditInsideFindingExtentStaysEquivalent(t *testing.T) {
+	s, _ := open(t, twoFuncs)
+
+	// Inside the first strcpy's argument list.
+	at := ctoken.Pos(strings.Index(s.Text(), `a, "0123456789"`))
+	if _, err := s.Edit(context.Background(), []edit.Delta{
+		edit.Insert(at, "/*in-call*/"),
+	}); err != nil {
+		t.Fatalf("Edit: %v", err)
+	}
+	requireEquivalent(t, s)
+}
+
+func TestEditThatBreaksParseLeavesSessionIntact(t *testing.T) {
+	s, _ := open(t, twoFuncs)
+	before := s.Text()
+	wantF := s.Findings()
+
+	at := ctoken.Pos(strings.Index(before, "strcpy"))
+	if _, err := s.Edit(context.Background(), []edit.Delta{
+		edit.Insert(at, ")))"),
+	}); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if s.Text() != before {
+		t.Fatal("failed edit mutated the session text")
+	}
+	if !reflect.DeepEqual(s.Findings(), wantF) {
+		t.Fatal("failed edit mutated the session findings")
+	}
+	// The session must still accept edits afterwards.
+	if _, err := s.Edit(context.Background(), []edit.Delta{
+		edit.Insert(0, "/*ok*/"),
+	}); err != nil {
+		t.Fatalf("edit after failed edit: %v", err)
+	}
+	requireEquivalent(t, s)
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	s, _ := open(t, twoFuncs)
+	for i := 0; i < 3; i++ {
+		if _, err := s.Edit(context.Background(), []edit.Delta{
+			edit.Insert(0, "/*x*/"),
+		}); err != nil {
+			t.Fatalf("edit %d: %v", i, err)
+		}
+	}
+	c := s.Counters()
+	if c.EditsApplied != 3 {
+		t.Fatalf("EditsApplied = %d, want 3", c.EditsApplied)
+	}
+	if c.FuncsReused != 6 || c.FuncsReanalyzed != 0 {
+		t.Fatalf("reused=%d reanalyzed=%d, want 6/0", c.FuncsReused, c.FuncsReanalyzed)
+	}
+}
+
+func TestDeletedFunctionCountsDirty(t *testing.T) {
+	s, _ := open(t, twoFuncs)
+	// Delete second entirely.
+	start := strings.Index(s.Text(), "void second")
+	res, err := s.Edit(context.Background(), []edit.Delta{
+		edit.Delete(ctoken.Extent{Pos: ctoken.Pos(start), End: ctoken.Pos(len(s.Text()))}),
+	})
+	if err != nil {
+		t.Fatalf("Edit: %v", err)
+	}
+	if res.FuncsReanalyzed != 1 || res.FuncsReused != 1 {
+		t.Fatalf("deletion: reanalyzed=%d reused=%d, want 1 (deleted) / 1 (kept)", res.FuncsReanalyzed, res.FuncsReused)
+	}
+	requireEquivalent(t, s)
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/cast"
+	"repro/internal/clex"
 	"repro/internal/ctoken"
 	"repro/internal/ctype"
 	"repro/internal/overflow"
@@ -164,12 +165,18 @@ func (c *ichecker) fallbackSizeGuard(arg cast.Expr) string {
 	return fmt.Sprintf("if (%s == 0 || %s > SIZE_MAX / 2) { /* size may have wrapped; recompute in a wider type */ }", v, v)
 }
 
-// srcText returns the whitespace-normalized source spelling of e.
+// srcText returns the whitespace-normalized source spelling of e, with
+// comments masked out. Masking matters for incremental sessions: the
+// dependency hash ignores comments, so a memoized finding survives a
+// comment-only edit — quoted spellings must therefore not depend on
+// comments either, or the memoized Msg/Guard would differ from a fresh
+// run's.
 func (c *ichecker) srcText(e cast.Expr) string {
 	if e == nil || c.a.unit.File == nil {
 		return ""
 	}
-	return strings.Join(strings.Fields(c.a.unit.File.Slice(e.Extent())), " ")
+	masked := clex.MaskComments(c.a.unit.File.Slice(e.Extent()))
+	return strings.Join(strings.Fields(masked), " ")
 }
 
 // boundLit renders a type's maximum as a C literal (suffixed for the

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/callgraph"
 	"repro/internal/cast"
@@ -43,6 +44,13 @@ type Options struct {
 	// budgets degrade — affected functions get a SevPossible
 	// CWEIncomplete finding instead of silently passing.
 	Limits fault.Limits
+	// Memo, when non-nil, retains findings across runs for incremental
+	// sessions. The type is shared with the buffer oracle (Finding is an
+	// alias) but each oracle keeps its own instance; keys are namespaced
+	// by oracle tag regardless. Arming conditions mirror
+	// overflow.Options.Memo: unbudgeted runs with a facts provider that
+	// exposes FuncHashes.
+	Memo *overflow.Memo
 }
 
 // DefaultOptions returns the standard configuration.
@@ -74,6 +82,11 @@ type Analyzer struct {
 	cfgs      map[string]*cfg.Graph
 	memo      map[string]*solveEntry
 	ready     bool
+
+	// Cross-run memoization (incremental sessions).
+	hashes  map[string]string
+	useMemo bool
+	optsSig string
 
 	// Fault-containment bookkeeping, mirroring the buffer oracle's.
 	degradedFns  map[string]bool
@@ -125,6 +138,59 @@ func (a *Analyzer) ensure() {
 		}
 	}
 	a.discoverSinks()
+	// Same arming conditions as the buffer oracle: unbudgeted runs only,
+	// hash-providing facts snapshot only.
+	if a.opts.Memo != nil && a.opts.Limits.Steps == 0 && a.opts.Limits.Contexts == 0 {
+		if hp, ok := a.facts.(interface{ FuncHashes() map[string]string }); ok {
+			a.hashes = hp.FuncHashes()
+			a.useMemo = a.hashes != nil
+			a.optsSig = fmt.Sprintf("%d", a.opts.ContextDepth)
+			if a.useMemo {
+				a.opts.Memo.BeginRun()
+			}
+		}
+	}
+}
+
+// solves counts range fixpoint solves package-wide; incremental
+// equivalence tests read it to prove untouched functions were not
+// re-derived. See overflow.Solves.
+var solves int64
+
+// Solves returns the number of per-function fixpoint solves this package
+// has run since process start.
+func Solves() int64 { return atomic.LoadInt64(&solves) }
+
+// subtreeKey builds the cross-run memo key for one propagation subtree,
+// or "" when the context is not memoizable.
+func (a *Analyzer) subtreeKey(fn *cast.FuncDef, seed map[int]ival, chain []string, depth int) string {
+	if !a.useMemo {
+		return ""
+	}
+	h, ok := a.hashes[fn.Name]
+	if !ok {
+		return ""
+	}
+	return overflow.Pass2Key("int", a.optsSig, h, chain, stableIvalSeed(fn, seed), depth)
+}
+
+// stableIvalSeed renders a parameter seed by parameter position so the
+// serialization survives re-parses (symbol IDs do not).
+func stableIvalSeed(fn *cast.FuncDef, seed map[int]ival) string {
+	if len(seed) == 0 {
+		return ""
+	}
+	paramIndex := make(map[int]int, len(fn.Params))
+	for i, p := range fn.Params {
+		if p.Sym != nil {
+			paramIndex[p.Sym.ID] = i
+		}
+	}
+	values := make(map[int]string, len(seed))
+	for id, v := range seed {
+		values[id] = fmt.Sprintf("%d,%d,%t,%t,%s", v.v.Lo, v.v.Hi, v.wrapped, v.definite, v.guard)
+	}
+	return overflow.StableSeedKey(paramIndex, values)
 }
 
 // discoverSinks seeds the allocation-size sinks with the library
@@ -230,6 +296,7 @@ func (a *Analyzer) solve(fn *cast.FuncDef, seed map[int]ival) *solveEntry {
 		return ent
 	}
 	g := a.cfgFor(fn)
+	atomic.AddInt64(&solves, 1)
 	p := &iproblem{fn: fn, seed: seed, globalIDs: a.globalIDs, sinks: a.sinks, mm: a.mm}
 	sol := dataflow.SolveForwardLimits[istate](g, p, a.opts.Limits)
 	if sol.Degraded {
@@ -252,7 +319,12 @@ func seedKey(seed map[int]ival) string {
 	var sb strings.Builder
 	for _, id := range ids {
 		v := seed[id]
-		fmt.Fprintf(&sb, "%d:%d,%d,%t,%t;", id, v.v.Lo, v.v.Hi, v.wrapped, v.definite)
+		// guard is part of the key: two seeds that differ only in their
+		// rendered precondition must not share a solution, or the guard
+		// that surfaces at a sink would depend on context visit order —
+		// and incremental re-analysis (which skips some contexts via the
+		// cross-run memo) would then disagree with a fresh run.
+		fmt.Fprintf(&sb, "%d:%d,%d,%t,%t,%s;", id, v.v.Lo, v.v.Hi, v.wrapped, v.definite, v.guard)
 	}
 	return sb.String()
 }
@@ -267,8 +339,22 @@ func (a *Analyzer) Analyze() []Finding {
 	// Pass 1: every function with unknown parameters.
 	for _, fn := range a.unit.Funcs {
 		fault.CheckCtx(a.opts.Limits.Ctx)
+		var key string
+		if a.useMemo {
+			if h, ok := a.hashes[fn.Name]; ok {
+				key = overflow.Pass1Key("int", a.optsSig, fn.Name, h)
+				if fs, ok := a.opts.Memo.Load(key, a.unit.File); ok {
+					all = append(all, fs...)
+					continue
+				}
+			}
+		}
 		ent := a.solve(fn, nil)
-		all = append(all, a.check(fn, ent, nil)...)
+		fs := a.check(fn, ent, nil)
+		if key != "" {
+			a.opts.Memo.Store(key, fs)
+		}
+		all = append(all, fs...)
 	}
 	// Pass 2: propagate argument ranges from the call-graph roots.
 	if a.opts.ContextDepth > 0 {
@@ -307,6 +393,14 @@ func (a *Analyzer) propagate(fn *cast.FuncDef, seed map[int]ival, chain []string
 		a.interprocCut = true
 		return nil
 	}
+	// A subtree hit replays this context and everything below it; fn's
+	// dependency hash covers its transitive callees.
+	key := a.subtreeKey(fn, seed, chain, depth)
+	if key != "" {
+		if out, ok := a.opts.Memo.Load(key, a.unit.File); ok {
+			return out
+		}
+	}
 	a.ctxSpent++
 	ent := a.solve(fn, seed)
 	var out []Finding
@@ -314,20 +408,22 @@ func (a *Analyzer) propagate(fn *cast.FuncDef, seed map[int]ival, chain []string
 		// Pass 1 already checked the empty-seed root context.
 		out = a.check(fn, ent, chain)
 	}
-	if depth == 0 {
-		return out
+	if depth > 0 {
+		for _, e := range a.cg.CallsFrom(fn.Name) {
+			if e.Callee == nil || inChain(chain, e.CalleeName) {
+				continue
+			}
+			n := ent.g.NodeContaining(e.Call)
+			if n == nil || !ent.sol.Reached[n.ID] {
+				continue
+			}
+			next := a.argSeed(ent.p, ent.sol.In[n.ID], e)
+			sub := append(append([]string(nil), chain...), e.CalleeName)
+			out = append(out, a.propagate(e.Callee, next, sub, depth-1)...)
+		}
 	}
-	for _, e := range a.cg.CallsFrom(fn.Name) {
-		if e.Callee == nil || inChain(chain, e.CalleeName) {
-			continue
-		}
-		n := ent.g.NodeContaining(e.Call)
-		if n == nil || !ent.sol.Reached[n.ID] {
-			continue
-		}
-		next := a.argSeed(ent.p, ent.sol.In[n.ID], e)
-		sub := append(append([]string(nil), chain...), e.CalleeName)
-		out = append(out, a.propagate(e.Callee, next, sub, depth-1)...)
+	if key != "" {
+		a.opts.Memo.Store(key, out)
 	}
 	return out
 }

@@ -44,6 +44,11 @@ const (
 	StageLint      = "lint"
 	StageCacheHit  = "cache_hit"
 	StageCacheMiss = "cache_miss"
+	// StageHashes is the per-function dependency-hash computation backing
+	// incremental invalidation; StageIncremental is one edit-triggered
+	// re-analysis inside an incremental session.
+	StageHashes      = "hashes"
+	StageIncremental = "incremental"
 )
 
 // Attr is one key/value annotation on a span (file, function count,

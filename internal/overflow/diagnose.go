@@ -158,6 +158,13 @@ type Options struct {
 	// budgets degrade — affected functions get a SevPossible
 	// CWEIncomplete finding instead of silently passing.
 	Limits fault.Limits
+	// Memo, when non-nil, retains findings across runs keyed by the
+	// dependency hashes the facts provider exposes (FuncHashes). It only
+	// takes effect on unbudgeted runs (Limits.Steps and Limits.Contexts
+	// both zero) with a hash-providing facts snapshot; otherwise the
+	// oracle silently runs from scratch, so memoized and fresh analyses
+	// can never disagree about degradation.
+	Memo *Memo
 }
 
 // DefaultOptions returns the standard configuration.
@@ -189,6 +196,11 @@ type Analyzer struct {
 	cfgs      map[string]*cfg.Graph
 	memo      map[string]*solveEntry
 	ready     bool
+
+	// Cross-run memoization (incremental sessions).
+	hashes  map[string]string // per-function dependency hashes from the facts provider
+	useMemo bool
+	optsSig string
 
 	// Fault-containment bookkeeping (DESIGN.md Section 9).
 	degradedFns  map[string]bool // functions whose interval solve was cut short
@@ -228,6 +240,19 @@ func (a *Analyzer) ensure() {
 	} else {
 		a.cg = callgraph.Build(a.unit)
 		a.buf = buflen.NewAnalyzer(a.unit)
+	}
+	// Cross-run memoization arms only for unbudgeted runs whose facts
+	// provider exposes dependency hashes: budget degradation depends on
+	// visit order, which a memo hit would skip.
+	if a.opts.Memo != nil && a.opts.Limits.Steps == 0 && a.opts.Limits.Contexts == 0 {
+		if hp, ok := a.facts.(interface{ FuncHashes() map[string]string }); ok {
+			a.hashes = hp.FuncHashes()
+			a.useMemo = a.hashes != nil
+			a.optsSig = fmt.Sprintf("%d|%t", a.opts.ContextDepth, a.opts.SeedFromBuflen)
+			if a.useMemo {
+				a.opts.Memo.BeginRun()
+			}
+		}
 	}
 	a.cfgs = make(map[string]*cfg.Graph)
 	a.memo = make(map[string]*solveEntry)
@@ -272,6 +297,7 @@ func (a *Analyzer) solve(fn *cast.FuncDef, seed map[int]varState) (*cfg.Graph, *
 		return ent.g, ent.sol
 	}
 	g := a.cfgFor(fn)
+	countSolve()
 	p := &funcProblem{fn: fn, seed: seed, globals: a.globals, globalIDs: a.globalIDs}
 	sol := dataflow.SolveForwardLimits[state](g, p, a.opts.Limits)
 	if sol.Degraded {
@@ -311,8 +337,22 @@ func (a *Analyzer) Analyze() []Finding {
 	// could make the access concrete.
 	for _, fn := range a.unit.Funcs {
 		fault.CheckCtx(a.opts.Limits.Ctx)
+		var key string
+		if a.useMemo {
+			if h, ok := a.hashes[fn.Name]; ok {
+				key = Pass1Key(a.oracleTag(), a.optsSig, fn.Name, h)
+				if fs, ok := a.opts.Memo.Load(key, a.unit.File); ok {
+					all = append(all, fs...)
+					continue
+				}
+			}
+		}
 		g, sol := a.solve(fn, nil)
-		all = append(all, a.check(fn, g, sol, nil)...)
+		fs := a.check(fn, g, sol, nil)
+		if key != "" {
+			a.opts.Memo.Store(key, fs)
+		}
+		all = append(all, fs...)
 	}
 	// Pass 2: propagate argument intervals from the call-graph roots.
 	if a.opts.ContextDepth > 0 {
@@ -366,11 +406,60 @@ func (a *Analyzer) Degradations() []string {
 	return out
 }
 
+// oracleTag namespaces this oracle's memo keys. The integer-overflow
+// oracle (internal/intflow) shares the Memo type via the Finding alias
+// and tags its keys "int".
+func (a *Analyzer) oracleTag() string { return "ovf" }
+
+// subtreeKey builds the cross-run memo key for one propagation subtree,
+// or "" when the context is not memoizable (memo off, no hash for fn, or
+// a seed on something other than fn's parameters).
+func (a *Analyzer) subtreeKey(fn *cast.FuncDef, seed map[int]varState, chain []string, depth int) string {
+	if !a.useMemo {
+		return ""
+	}
+	h, ok := a.hashes[fn.Name]
+	if !ok {
+		return ""
+	}
+	return Pass2Key(a.oracleTag(), a.optsSig, h, chain, stableVarSeed(fn, seed), depth)
+}
+
+// stableVarSeed renders a parameter seed by parameter position so the
+// serialization survives re-parses (symbol IDs do not).
+func stableVarSeed(fn *cast.FuncDef, seed map[int]varState) string {
+	if len(seed) == 0 {
+		return ""
+	}
+	paramIndex := make(map[int]int, len(fn.Params))
+	for i, p := range fn.Params {
+		if p.Sym != nil {
+			paramIndex[p.Sym.ID] = i
+		}
+	}
+	values := make(map[int]string, len(seed))
+	for id, vs := range seed {
+		values[id] = fmt.Sprintf("%d,%d,%d,%d,%d,%d,%d,%d,%d",
+			vs.size.Lo, vs.size.Hi, vs.off.Lo, vs.off.Hi,
+			vs.strl.Lo, vs.strl.Hi, vs.val.Lo, vs.val.Hi, vs.reg)
+	}
+	return StableSeedKey(paramIndex, values)
+}
+
 func (a *Analyzer) propagate(fn *cast.FuncDef, seed map[int]varState, chain []string, depth int) []Finding {
 	fault.CheckCtx(a.opts.Limits.Ctx)
 	if max := a.opts.Limits.Contexts; max > 0 && a.ctxSpent >= max {
 		a.interprocCut = true
 		return nil
+	}
+	// A subtree hit replays this context and everything the recursion
+	// below it would derive — fn's dependency hash covers its transitive
+	// callees, so a hit proves none of them changed either.
+	key := a.subtreeKey(fn, seed, chain, depth)
+	if key != "" {
+		if out, ok := a.opts.Memo.Load(key, a.unit.File); ok {
+			return out
+		}
 	}
 	a.ctxSpent++
 	g, sol := a.solve(fn, seed)
@@ -379,20 +468,22 @@ func (a *Analyzer) propagate(fn *cast.FuncDef, seed map[int]varState, chain []st
 		// Pass 1 already checked the empty-seed root context.
 		out = a.check(fn, g, sol, chain)
 	}
-	if depth == 0 {
-		return out
+	if depth > 0 {
+		for _, e := range a.cg.CallsFrom(fn.Name) {
+			if e.Callee == nil || inChain(chain, e.CalleeName) {
+				continue
+			}
+			n := g.NodeContaining(e.Call)
+			if n == nil || !sol.Reached[n.ID] {
+				continue
+			}
+			next := a.argSeed(sol.In[n.ID], e)
+			sub := append(append([]string(nil), chain...), e.CalleeName)
+			out = append(out, a.propagate(e.Callee, next, sub, depth-1)...)
+		}
 	}
-	for _, e := range a.cg.CallsFrom(fn.Name) {
-		if e.Callee == nil || inChain(chain, e.CalleeName) {
-			continue
-		}
-		n := g.NodeContaining(e.Call)
-		if n == nil || !sol.Reached[n.ID] {
-			continue
-		}
-		next := a.argSeed(sol.In[n.ID], e)
-		sub := append(append([]string(nil), chain...), e.CalleeName)
-		out = append(out, a.propagate(e.Callee, next, sub, depth-1)...)
+	if key != "" {
+		a.opts.Memo.Store(key, out)
 	}
 	return out
 }

@@ -9,11 +9,12 @@
 package rewrite
 
 import (
+	"errors"
 	"fmt"
 	"sort"
-	"strings"
 
 	"repro/internal/ctoken"
+	"repro/internal/edit"
 )
 
 // Edit replaces the bytes of Extent with Text. A zero-length extent is an
@@ -71,38 +72,28 @@ func (s *Set) Edits() []Edit {
 
 // Apply splices the edits into src. Overlapping replacement edits are an
 // error; multiple insertions at the same position apply in queue order.
+// The splice itself is the shared internal/edit implementation — Edits()
+// sorts with the same (Pos, End) stable order edit.Sort uses, so error
+// indices line up with the sorted edit list.
 func (s *Set) Apply(src string) (string, error) {
-	edits := make([]Edit, len(s.edits))
-	copy(edits, s.edits)
-	// Stable sort keeps queue order for same-position insertions.
-	sort.SliceStable(edits, func(i, j int) bool {
-		if edits[i].Extent.Pos != edits[j].Extent.Pos {
-			return edits[i].Extent.Pos < edits[j].Extent.Pos
-		}
-		return edits[i].Extent.End < edits[j].Extent.End
-	})
-	var sb strings.Builder
-	sb.Grow(len(src) + 256)
-	cursor := 0
+	edits := s.Edits()
+	deltas := make([]edit.Delta, len(edits))
 	for i, e := range edits {
-		if !e.Extent.IsValid() || int(e.Extent.End) > len(src) {
-			return "", fmt.Errorf("edit %d has invalid extent [%d,%d) for source of %d bytes",
-				i, e.Extent.Pos, e.Extent.End, len(src))
-		}
-		if int(e.Extent.Pos) < cursor {
-			// Same-position pure insertions are fine; anything else
-			// overlaps.
-			if e.Extent.Len() == 0 && int(e.Extent.Pos) == cursor {
-				sb.WriteString(e.Text)
-				continue
-			}
-			return "", fmt.Errorf("edit %d (%s) overlaps a previous edit at offset %d",
-				i, e.Note, e.Extent.Pos)
-		}
-		sb.WriteString(src[cursor:e.Extent.Pos])
-		sb.WriteString(e.Text)
-		cursor = int(e.Extent.End)
+		deltas[i] = edit.Delta{Extent: e.Extent, Text: e.Text}
 	}
-	sb.WriteString(src[cursor:])
-	return sb.String(), nil
+	out, err := edit.Splice(src, deltas)
+	if err != nil {
+		var be *edit.BoundsError
+		var oe *edit.OverlapError
+		switch {
+		case errors.As(err, &be):
+			return "", fmt.Errorf("edit %d has invalid extent [%d,%d) for source of %d bytes",
+				be.Index, be.Delta.Extent.Pos, be.Delta.Extent.End, be.SrcLen)
+		case errors.As(err, &oe):
+			return "", fmt.Errorf("edit %d (%s) overlaps a previous edit at offset %d",
+				oe.Index, edits[oe.Index].Note, oe.At)
+		}
+		return "", err
+	}
+	return out, nil
 }

@@ -26,6 +26,15 @@ type metrics struct {
 	// (CWE-190/191/680) across all served lint and fix responses.
 	intFindings atomic.Int64
 
+	// Incremental-session accounting (/v1/session/*): opens requested,
+	// edit scripts applied, and the per-function work breakdown summed
+	// over every applied edit. The open-session gauge itself is read
+	// from the registry at snapshot time.
+	sessionOpens           atomic.Int64
+	sessionEdits           atomic.Int64
+	sessionFuncsReanalyzed atomic.Int64
+	sessionFuncsReused     atomic.Int64
+
 	clientErrors atomic.Int64 // 4xx other than 429
 	serverErrors atomic.Int64 // 5xx
 	panics       atomic.Int64 // recovered panics (contained crashes)
@@ -156,6 +165,17 @@ type Snapshot struct {
 	// the demand signal for the `-checks=int` oracle.
 	IntflowFindings int64 `json:"intflow_findings"`
 	InFlight        int64 `json:"in_flight"`
+	// Sessions reports the incremental-session endpoints' counters:
+	// the open-session gauge plus cumulative edit work. FuncsReused
+	// versus FuncsReanalyzed is the daemon-level measure of how much
+	// re-derivation the memoized sessions avoided.
+	Sessions struct {
+		Open            int64 `json:"sessions_open"`
+		Opens           int64 `json:"opens_total"`
+		EditsApplied    int64 `json:"edits_applied"`
+		FuncsReanalyzed int64 `json:"funcs_reanalyzed"`
+		FuncsReused     int64 `json:"funcs_reused"`
+	} `json:"sessions"`
 	// Cache reports the result cache's counters; absent when the daemon
 	// runs uncached.
 	Cache *cfix.CacheStats `json:"cache,omitempty"`
@@ -185,7 +205,7 @@ type StageSnapshot struct {
 }
 
 // snapshot reads every counter.
-func (m *metrics) snapshot(cache *cfix.ResultCache, gate *Gate, draining bool) Snapshot {
+func (m *metrics) snapshot(cache *cfix.ResultCache, gate *Gate, sessions *sessionRegistry, draining bool) Snapshot {
 	var s Snapshot
 	s.UptimeSeconds = time.Since(m.start).Seconds()
 	s.Requests.Fix = m.fixRequests.Load()
@@ -202,6 +222,13 @@ func (m *metrics) snapshot(cache *cfix.ResultCache, gate *Gate, draining bool) S
 	s.DegradedResponses = m.degraded.Load()
 	s.IntflowFindings = m.intFindings.Load()
 	s.InFlight = gate.InFlight()
+	if sessions != nil {
+		s.Sessions.Open = sessions.count()
+	}
+	s.Sessions.Opens = m.sessionOpens.Load()
+	s.Sessions.EditsApplied = m.sessionEdits.Load()
+	s.Sessions.FuncsReanalyzed = m.sessionFuncsReanalyzed.Load()
+	s.Sessions.FuncsReused = m.sessionFuncsReused.Load()
 	if cache != nil {
 		st := cache.Stats()
 		s.Cache = &st

@@ -71,6 +71,9 @@ type Config struct {
 	// Workers bounds the batch endpoint's worker pool; <= 0 means one
 	// per CPU.
 	Workers int
+	// MaxSessions bounds the incremental-session table (/v1/session/*);
+	// opens beyond it answer 429 until a session closes. <= 0 means 64.
+	MaxSessions int
 	// SlowThreshold, when positive, logs every analysis request slower
 	// than this with a per-stage time breakdown (cfixd -slow-threshold).
 	SlowThreshold time.Duration
@@ -93,6 +96,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxTimeout <= 0 {
 		c.MaxTimeout = 2 * time.Minute
 	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
 	if c.Log == nil {
 		c.Log = log.Default()
 	}
@@ -106,6 +112,7 @@ type Server struct {
 	gate     *Gate
 	m        metrics
 	mux      *http.ServeMux
+	sessions *sessionRegistry
 	draining atomic.Bool
 }
 
@@ -113,14 +120,18 @@ type Server struct {
 func New(conf Config) *Server {
 	conf = conf.withDefaults()
 	s := &Server{
-		conf: conf,
-		gate: NewGate(conf.MaxInFlight),
-		m:    metrics{start: time.Now()},
-		mux:  http.NewServeMux(),
+		conf:     conf,
+		gate:     NewGate(conf.MaxInFlight),
+		m:        metrics{start: time.Now()},
+		mux:      http.NewServeMux(),
+		sessions: newSessionRegistry(conf.MaxSessions),
 	}
 	s.mux.HandleFunc("POST /v1/fix", s.handleFix)
 	s.mux.HandleFunc("POST /v1/lint", s.handleLint)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/session/open", s.handleSessionOpen)
+	s.mux.HandleFunc("POST /v1/session/edit", s.handleSessionEdit)
+	s.mux.HandleFunc("POST /v1/session/close", s.handleSessionClose)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -155,7 +166,9 @@ func (s *Server) Handler() http.Handler {
 
 // Metrics returns a snapshot of the daemon's counters (the /metrics
 // payload), for embedding and tests.
-func (s *Server) Metrics() Snapshot { return s.m.snapshot(s.conf.Cache, s.gate, s.draining.Load()) }
+func (s *Server) Metrics() Snapshot {
+	return s.m.snapshot(s.conf.Cache, s.gate, s.sessions, s.draining.Load())
+}
 
 // admit applies admission control: it claims one in-flight slot or
 // answers 429 + Retry-After. The returned release must be deferred by

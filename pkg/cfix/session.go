@@ -1,0 +1,167 @@
+package cfix
+
+import (
+	"context"
+
+	"repro/internal/ctoken"
+	"repro/internal/edit"
+	"repro/internal/incremental"
+)
+
+// SessionDelta is one position-stable edit in a session edit script:
+// a half-open byte range [Pos, End) in the session's current text plus
+// its replacement. Pos == End inserts, empty Text deletes. Offsets are
+// original-text coordinates for every delta in one request — the server
+// applies them as a single atomic script, exactly like edit.Script.
+type SessionDelta struct {
+	Pos  int    `json:"pos"`
+	End  int    `json:"end"`
+	Text string `json:"text"`
+}
+
+// ToDeltas converts wire deltas to the edit package's representation.
+func ToDeltas(ds []SessionDelta) []edit.Delta {
+	out := make([]edit.Delta, len(ds))
+	for i, d := range ds {
+		out[i] = edit.Delta{
+			Extent: ctoken.Extent{Pos: ctoken.Pos(d.Pos), End: ctoken.Pos(d.End)},
+			Text:   d.Text,
+		}
+	}
+	return out
+}
+
+// SessionFindingJSON is a finding in a session response: the usual wire
+// shape plus the byte extent in the session's current text, which an
+// editor needs to place the diagnostic.
+type SessionFindingJSON struct {
+	FindingJSON
+	ExtentPos int `json:"extent_pos"`
+	ExtentEnd int `json:"extent_end"`
+}
+
+// SessionSiteJSON is one SLR/STR repair candidate in a session
+// response. Byte offsets address the session's current text.
+type SessionSiteJSON struct {
+	// Kind is "slr" or "str".
+	Kind string `json:"kind"`
+	// Function is the enclosing function.
+	Function string `json:"function"`
+	// Name is the unsafe callee (SLR) or candidate variable (STR).
+	Name string `json:"name"`
+	// SafeName is the backend's replacement spelling.
+	SafeName string `json:"safe_name"`
+	// ExtentPos/ExtentEnd cover the call expression (SLR) or anchor the
+	// variable declaration (STR, zero width).
+	ExtentPos int `json:"extent_pos"`
+	ExtentEnd int `json:"extent_end"`
+	// Eligible reports that the transformation's preconditions hold; a
+	// fix request at ExtentPos will apply.
+	Eligible bool `json:"eligible"`
+	// Reason classifies the refused precondition when !Eligible.
+	Reason string `json:"reason,omitempty"`
+}
+
+// SessionOpenRequest opens an incremental analysis session on one
+// translation unit. Only Options.Checks and Options.Backend are
+// consulted: sessions always run unbudgeted (the memoized facts must be
+// byte-identical to a fresh analysis, which degradation bookkeeping is
+// not).
+type SessionOpenRequest struct {
+	Filename string         `json:"filename,omitempty"`
+	Source   string         `json:"source"`
+	Options  RequestOptions `json:"options,omitempty"`
+}
+
+// SessionEditRequest applies one edit script to an open session.
+type SessionEditRequest struct {
+	SessionID string         `json:"session_id"`
+	Deltas    []SessionDelta `json:"deltas"`
+}
+
+// SessionCloseRequest closes an open session.
+type SessionCloseRequest struct {
+	SessionID string `json:"session_id"`
+}
+
+// SessionResponse is the service's answer to a session open or edit:
+// the diagnostics and repair sites for the session's current text,
+// byte-identical to what /v1/lint and a fresh discovery would produce
+// on the same source.
+type SessionResponse struct {
+	SessionID string `json:"session_id"`
+	Filename  string `json:"filename,omitempty"`
+	// Findings lists the selected oracles' findings in source order; an
+	// explicit empty list means a clean file.
+	Findings []SessionFindingJSON `json:"findings"`
+	// Sites lists the SLR/STR repair candidates in source order.
+	Sites []SessionSiteJSON `json:"sites"`
+	// FuncsReanalyzed / FuncsReused break down the incremental work of
+	// this request (an open derives everything: reused is 0).
+	FuncsReanalyzed int `json:"funcs_reanalyzed"`
+	FuncsReused     int `json:"funcs_reused"`
+}
+
+// SessionCloseResponse acknowledges a close.
+type SessionCloseResponse struct {
+	SessionID string `json:"session_id"`
+	Closed    bool   `json:"closed"`
+}
+
+// NewSessionFindingsJSON renders session findings in the wire shape.
+func NewSessionFindingsJSON(fs []Finding) []SessionFindingJSON {
+	out := make([]SessionFindingJSON, len(fs))
+	for i, f := range fs {
+		out[i] = SessionFindingJSON{
+			FindingJSON: NewFindingJSON(f),
+			ExtentPos:   int(f.Extent.Pos),
+			ExtentEnd:   int(f.Extent.End),
+		}
+	}
+	return out
+}
+
+// NewSessionSitesJSON renders session repair sites in the wire shape.
+func NewSessionSitesJSON(sites []incremental.Site) []SessionSiteJSON {
+	out := make([]SessionSiteJSON, len(sites))
+	for i, st := range sites {
+		out[i] = SessionSiteJSON{
+			Kind:      string(st.Kind),
+			Function:  st.Function,
+			Name:      st.Name,
+			SafeName:  st.SafeName,
+			ExtentPos: int(st.Extent.Pos),
+			ExtentEnd: int(st.Extent.End),
+			Eligible:  st.Eligible,
+			Reason:    st.Reason,
+		}
+	}
+	return out
+}
+
+// SessionOpen opens an incremental session through POST /v1/session/open.
+func (c *Client) SessionOpen(ctx context.Context, req SessionOpenRequest) (*SessionResponse, error) {
+	var resp SessionResponse
+	if err := c.call(ctx, "/v1/session/open", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// SessionEdit applies an edit script through POST /v1/session/edit.
+func (c *Client) SessionEdit(ctx context.Context, req SessionEditRequest) (*SessionResponse, error) {
+	var resp SessionResponse
+	if err := c.call(ctx, "/v1/session/edit", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// SessionClose releases a session through POST /v1/session/close.
+func (c *Client) SessionClose(ctx context.Context, req SessionCloseRequest) (*SessionCloseResponse, error) {
+	var resp SessionCloseResponse
+	if err := c.call(ctx, "/v1/session/close", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
