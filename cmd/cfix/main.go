@@ -102,6 +102,7 @@ type options struct {
 	keepGoing    bool
 	traceOut     string
 	stageStats   bool
+	project      string
 
 	// cache is the result cache built from cacheDir/cacheSize; nil when
 	// caching is off.
@@ -153,6 +154,7 @@ func run() int {
 	flag.DurationVar(&opts.totalTimeout, "total-timeout", 0, "overall deadline for the whole invocation (0 = none)")
 	flag.IntVar(&opts.budget, "budget", 0, "per-file solver iteration/context budget (0 = unlimited); exhaustion degrades, never silences")
 	flag.BoolVar(&opts.keepGoing, "keep-going", false, "process every file even when one fails; exit nonzero at the end")
+	flag.StringVar(&opts.project, "p", "", "project mode: process every C unit of this compile_commands.json (preprocessing included)")
 	flag.StringVar(&opts.traceOut, "trace", "", "write a Chrome trace-event JSON file of the pipeline stages here")
 	flag.BoolVar(&opts.stageStats, "stage-stats", false, "print the aggregated per-stage timing table to stderr")
 	flag.Parse()
@@ -191,6 +193,22 @@ func run() int {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opts.totalTimeout)
 		defer cancel()
+	}
+
+	if opts.project != "" {
+		if flag.NArg() > 0 {
+			fmt.Fprintln(os.Stderr, "cfix: -p takes no file arguments (the database lists the units)")
+			return 2
+		}
+		if opts.at >= 0 {
+			fmt.Fprintln(os.Stderr, "cfix: -at is not supported in project mode")
+			return 2
+		}
+		code := projectRun(ctx, opts)
+		if obsCode := emitObservability(opts); obsCode != 0 && code == 0 {
+			code = obsCode
+		}
+		return code
 	}
 
 	paths, err := expandArgs(flag.Args())
@@ -506,4 +524,101 @@ func writeFileAtomic(path string, data []byte, mode os.FileMode) error {
 		return err
 	}
 	return nil
+}
+
+// projectRun is `cfix -p compile_commands.json`: the whole-project
+// pipeline with the built-in preprocessor and cross-file seeding. Fix
+// results print a unified diff per changed file to stdout (or write to
+// -outdir); -lint prints findings in the usual single-file formats.
+func projectRun(ctx context.Context, opts options) int {
+	fopts := opts.fixOptions()
+	var rep *cfix.ProjectReport
+	var err error
+	if opts.lint {
+		rep, err = cfix.AnalyzeProject(ctx, opts.project, fopts)
+	} else {
+		rep, err = cfix.FixProject(ctx, opts.project, fopts)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cfix: %v\n", err)
+		return 1
+	}
+	if opts.summary && len(rep.Edges) > 0 {
+		fmt.Fprintf(os.Stderr, "project: %d cross-file call(s) linked\n", len(rep.Edges))
+		for _, e := range rep.Edges {
+			fmt.Fprintf(os.Stderr, "  %s:%s -> %s:%s\n", e.CallerFile, e.Caller, e.CalleeFile, e.Callee)
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	definite, failed := false, false
+	for _, out := range rep.Files {
+		if out.Err != "" {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", out.File, out.Err)
+			failed = true
+			continue
+		}
+		switch {
+		case opts.lint:
+			for _, f := range out.Lint.Findings {
+				if f.Severity == cfix.SevDefinite {
+					definite = true
+				}
+				if opts.json {
+					if err := enc.Encode(cfix.NewFindingJSON(f)); err != nil {
+						fmt.Fprintf(os.Stderr, "cfix: %v\n", err)
+						return 1
+					}
+				} else {
+					fmt.Println(f)
+				}
+			}
+			if len(out.Lint.Degraded) > 0 && !opts.json {
+				fmt.Fprintf(os.Stderr, "%s: analysis degraded: %s\n", out.File, strings.Join(out.Lint.Degraded, "; "))
+			}
+			if !opts.json && len(out.Lint.Findings) == 0 {
+				fmt.Fprintf(os.Stderr, "%s: no overflows found\n", out.File)
+			}
+		default:
+			if opts.summary {
+				fmt.Fprintf(os.Stderr, "== %s ==\n", out.File)
+				fmt.Fprint(os.Stderr, out.Fix.Summary())
+			}
+			orig := readOriginal(out.File)
+			if opts.outdir != "" {
+				if err := os.MkdirAll(opts.outdir, 0o755); err != nil {
+					fmt.Fprintf(os.Stderr, "cfix: %v\n", err)
+					return 1
+				}
+				dst := filepath.Join(opts.outdir, filepath.Base(out.File))
+				if err := writeFileAtomic(dst, []byte(out.Fix.Source), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "cfix: %v\n", err)
+					return 1
+				}
+			} else if orig != "" || out.Fix.Changed() {
+				d := textdiff.Unified(out.File, out.File+" (fixed)", orig, out.Fix.Source)
+				if d == "" {
+					fmt.Fprintf(os.Stderr, "%s: no changes\n", out.File)
+				}
+				os.Stdout.WriteString(d)
+			}
+		}
+	}
+	switch {
+	case definite:
+		return 3
+	case failed:
+		return 1
+	}
+	return 0
+}
+
+// readOriginal re-reads a project file for diffing; an empty string on
+// error just degrades the diff (the fix result itself already surfaced
+// any real I/O problem during loading).
+func readOriginal(path string) string {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return ""
+	}
+	return string(b)
 }

@@ -1,0 +1,10 @@
+/* a.c: the caller. Nothing in this file is wrong by itself — the bug
+ * only appears when the analysis knows what fill() does with its
+ * arguments, and fill() lives in b.c. */
+#include "fill.h"
+
+int main(void) {
+    char buf[10];
+    fill(buf, PACKET_MAX);
+    return 0;
+}

@@ -1,0 +1,11 @@
+/* b.c: the callee. Analyzed alone, p's target size is unknown, so no
+ * verdict is possible. Seeded with a.c's call (a 10-byte stack buffer
+ * and n = 100) the loop provably overflows. */
+#include "fill.h"
+
+void fill(char *p, int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        p[i] = 'x';
+    }
+}

@@ -1,0 +1,8 @@
+#ifndef FILL_H
+#define FILL_H
+
+#define PACKET_MAX 100
+
+void fill(char *p, int n);
+
+#endif

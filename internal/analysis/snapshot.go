@@ -87,6 +87,9 @@ type Snapshot struct {
 	findOnce sync.Once
 	findings []overflow.Finding
 
+	externOnce  sync.Once
+	externCalls []overflow.CallSeed
+
 	intOnce     sync.Once
 	intFindings []overflow.Finding
 
@@ -330,6 +333,29 @@ func (s *Snapshot) Findings() []overflow.Finding {
 		}
 	})
 	return s.findings
+}
+
+// ExternalCalls evaluates every call to a function this TU does not
+// define under the caller's intraprocedural interval solution, returning
+// transportable seeds (overflow.CallSeed) for the project linker. It
+// shares the snapshot's call graph and CFGs and runs at most once.
+func (s *Snapshot) ExternalCalls() []overflow.CallSeed {
+	s.externOnce.Do(func() {
+		s.Typecheck()
+		opts := overflow.DefaultOptions()
+		if s.conf.Overflow != nil {
+			opts = *s.conf.Overflow
+		}
+		if opts.Limits == (fault.Limits{}) {
+			opts.Limits = s.conf.Limits
+		}
+		sp := s.span(obs.StageOverflow)
+		defer sp.End()
+		an := overflow.NewWithFacts(s.unit, opts, s)
+		s.externCalls = an.ExternalCalls()
+		sp.Attr("extern_calls", fmt.Sprint(len(s.externCalls)))
+	})
+	return s.externCalls
 }
 
 // IntFindings runs the integer-overflow oracle (internal/intflow)

@@ -120,10 +120,15 @@ const (
 	// the input is previously transformed output, and clamping again
 	// would nest the ternary. Declining keeps Fix idempotent.
 	FailAlreadyClamped
+	// FailMacroOrHeader: project mode only — the textual edit maps into
+	// a macro expansion or an included header, where an in-place rewrite
+	// of the main file would corrupt the source the user wrote.
+	FailMacroOrHeader
 )
 
 var _failNames = map[FailReason]string{
 	FailUnknown:         "unknown",
+	FailMacroOrHeader:   "rewrite target inside a macro expansion or included header",
 	FailNoHeapAlloc:     "definition has no explicit heap allocation",
 	FailAliased:         "buffer is aliased",
 	FailArrayOfBuffers:  "buffer is an element of an array of buffers",

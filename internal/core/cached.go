@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/obs"
+	"repro/internal/overflow"
 )
 
 // fingerprintVersion is baked into every cache key; bump it whenever
@@ -20,7 +21,11 @@ import (
 // v3: SLR's repair dialect became pluggable (Options.Backend entered the
 // key and Report gained Backend/SiteResult.SafeName), so v2 fix entries
 // are stale by shape.
-const fingerprintVersion = "v3"
+// v4: project mode — per-header content (Options.IncludeHash) and
+// cross-TU call seeds (Options.ExternSeeds) entered the key, so a file
+// re-fixed after another TU changed what it proves about it cannot be
+// answered from a stale single-file entry.
+const fingerprintVersion = "v4"
 
 // fingerprint renders every result-affecting option into the cache key.
 // Timeout is deliberately absent: a completed full-fidelity run does not
@@ -31,9 +36,18 @@ const fingerprintVersion = "v3"
 // degraded results are never stored anyway, an in-budget clean run under
 // budget B proves nothing about budget B' < B.
 func (o Options) fingerprint(kind string) string {
-	return fmt.Sprintf("%s|%s|slr=%t|str=%t|at=%d|support=%t|lint=%t|checks=%s|backend=%s|budget=%d|keep=%t",
+	fp := fmt.Sprintf("%s|%s|slr=%t|str=%t|at=%d|support=%t|lint=%t|checks=%s|backend=%s|budget=%d|keep=%t",
 		fingerprintVersion, kind, o.DisableSLR, o.DisableSTR, o.SelectOffset,
 		o.EmitSupport, o.Lint, canonicalChecks(o.Checks), canonicalBackend(o.Backend), o.Budget, o.KeepGoing)
+	// Project-mode inputs append only when present, so single-file keys
+	// are unchanged within a fingerprint version.
+	if o.IncludeHash != "" {
+		fp += "|inc=" + o.IncludeHash
+	}
+	if x := overflow.SeedFingerprint(o.ExternSeeds); x != "" {
+		fp += "|xtu=" + x
+	}
+	return fp
 }
 
 // cacheKey derives the content-addressed key for one request: the

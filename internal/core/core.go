@@ -87,6 +87,23 @@ type Options struct {
 	// DESIGN.md Section 10 for the keying and invalidation rules). The
 	// cache never changes a result, only how often it is computed.
 	Cache *cache.Cache
+	// ExternSeeds carries cross-translation-unit call seeds into the
+	// overflow oracle (project mode, internal/project): calls observed in
+	// OTHER translation units to functions this file defines, evaluated
+	// under the callers' interval states. The oracle explores them as
+	// extra interprocedural contexts, so a caller in a.c can expose an
+	// overflow in b.c that single-file analysis misses. The seed list is
+	// folded into the cache fingerprint (overflow.SeedFingerprint), so
+	// per-file cache entries stay correct when the rest of the project
+	// changes what it proves about this file.
+	ExternSeeds []overflow.CallSeed
+	// IncludeHash fingerprints the content of every header the
+	// preprocessor inlined into the source (project mode). The source
+	// string already embeds the header text, so IncludeHash is not needed
+	// for correctness of the content-addressed key — it exists for the
+	// project driver to key rounds and for forward compatibility with
+	// callers that cache against the original (pre-expansion) text.
+	IncludeHash string
 	// Tracer, when non-nil, records one span per pipeline stage —
 	// parse, typecheck, the derived analyses, slr, str, rewrite, and
 	// cache hit/miss — for `cfix -trace` / `-stage-stats` and the
@@ -368,7 +385,13 @@ func analyzeReport(ctx context.Context, filename, source string, opts Options) (
 	defer cancel()
 	sp := opts.Tracer.Start(ctx, obs.StageLint, filename)
 	defer sp.End()
-	snap, err := analysis.ParseCtx(ctx, filename, source, analysis.Config{Limits: opts.limits(ctx), Tracer: opts.Tracer})
+	conf := analysis.Config{Limits: opts.limits(ctx), Tracer: opts.Tracer}
+	if len(opts.ExternSeeds) > 0 {
+		oo := overflow.DefaultOptions()
+		oo.ExternSeeds = opts.ExternSeeds
+		conf.Overflow = &oo
+	}
+	snap, err := analysis.ParseCtx(ctx, filename, source, conf)
 	if err != nil {
 		return nil, fmt.Errorf("core: parse for lint: %w", err)
 	}
@@ -442,6 +465,11 @@ func fix(ctx context.Context, filename, source string, opts Options) (rep *Repor
 
 	rep = &Report{Source: source, Backend: be.Name()}
 	conf := analysis.Config{Limits: opts.limits(ctx), Tracer: opts.Tracer}
+	if len(opts.ExternSeeds) > 0 {
+		oo := overflow.DefaultOptions()
+		oo.ExternSeeds = opts.ExternSeeds
+		conf.Overflow = &oo
+	}
 
 	snap, err := analysis.ParseCtx(ctx, filename, source, conf)
 	if err != nil {

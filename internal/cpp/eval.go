@@ -1,0 +1,399 @@
+package cpp
+
+import (
+	"strconv"
+	"strings"
+)
+
+// evalCond evaluates a #if / #elif controlling expression. Per the
+// standard: `defined` is resolved before macro expansion, the rest is
+// expanded, remaining identifiers become 0, and the expression is
+// evaluated in (here) int64 arithmetic. Any malformation yields false
+// with a diagnostic.
+func (pp *preprocessor) evalCond(toks []ptok, at ptok) bool {
+	if len(toks) == 0 {
+		pp.errorAt(at, "#if with no expression")
+		return false
+	}
+	resolved, ok := pp.resolveDefined(toks, at)
+	if !ok {
+		return false
+	}
+	ex := pp.expandList(resolved)
+	ev := &evaluator{pp: pp, at: at}
+	for _, t := range ex {
+		if t.kind == tkComment || t.kind == tkNewline || t.kind == tkSplice {
+			continue
+		}
+		ev.toks = append(ev.toks, t)
+	}
+	v := ev.cond()
+	if !ev.failed && ev.i < len(ev.toks) {
+		ev.fail("trailing tokens after expression")
+	}
+	if ev.failed {
+		return false
+	}
+	return v != 0
+}
+
+// resolveDefined rewrites `defined X` and `defined(X)` into 1/0 before
+// macro expansion touches the operand.
+func (pp *preprocessor) resolveDefined(toks []ptok, at ptok) ([]ptok, bool) {
+	var out []ptok
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		if t.kind != tkIdent || t.text != "defined" {
+			out = append(out, t)
+			continue
+		}
+		var name string
+		if i+1 < len(toks) && toks[i+1].kind == tkIdent {
+			name = toks[i+1].text
+			i++
+		} else if i+3 < len(toks) &&
+			toks[i+1].kind == tkPunct && toks[i+1].text == "(" &&
+			toks[i+2].kind == tkIdent &&
+			toks[i+3].kind == tkPunct && toks[i+3].text == ")" {
+			name = toks[i+2].text
+			i += 3
+		} else {
+			pp.errorAt(at, "malformed defined operator")
+			return nil, false
+		}
+		val := "0"
+		if pp.macros[name] != nil {
+			val = "1"
+		}
+		out = append(out, ptok{kind: tkNum, text: val, pos: -1, end: -1, ws: t.ws})
+	}
+	return out, true
+}
+
+// evaluator is a recursive-descent parser over the expanded expression
+// tokens, with C operator precedence.
+type evaluator struct {
+	pp     *preprocessor
+	at     ptok
+	toks   []ptok
+	i      int
+	failed bool
+}
+
+func (e *evaluator) fail(msg string) {
+	if !e.failed {
+		e.failed = true
+		e.pp.errorAt(e.at, "#if: "+msg)
+	}
+}
+
+func (e *evaluator) peek() (ptok, bool) {
+	if e.i < len(e.toks) {
+		return e.toks[e.i], true
+	}
+	return ptok{}, false
+}
+
+// eatPunct consumes the next token when it is the given punctuator.
+func (e *evaluator) eatPunct(texts ...string) (string, bool) {
+	t, ok := e.peek()
+	if !ok || t.kind != tkPunct {
+		return "", false
+	}
+	for _, s := range texts {
+		if t.text == s {
+			e.i++
+			return s, true
+		}
+	}
+	return "", false
+}
+
+// cond := logOr ('?' cond ':' cond)?
+func (e *evaluator) cond() int64 {
+	c := e.logOr()
+	if _, ok := e.eatPunct("?"); !ok {
+		return c
+	}
+	a := e.cond()
+	if _, ok := e.eatPunct(":"); !ok {
+		e.fail("expected ':' in conditional")
+		return 0
+	}
+	b := e.cond()
+	if c != 0 {
+		return a
+	}
+	return b
+}
+
+func (e *evaluator) logOr() int64 {
+	v := e.logAnd()
+	for {
+		if _, ok := e.eatPunct("||"); !ok {
+			return v
+		}
+		r := e.logAnd()
+		v = boolInt(v != 0 || r != 0)
+	}
+}
+
+func (e *evaluator) logAnd() int64 {
+	v := e.bitOr()
+	for {
+		if _, ok := e.eatPunct("&&"); !ok {
+			return v
+		}
+		r := e.bitOr()
+		v = boolInt(v != 0 && r != 0)
+	}
+}
+
+func (e *evaluator) bitOr() int64 {
+	v := e.bitXor()
+	for {
+		if _, ok := e.eatPunct("|"); !ok {
+			return v
+		}
+		v |= e.bitXor()
+	}
+}
+
+func (e *evaluator) bitXor() int64 {
+	v := e.bitAnd()
+	for {
+		if _, ok := e.eatPunct("^"); !ok {
+			return v
+		}
+		v ^= e.bitAnd()
+	}
+}
+
+func (e *evaluator) bitAnd() int64 {
+	v := e.equality()
+	for {
+		if _, ok := e.eatPunct("&"); !ok {
+			return v
+		}
+		v &= e.equality()
+	}
+}
+
+func (e *evaluator) equality() int64 {
+	v := e.relational()
+	for {
+		op, ok := e.eatPunct("==", "!=")
+		if !ok {
+			return v
+		}
+		r := e.relational()
+		if op == "==" {
+			v = boolInt(v == r)
+		} else {
+			v = boolInt(v != r)
+		}
+	}
+}
+
+func (e *evaluator) relational() int64 {
+	v := e.shift()
+	for {
+		op, ok := e.eatPunct("<=", ">=", "<", ">")
+		if !ok {
+			return v
+		}
+		r := e.shift()
+		switch op {
+		case "<":
+			v = boolInt(v < r)
+		case ">":
+			v = boolInt(v > r)
+		case "<=":
+			v = boolInt(v <= r)
+		case ">=":
+			v = boolInt(v >= r)
+		}
+	}
+}
+
+func (e *evaluator) shift() int64 {
+	v := e.additive()
+	for {
+		op, ok := e.eatPunct("<<", ">>")
+		if !ok {
+			return v
+		}
+		r := e.additive()
+		if r < 0 || r > 63 {
+			e.fail("shift amount out of range")
+			return 0
+		}
+		if op == "<<" {
+			v <<= uint(r)
+		} else {
+			v >>= uint(r)
+		}
+	}
+}
+
+func (e *evaluator) additive() int64 {
+	v := e.multiplicative()
+	for {
+		op, ok := e.eatPunct("+", "-")
+		if !ok {
+			return v
+		}
+		r := e.multiplicative()
+		if op == "+" {
+			v += r
+		} else {
+			v -= r
+		}
+	}
+}
+
+func (e *evaluator) multiplicative() int64 {
+	v := e.unary()
+	for {
+		op, ok := e.eatPunct("*", "/", "%")
+		if !ok {
+			return v
+		}
+		r := e.unary()
+		switch op {
+		case "*":
+			v *= r
+		case "/", "%":
+			if r == 0 {
+				e.fail("division by zero")
+				return 0
+			}
+			if op == "/" {
+				v /= r
+			} else {
+				v %= r
+			}
+		}
+	}
+}
+
+func (e *evaluator) unary() int64 {
+	if op, ok := e.eatPunct("!", "-", "+", "~"); ok {
+		v := e.unary()
+		switch op {
+		case "!":
+			return boolInt(v == 0)
+		case "-":
+			return -v
+		case "~":
+			return ^v
+		}
+		return v
+	}
+	return e.primary()
+}
+
+func (e *evaluator) primary() int64 {
+	t, ok := e.peek()
+	if !ok {
+		e.fail("expression ended unexpectedly")
+		return 0
+	}
+	switch t.kind {
+	case tkNum:
+		e.i++
+		v, err := parsePPNumber(t.text)
+		if err != nil {
+			e.fail("bad integer constant " + strconv.Quote(t.text))
+			return 0
+		}
+		return v
+	case tkChar:
+		e.i++
+		return charValue(t.text)
+	case tkIdent:
+		// Undefined identifiers (and `true`/`false` spellings) are 0/1
+		// per C23 leanings; classic C says 0 for everything.
+		e.i++
+		return 0
+	case tkPunct:
+		if t.text == "(" {
+			e.i++
+			v := e.cond()
+			if _, ok := e.eatPunct(")"); !ok {
+				e.fail("missing ')'")
+			}
+			return v
+		}
+	}
+	e.fail("unexpected token " + strconv.Quote(t.text))
+	return 0
+}
+
+// parsePPNumber converts a pp-number spelling (with optional u/U/l/L
+// suffixes) to an int64.
+func parsePPNumber(s string) (int64, error) {
+	s = strings.TrimRight(s, "uUlL")
+	if s == "" {
+		return 0, strconv.ErrSyntax
+	}
+	if v, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return v, nil
+	}
+	// Large unsigned constants wrap into int64.
+	u, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return 0, err
+	}
+	return int64(u), nil
+}
+
+// charValue evaluates a character constant (common escapes only).
+func charValue(text string) int64 {
+	s := strings.TrimPrefix(text, "L")
+	if len(s) < 3 || s[0] != '\'' {
+		return 0
+	}
+	s = s[1 : len(s)-1]
+	if s == "" {
+		return 0
+	}
+	if s[0] != '\\' {
+		return int64(s[0])
+	}
+	if len(s) < 2 {
+		return 0
+	}
+	switch s[1] {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0', '1', '2', '3', '4', '5', '6', '7':
+		v, _ := strconv.ParseInt(s[1:], 8, 64)
+		return v
+	case 'x':
+		v, _ := strconv.ParseInt(s[2:], 16, 64)
+		return v
+	case 'a':
+		return 7
+	case 'b':
+		return 8
+	case 'f':
+		return 12
+	case 'v':
+		return 11
+	case '\\', '\'', '"', '?':
+		return int64(s[1])
+	}
+	return 0
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,388 @@
+package cpp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// macro is one #define.
+type macro struct {
+	name     string
+	funcLike bool
+	params   []string // parameter names; for variadic macros the last is "..."
+	variadic bool
+	repl     []ptok // replacement list (ws flags preserved, hide sets empty)
+	// builtin computes dynamic replacements (__FILE__, __LINE__).
+	builtin func(pp *preprocessor, at ptok) []ptok
+}
+
+// paramIndex returns the parameter position of name (-1 when not a
+// parameter). __VA_ARGS__ addresses the variadic tail.
+func (m *macro) paramIndex(name string) int {
+	for i, p := range m.params {
+		if p == name {
+			return i
+		}
+		if p == "..." && name == "__VA_ARGS__" {
+			return i
+		}
+	}
+	return -1
+}
+
+// sameDef reports whether two definitions are identical enough that a
+// redefinition is benign (same spelling sequence and parameters).
+func (m *macro) sameDef(o *macro) bool {
+	if m.funcLike != o.funcLike || len(m.params) != len(o.params) || len(m.repl) != len(o.repl) {
+		return false
+	}
+	for i := range m.params {
+		if m.params[i] != o.params[i] {
+			return false
+		}
+	}
+	for i := range m.repl {
+		if m.repl[i].text != o.repl[i].text || (i > 0 && m.repl[i].ws != o.repl[i].ws) {
+			return false
+		}
+	}
+	return true
+}
+
+// expandList fully macro-expands a token list. Tokens flowing out carry
+// hide sets that block re-expansion of the macros that produced them —
+// the standard's mechanism for terminating self-referential macros.
+// Function-like macro names whose '(' is not in the list are left alone
+// (the text processor handles invocations that consume source text).
+func (pp *preprocessor) expandList(ts []ptok) []ptok {
+	var out []ptok
+	for i := 0; i < len(ts); {
+		t := ts[i]
+		if t.kind != tkIdent || t.hidden(t.text) {
+			out = append(out, t)
+			i++
+			continue
+		}
+		m := pp.macros[t.text]
+		if m == nil {
+			out = append(out, t)
+			i++
+			continue
+		}
+		if !pp.spendExpansion(t) {
+			out = append(out, ts[i:]...)
+			return out
+		}
+		if m.builtin != nil {
+			out = append(out, m.builtin(pp, t)...)
+			i++
+			continue
+		}
+		if !m.funcLike {
+			repl := pp.substitute(m, t, nil)
+			ts = append(repl, ts[i+1:]...)
+			i = 0
+			continue
+		}
+		// Function-like: the next token must be '('.
+		if i+1 >= len(ts) || !(ts[i+1].kind == tkPunct && ts[i+1].text == "(") {
+			out = append(out, t)
+			i++
+			continue
+		}
+		args, next, ok := splitArgs(ts, i+1)
+		if !ok {
+			// Unbalanced parentheses: not an invocation after all.
+			out = append(out, t)
+			i++
+			continue
+		}
+		if !pp.checkArity(m, t, len(args)) {
+			out = append(out, t)
+			i++
+			continue
+		}
+		repl := pp.substitute(m, t, args)
+		ts = append(repl, ts[next:]...)
+		i = 0
+	}
+	return out
+}
+
+// splitArgs collects the arguments of a function-like invocation whose
+// '(' sits at ts[open]. It returns the raw (unexpanded) argument token
+// lists and the index just past the closing ')'. Nested parentheses are
+// balanced; newline and comment tokens inside arguments act as
+// whitespace.
+func splitArgs(ts []ptok, open int) (args [][]ptok, next int, ok bool) {
+	depth := 0
+	var cur []ptok
+	pendingWS := false
+	push := func(t ptok) {
+		if pendingWS {
+			t.ws = true
+			pendingWS = false
+		}
+		cur = append(cur, t)
+	}
+	for i := open; i < len(ts); i++ {
+		t := ts[i]
+		switch {
+		case t.kind == tkPunct && t.text == "(":
+			depth++
+			if depth > 1 {
+				push(t)
+			}
+		case t.kind == tkPunct && t.text == ")":
+			depth--
+			if depth == 0 {
+				args = append(args, cur)
+				return args, i + 1, true
+			}
+			push(t)
+		case t.kind == tkPunct && t.text == "," && depth == 1:
+			args = append(args, cur)
+			cur = nil
+			pendingWS = false
+		case t.kind == tkNewline || t.kind == tkComment || t.kind == tkSplice:
+			pendingWS = true
+		default:
+			push(t)
+		}
+	}
+	return nil, open, false
+}
+
+// checkArity validates an invocation's argument count, reporting a
+// diagnostic (and declining the expansion) on mismatch. A single empty
+// argument to a zero-parameter macro is the standard's spelling of "no
+// arguments".
+func (pp *preprocessor) checkArity(m *macro, at ptok, n int) bool {
+	want := len(m.params)
+	if m.variadic {
+		if n >= want-1 {
+			return true
+		}
+		pp.errorAt(at, fmt.Sprintf("macro %q needs at least %d arguments, got %d", m.name, want-1, n))
+		return false
+	}
+	if n == want || (want == 0 && n == 1) {
+		return true
+	}
+	pp.errorAt(at, fmt.Sprintf("macro %q needs %d arguments, got %d", m.name, want, n))
+	return false
+}
+
+// substitute builds the replacement token list for one invocation:
+// parameter substitution (expanded except next to # / ##), stringize,
+// paste, and hide-set propagation.
+func (pp *preprocessor) substitute(m *macro, name ptok, args [][]ptok) []ptok {
+	hide := withHide(name.hide, m.name)
+	// Normalize the no-argument invocation of a zero-parameter macro.
+	if m.funcLike && len(m.params) == 0 {
+		args = nil
+	}
+	// Variadic: fold the tail arguments into one __VA_ARGS__ list with
+	// comma tokens between them.
+	if m.variadic {
+		fixed := len(m.params) - 1
+		var tail []ptok
+		for i := fixed; i < len(args); i++ {
+			if i > fixed {
+				tail = append(tail, ptok{kind: tkPunct, text: ",", pos: -1, end: -1})
+			}
+			tail = append(tail, args[i]...)
+		}
+		args = append(append([][]ptok(nil), args[:min(fixed, len(args))]...), tail)
+	}
+
+	expandedArg := make(map[int][]ptok)
+	argExpanded := func(i int) []ptok {
+		if v, ok := expandedArg[i]; ok {
+			return v
+		}
+		v := pp.expandList(args[i])
+		expandedArg[i] = v
+		return v
+	}
+	argRaw := func(i int) []ptok {
+		if i < len(args) {
+			return args[i]
+		}
+		return nil
+	}
+
+	var out []ptok
+	repl := m.repl
+	for i := 0; i < len(repl); i++ {
+		t := repl[i]
+		// '#' param -> stringized raw argument.
+		if t.kind == tkPunct && t.text == "#" && m.funcLike && i+1 < len(repl) {
+			if pi := m.paramIndex(repl[i+1].text); pi >= 0 && repl[i+1].kind == tkIdent {
+				s := stringize(argRaw(pi))
+				out = append(out, ptok{kind: tkStr, text: s, pos: -1, end: -1, ws: t.ws, hide: hide})
+				i++
+				continue
+			}
+		}
+		// '##' between tokens: paste previous output token with the next
+		// (raw) operand.
+		if t.kind == tkPunct && t.text == "##" && i+1 < len(repl) && len(out) > 0 {
+			rhs := repl[i+1]
+			var rhsToks []ptok
+			if pi := m.paramIndex(rhs.text); pi >= 0 && rhs.kind == tkIdent {
+				rhsToks = argRaw(pi)
+			} else {
+				r := rhs
+				r.hide = hide
+				rhsToks = []ptok{r}
+			}
+			out = pasteInto(pp, out, rhsToks, hide)
+			i++
+			continue
+		}
+		// Parameter reference.
+		if t.kind == tkIdent && m.funcLike {
+			if pi := m.paramIndex(t.text); pi >= 0 {
+				var sub []ptok
+				if i+1 < len(repl) && repl[i+1].kind == tkPunct && repl[i+1].text == "##" {
+					sub = argRaw(pi) // raw when the next operator pastes
+				} else {
+					sub = argExpanded(pi)
+				}
+				for j, a := range sub {
+					a.hide = unionHide(a.hide, hide)
+					if j == 0 {
+						a.ws = t.ws
+					}
+					out = append(out, a)
+				}
+				continue
+			}
+		}
+		t.hide = unionHide(t.hide, hide)
+		out = append(out, t)
+	}
+	return out
+}
+
+// pasteInto concatenates the last token of out with the first of rhs,
+// re-lexing the joined spelling. A paste that does not form a single
+// valid token keeps both halves (with a diagnostic), matching the
+// lenient behavior real compilers offer for the standard's UB.
+func pasteInto(pp *preprocessor, out, rhs []ptok, hide map[string]bool) []ptok {
+	if len(rhs) == 0 {
+		return out // pasting with a placemarker: no-op
+	}
+	last := out[len(out)-1]
+	first := rhs[0]
+	joined := last.text + first.text
+	lexed := lexAll(joined)
+	if len(lexed) == 1 {
+		nt := lexed[0]
+		nt.ws = last.ws
+		nt.pos, nt.end = -1, -1
+		nt.hide = unionHide(last.hide, unionHide(first.hide, hide))
+		out = append(out[:len(out)-1], nt)
+	} else {
+		pp.errorAt(last, fmt.Sprintf("pasting %q and %q does not form a valid token", last.text, first.text))
+		out = append(out, first)
+	}
+	for _, t := range rhs[1:] {
+		t.hide = unionHide(t.hide, hide)
+		out = append(out, t)
+	}
+	return out
+}
+
+// lexAll tokenizes a synthesized spelling (no file, no splices).
+func lexAll(text string) []ptok {
+	s := newScanner(&srcFile{name: "<paste>", src: text}, 0)
+	var out []ptok
+	for {
+		t := s.next()
+		if t.kind == tkEOF {
+			return out
+		}
+		if t.kind == tkComment || t.kind == tkNewline || t.kind == tkSplice {
+			continue
+		}
+		out = append(out, t)
+	}
+}
+
+// stringize renders raw argument tokens as a C string literal: one space
+// between whitespace-separated tokens, backslashes and quotes inside
+// string/char literals escaped (C11 6.10.3.2).
+func stringize(arg []ptok) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i, t := range arg {
+		if i > 0 && t.ws {
+			b.WriteByte(' ')
+		}
+		if t.kind == tkStr || t.kind == tkChar {
+			for j := 0; j < len(t.text); j++ {
+				c := t.text[j]
+				if c == '\\' || c == '"' {
+					b.WriteByte('\\')
+				}
+				b.WriteByte(c)
+			}
+			continue
+		}
+		b.WriteString(t.text)
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// renderTokens serializes an expanded token list, re-inserting a single
+// space where the list had whitespace or where adjacent spellings would
+// otherwise lex as one token.
+func renderTokens(ts []ptok) string {
+	var b strings.Builder
+	for i, t := range ts {
+		if t.kind == tkNewline || t.kind == tkComment || t.kind == tkSplice {
+			// Render as a space between tokens (arguments may span lines).
+			continue
+		}
+		if b.Len() > 0 && (t.ws || needSep(ts[i-1], t)) {
+			b.WriteByte(' ')
+		}
+		b.WriteString(t.text)
+	}
+	return b.String()
+}
+
+// needSep reports whether two adjacent spellings must be separated to
+// keep their token boundary.
+func needSep(a, b ptok) bool {
+	if a.text == "" || b.text == "" {
+		return false
+	}
+	la := a.text[len(a.text)-1]
+	fb := b.text[0]
+	switch {
+	case isIdentCont(la) && (isIdentCont(fb) || fb == '"' || fb == '\''):
+		return true
+	case (la == '.' || isIdentCont(la)) && fb == '.':
+		// "1." + ".5" etc.; conservative.
+		return a.kind == tkNum && (b.kind == tkNum || b.text == ".")
+	}
+	// Punctuator merges: re-lex the pair and see if it stays two tokens.
+	if a.kind == tkPunct && b.kind == tkPunct {
+		if len(lexAll(a.text+b.text)) < 2 {
+			return true
+		}
+		// '#' '#' lexes as '##': lexAll returns 1; handled above.
+	}
+	return false
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

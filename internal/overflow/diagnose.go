@@ -165,6 +165,13 @@ type Options struct {
 	// oracle silently runs from scratch, so memoized and fresh analyses
 	// can never disagree about degradation.
 	Memo *Memo
+	// ExternSeeds holds cross-TU argument facts (project mode): calls
+	// observed in other translation units to functions this TU defines.
+	// Each seed becomes an extra interprocedural context rooted at the
+	// callee, letting the oracle report overflows only provable across
+	// file boundaries. Seeds enter the memo signature and the result
+	// cache fingerprint via SeedFingerprint.
+	ExternSeeds []CallSeed
 }
 
 // DefaultOptions returns the standard configuration.
@@ -249,6 +256,9 @@ func (a *Analyzer) ensure() {
 			a.hashes = hp.FuncHashes()
 			a.useMemo = a.hashes != nil
 			a.optsSig = fmt.Sprintf("%d|%t", a.opts.ContextDepth, a.opts.SeedFromBuflen)
+			if fp := SeedFingerprint(a.opts.ExternSeeds); fp != "" {
+				a.optsSig += "|xtu=" + fp
+			}
 			if a.useMemo {
 				a.opts.Memo.BeginRun()
 			}
@@ -360,6 +370,8 @@ func (a *Analyzer) Analyze() []Finding {
 			all = append(all, a.propagate(root, nil, []string{root.Name}, a.opts.ContextDepth)...)
 		}
 	}
+	// Pass 3: externally seeded contexts (cross-TU project mode).
+	all = append(all, a.seedFindings()...)
 	// Unit.Funcs order keeps degraded findings deterministic.
 	for _, fn := range a.unit.Funcs {
 		if a.degradedFns[fn.Name] {

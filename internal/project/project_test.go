@@ -1,0 +1,183 @@
+package project
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/overflow"
+)
+
+// callerC passes a 10-byte stack buffer and a count of 100 to a function
+// defined in another file. Nothing in this file is wrong by itself.
+const callerC = `void fill(char *p, int n);
+int main(void) {
+    char buf[10];
+    fill(buf, 100);
+    return 0;
+}
+`
+
+// calleeC writes n bytes through p. Analyzed alone, p's target size is
+// unknown, so the oracle proves nothing. With the caller's seed (size
+// 10, n = 100) the write overflows.
+const calleeC = `void fill(char *p, int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        p[i] = 'x';
+    }
+}
+`
+
+func lintOpts() core.Options {
+	return core.Options{DisableSLR: true, DisableSTR: true, Lint: true}
+}
+
+// TestCrossTUFinding is the acceptance demo: a two-TU project exhibits
+// an interprocedural overflow that single-TU analysis misses, and
+// project mode finds it via transported call seeds.
+func TestCrossTUFinding(t *testing.T) {
+	// Single-TU baseline: the callee alone is unprovable.
+	solo, err := core.Analyze(context.Background(), "b.c", calleeC, lintOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range solo {
+		if f.Function == "fill" && f.Severity >= overflow.SevPossible && f.CWE == 121 {
+			t.Fatalf("single-TU analysis already flags fill: %v", f)
+		}
+	}
+
+	p := InMemory(map[string]string{"a.c": callerC, "b.c": calleeC}, nil, nil)
+	rep, err := p.Analyze(context.Background(), lintOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Edges) != 1 {
+		t.Fatalf("edges = %+v, want one a.c->b.c link", rep.Edges)
+	}
+	e := rep.Edges[0]
+	if e.CallerFile != "a.c" || e.CalleeFile != "b.c" || e.Callee != "fill" {
+		t.Fatalf("edge = %+v", e)
+	}
+	var hit *overflow.Finding
+	for i := range rep.Files {
+		out := rep.Files[i]
+		if out.Err != "" {
+			t.Fatalf("%s failed: %s", out.File, out.Err)
+		}
+		if out.File != "b.c" {
+			continue
+		}
+		for j := range out.Lint.Findings {
+			f := &out.Lint.Findings[j]
+			if f.Function == "fill" && !f.Degraded {
+				hit = f
+			}
+		}
+	}
+	if hit == nil {
+		t.Fatal("project mode did not surface the cross-TU overflow in b.c")
+	}
+	found := false
+	for _, c := range hit.Contexts {
+		if strings.Contains(c, "[extern]") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("finding lacks an extern-seeded context: %+v", hit)
+	}
+}
+
+// TestProjectFixEditsOriginal: a repair computed on preprocessed text
+// lands in the user's original file — the macro stays a macro.
+func TestProjectFixEditsOriginal(t *testing.T) {
+	files := map[string]string{
+		"m.c": "#include \"n.h\"\n" +
+			"int main(void) {\n" +
+			"    char b[N];\n" +
+			"    strcpy(b, \"hi\");\n" +
+			"    return 0;\n" +
+			"}\n",
+	}
+	headers := map[string]string{
+		"n.h": "#define N 16\nchar *strcpy(char *, const char *);\nunsigned long strlen(const char *);\n",
+	}
+	p := InMemory(files, headers, nil)
+	rep, err := p.Fix(context.Background(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Files[0]
+	if out.Err != "" {
+		t.Fatalf("fix failed: %s", out.Err)
+	}
+	src := out.Fix.Source
+	if !strings.Contains(src, "#include \"n.h\"") {
+		t.Fatalf("include directive lost:\n%s", src)
+	}
+	if !strings.Contains(src, "char b[N];") {
+		t.Fatalf("macro use in declaration was expanded away:\n%s", src)
+	}
+	if strings.Contains(src, "strcpy(b, \"hi\")") {
+		t.Fatalf("unsafe call not repaired:\n%s", src)
+	}
+	if !strings.Contains(src, "g_strlcpy") {
+		t.Fatalf("expected glib repair in output:\n%s", src)
+	}
+}
+
+// TestProjectFixDeclinesMacroBody: when the unsafe call itself lives
+// inside a macro expansion, the repair is declined with an explicit
+// reason and the original text survives byte-for-byte.
+func TestProjectFixDeclinesMacroBody(t *testing.T) {
+	src := "#define COPY(d, s) strcpy(d, s)\n" +
+		"char *strcpy(char *, const char *);\n" +
+		"int main(void) {\n" +
+		"    char b[8];\n" +
+		"    COPY(b, \"hi\");\n" +
+		"    return 0;\n" +
+		"}\n"
+	p := InMemory(map[string]string{"c.c": src}, nil, nil)
+	rep, err := p.Fix(context.Background(), core.Options{DisableSTR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Files[0]
+	if out.Err != "" {
+		t.Fatalf("fix failed: %s", out.Err)
+	}
+	if out.Fix.Source != src {
+		t.Fatalf("macro-expanded site was edited anyway:\n%s", out.Fix.Source)
+	}
+	declined := false
+	for _, s := range out.Fix.SLR.Sites {
+		if s.Applied {
+			t.Fatalf("site reported applied: %+v", s)
+		}
+		if s.Failure != nil && strings.Contains(s.Failure.Detail, "COPY") {
+			declined = true
+		}
+	}
+	if !declined {
+		t.Fatalf("no site declined with the macro named: %+v", out.Fix.SLR.Sites)
+	}
+}
+
+// TestCompileCommandsParsing covers the flag translation and shell
+// splitting used by database loading.
+func TestCompileCommandsParsing(t *testing.T) {
+	args := splitCommand(`cc -I include -DN=4 -D'F(x)' -I"sub dir" -c a.c -o a.o`)
+	opts := argsToCppOptions(args, "/proj")
+	if len(opts.IncludeDirs) != 2 || opts.IncludeDirs[0] != "/proj/include" || opts.IncludeDirs[1] != "/proj/sub dir" {
+		t.Fatalf("include dirs = %+v", opts.IncludeDirs)
+	}
+	if opts.Defines["N"] != "4" {
+		t.Fatalf("defines = %+v", opts.Defines)
+	}
+	if _, ok := opts.Defines["F(x)"]; !ok {
+		t.Fatalf("quoted define lost: %+v", opts.Defines)
+	}
+}

@@ -1,0 +1,11 @@
+/* tif_aux.c: helpers. _TIFFmemset8 writes n bytes through p; nothing
+ * here bounds n against p's real size — that contract lives (or fails)
+ * at the call sites in other files. */
+#include "tiffio.h"
+
+void _TIFFmemset8(char *p, int v, int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        p[i] = 'x';
+    }
+}

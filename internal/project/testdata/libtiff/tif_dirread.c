@@ -1,0 +1,11 @@
+/* tif_dirread.c: the directory reader clears a 16-byte tag buffer with
+ * the 64-entry directory count — the overflow is only provable when the
+ * analysis sees _TIFFmemset8's body in tif_aux.c. The strcpy below is a
+ * conventional in-file SLR target. */
+#include "tiffio.h"
+
+void TIFFReadDirectory(void) {
+    char tagbuf[TIFF_TAGBUF];
+    strcpy(tagbuf, "II*");
+    _TIFFmemset8(tagbuf, 0, TIFF_DIRCNT);
+}

@@ -1,0 +1,15 @@
+#ifndef TIFFIO_H
+#define TIFFIO_H
+
+/* Cut-down shape of libtiff's private header: the tag-name scratch
+ * buffer is sized for the common case, the directory count is not. */
+#define TIFF_TAGBUF 16
+#define TIFF_DIRCNT 64
+
+void _TIFFmemset8(char *p, int v, int n);
+void TIFFReadDirectory(void);
+
+char *strcpy(char *, const char *);
+unsigned long strlen(const char *);
+
+#endif

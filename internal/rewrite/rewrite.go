@@ -24,16 +24,32 @@ type Edit struct {
 	Text   string
 	// Note describes the edit for change logs.
 	Note string
+	// Owner groups edits that must apply (or be dropped) together — one
+	// SLR call site, one STR function. Project mode uses it to decline a
+	// whole repair when any of its edits fails to map back through the
+	// preprocessor's source map. Empty for standalone edits.
+	Owner string
 }
 
 // Set accumulates edits for one file.
 type Set struct {
 	edits []Edit
+	owner string
 }
+
+// SetOwner stamps every subsequently queued edit with the given owner
+// group (until the next SetOwner call). Transformations set it once per
+// repair unit instead of threading an owner through every queue call.
+func (s *Set) SetOwner(owner string) { s.owner = owner }
+
+// Add queues a pre-built edit verbatim (the edit's own Owner is kept;
+// the set's current owner is NOT applied). Used when re-queueing edits
+// that were remapped through a source map.
+func (s *Set) Add(e Edit) { s.edits = append(s.edits, e) }
 
 // Replace queues a replacement of the extent's text.
 func (s *Set) Replace(e ctoken.Extent, text, note string) {
-	s.edits = append(s.edits, Edit{Extent: e, Text: text, Note: note})
+	s.edits = append(s.edits, Edit{Extent: e, Text: text, Note: note, Owner: s.owner})
 }
 
 // InsertBefore queues an insertion at the start of the extent.
@@ -42,6 +58,7 @@ func (s *Set) InsertBefore(e ctoken.Extent, text, note string) {
 		Extent: ctoken.Extent{Pos: e.Pos, End: e.Pos},
 		Text:   text,
 		Note:   note,
+		Owner:  s.owner,
 	})
 }
 
@@ -51,6 +68,7 @@ func (s *Set) InsertAfter(e ctoken.Extent, text, note string) {
 		Extent: ctoken.Extent{Pos: e.End, End: e.End},
 		Text:   text,
 		Note:   note,
+		Owner:  s.owner,
 	})
 }
 

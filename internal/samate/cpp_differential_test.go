@@ -1,0 +1,69 @@
+package samate
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpp"
+)
+
+// TestCppDifferentialEquivalence is the project-mode safety net: every
+// one of the corpus's 4505 programs routed through internal/cpp must
+// yield byte-identical preprocessed text (the programs are directive-
+// free, and the preprocessor copies verbatim between interesting
+// points), a single exact mapping segment, and — through the full
+// project pipeline — byte-identical fixed source and findings to the
+// direct path. Any divergence means the preprocessor or the extent
+// remapping changed an analysis result, which project mode must never
+// do on plain input.
+func TestCppDifferentialEquivalence(t *testing.T) {
+	opts := core.Options{Lint: true, SelectOffset: -1}
+	checked := 0
+	for cwe, n := range TableIIICounts {
+		progs := Generate(cwe, n)
+		if testing.Short() && len(progs) > 25 {
+			progs = progs[:25]
+		}
+		for _, p := range progs {
+			name := p.ID + ".c"
+			pp, err := cpp.Preprocess(name, p.Source, cpp.Options{})
+			if err != nil {
+				t.Fatalf("%s: preprocess: %v", name, err)
+			}
+			if pp.Text != p.Source {
+				t.Fatalf("%s: preprocessed text differs from source", name)
+			}
+			if segs := pp.Map.Segments(); len(segs) != 1 || segs[0].Kind != cpp.SegDirect {
+				t.Fatalf("%s: expected one direct segment, got %+v", name, segs)
+			}
+
+			direct, err := core.Fix(context.Background(), name, p.Source, opts)
+			if err != nil {
+				t.Fatalf("%s: direct fix: %v", name, err)
+			}
+			viaCpp, _, err := core.FixPreprocessed(context.Background(), name, p.Source, cpp.Options{}, opts)
+			if err != nil {
+				t.Fatalf("%s: project fix: %v", name, err)
+			}
+			if direct.Source != viaCpp.Source {
+				t.Fatalf("%s: fixed source differs:\n--- direct ---\n%s\n--- via cpp ---\n%s",
+					name, direct.Source, viaCpp.Source)
+			}
+			df, _ := json.Marshal(direct.Findings)
+			vf, _ := json.Marshal(viaCpp.Findings)
+			if string(df) != string(vf) {
+				t.Fatalf("%s: findings differ:\ndirect: %s\nvia cpp: %s", name, df, vf)
+			}
+			if direct.Summary() != viaCpp.Summary() {
+				t.Fatalf("%s: summaries differ:\n%s\nvs\n%s", name, direct.Summary(), viaCpp.Summary())
+			}
+			checked++
+		}
+	}
+	if !testing.Short() && checked != TotalPrograms() {
+		t.Fatalf("checked %d programs, corpus has %d", checked, TotalPrograms())
+	}
+	t.Logf("differential held over %d programs", checked)
+}

@@ -19,6 +19,10 @@ type metrics struct {
 	lintRequests   atomic.Int64
 	batchRequests  atomic.Int64
 	batchFiles     atomic.Int64
+	// projectRequests/projectFiles count /v1/project batches and the
+	// translation units they carried.
+	projectRequests atomic.Int64
+	projectFiles    atomic.Int64
 	healthRequests atomic.Int64
 	readyRequests  atomic.Int64
 
@@ -141,6 +145,7 @@ type Snapshot struct {
 		Fix     int64 `json:"fix"`
 		Lint    int64 `json:"lint"`
 		Batch   int64 `json:"batch"`
+		Project int64 `json:"project"`
 		Healthz int64 `json:"healthz"`
 		Readyz  int64 `json:"readyz"`
 	} `json:"requests"`
@@ -149,6 +154,8 @@ type Snapshot struct {
 	// finish (or the drain deadline forces it).
 	Draining   bool  `json:"draining,omitempty"`
 	BatchFiles int64 `json:"batch_files"`
+	// ProjectFiles counts translation units processed via /v1/project.
+	ProjectFiles int64 `json:"project_files"`
 	// Rejected429 counts requests turned away by admission control.
 	Rejected429  int64 `json:"rejected_429"`
 	ClientErrors int64 `json:"client_errors"`
@@ -211,10 +218,12 @@ func (m *metrics) snapshot(cache *cfix.ResultCache, gate *Gate, sessions *sessio
 	s.Requests.Fix = m.fixRequests.Load()
 	s.Requests.Lint = m.lintRequests.Load()
 	s.Requests.Batch = m.batchRequests.Load()
+	s.Requests.Project = m.projectRequests.Load()
 	s.Requests.Healthz = m.healthRequests.Load()
 	s.Requests.Readyz = m.readyRequests.Load()
 	s.Draining = draining
 	s.BatchFiles = m.batchFiles.Load()
+	s.ProjectFiles = m.projectFiles.Load()
 	s.Rejected429 = gate.Rejected()
 	s.ClientErrors = m.clientErrors.Load()
 	s.ServerErrors = m.serverErrors.Load()

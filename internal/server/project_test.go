@@ -1,0 +1,106 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/pkg/cfix"
+)
+
+// projectCaller/projectCallee form the canonical two-TU demo: the bug
+// is only provable when the caller's arguments flow across the file
+// boundary into the callee.
+const projectCaller = `void fill(char *p, int n);
+int main(void) {
+    char buf[10];
+    fill(buf, 100);
+    return 0;
+}
+`
+
+const projectCallee = `void fill(char *p, int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        p[i] = 'x';
+    }
+}
+`
+
+// TestProjectEndpointLint: POST /v1/project with lint_only surfaces the
+// cross-file overflow and the linked edge.
+func TestProjectEndpointLint(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{})
+	var resp cfix.ProjectResponse
+	status, raw := postJSON(t, ts.URL+"/v1/project", cfix.ProjectRequest{
+		Files:    map[string]string{"a.c": projectCaller, "b.c": projectCallee},
+		LintOnly: true,
+	}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	if len(resp.Edges) != 1 || resp.Edges[0].Callee != "fill" {
+		t.Fatalf("edges = %+v", resp.Edges)
+	}
+	var hit bool
+	for _, f := range resp.Files {
+		if f.Err != "" {
+			t.Fatalf("%s failed: %s", f.File, f.Err)
+		}
+		if f.File != "b.c" {
+			continue
+		}
+		for _, fd := range f.Findings {
+			if fd.Function == "fill" && fd.Severity == "definite" {
+				hit = true
+			}
+		}
+	}
+	if !hit {
+		t.Fatalf("no definite cross-TU finding in b.c: %+v", resp.Files)
+	}
+	snap := s.Metrics()
+	if snap.Requests.Project != 1 || snap.ProjectFiles != 2 {
+		t.Fatalf("metrics: project=%d files=%d", snap.Requests.Project, snap.ProjectFiles)
+	}
+}
+
+// TestProjectEndpointFix: a fixable unit with a header comes back with
+// the repair in the ORIGINAL text (directives intact).
+func TestProjectEndpointFix(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	var resp cfix.ProjectResponse
+	status, raw := postJSON(t, ts.URL+"/v1/project", cfix.ProjectRequest{
+		Files: map[string]string{
+			"m.c": "#include \"n.h\"\nint main(void) {\n    char b[N];\n    strcpy(b, \"hi\");\n    return 0;\n}\n",
+		},
+		Headers: map[string]string{
+			"n.h": "#define N 16\nchar *strcpy(char *, const char *);\nunsigned long strlen(const char *);\n",
+		},
+	}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	if len(resp.Files) != 1 || resp.Files[0].Fix == nil {
+		t.Fatalf("files = %+v", resp.Files)
+	}
+	src := resp.Files[0].Fix.Source
+	if !strings.Contains(src, "#include \"n.h\"") || !strings.Contains(src, "char b[N];") {
+		t.Fatalf("original shape lost:\n%s", src)
+	}
+	if !strings.Contains(src, "g_strlcpy") {
+		t.Fatalf("no repair in output:\n%s", src)
+	}
+	if got := resp.Files[0].Includes; len(got) != 1 || got[0] != "n.h" {
+		t.Fatalf("includes = %v", got)
+	}
+}
+
+// TestProjectEndpointValidation: empty file set is the client's fault.
+func TestProjectEndpointValidation(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	status, raw := postJSON(t, ts.URL+"/v1/project", cfix.ProjectRequest{}, nil)
+	if status != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+}

@@ -12,6 +12,9 @@
 //	POST /v1/lint   statically diagnose one unit without transforming it
 //	POST /v1/batch  process many units through the worker pool in one
 //	                request; per-file fault containment, input order
+//	POST /v1/project  process a whole project (sources inline): built-in
+//	                preprocessing, cross-file seeding, repairs remapped
+//	                into the original (pre-expansion) text
 //	GET  /healthz   liveness (never queued behind analysis work)
 //	GET  /metrics   counters: requests, cache hits/misses/evictions,
 //	                degradations, panics recovered, in-flight, latency
@@ -129,6 +132,7 @@ func New(conf Config) *Server {
 	s.mux.HandleFunc("POST /v1/fix", s.handleFix)
 	s.mux.HandleFunc("POST /v1/lint", s.handleLint)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/project", s.handleProject)
 	s.mux.HandleFunc("POST /v1/session/open", s.handleSessionOpen)
 	s.mux.HandleFunc("POST /v1/session/edit", s.handleSessionEdit)
 	s.mux.HandleFunc("POST /v1/session/close", s.handleSessionClose)
@@ -398,6 +402,72 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleProject processes a whole project shipped inline: every unit is
+// preprocessed by the built-in preprocessor, cross-file call facts are
+// linked, and fixes land in the original (pre-expansion) text. Per-file
+// failures are contained in the response; the endpoint only 4xx/5xxes
+// for malformed requests and whole-project faults.
+func (s *Server) handleProject(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	label := "(undecoded)"
+	tr := cfix.NewTracer()
+	defer func(start time.Time) {
+		s.observeRequest("/v1/project", label, tr, time.Since(start))
+	}(time.Now())
+	s.m.projectRequests.Add(1)
+
+	var req cfix.ProjectRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Files) == 0 {
+		s.writeError(w, http.StatusBadRequest, "missing files")
+		return
+	}
+	label = fmt.Sprintf("%d units", len(req.Files))
+	be, ok := s.resolveBackend(w, req.Options.Backend)
+	if !ok {
+		return
+	}
+	if !req.LintOnly {
+		s.m.observeBackend(be)
+	}
+	s.m.projectFiles.Add(int64(len(req.Files)))
+	opts := s.effectiveOptions(req.Options)
+	opts.Backend = be
+	opts.Tracer = tr
+	var rep *cfix.ProjectReport
+	var err error
+	if req.LintOnly {
+		rep, err = cfix.AnalyzeProjectInMemory(r.Context(), req.Files, req.Headers, opts)
+	} else {
+		rep, err = cfix.FixProjectInMemory(r.Context(), req.Files, req.Headers, opts)
+	}
+	if err != nil {
+		s.failRequest(w, label, err)
+		return
+	}
+	for _, out := range rep.Files {
+		switch {
+		case out.Lint != nil:
+			if len(out.Lint.Degraded) > 0 {
+				s.m.degraded.Add(1)
+			}
+			s.m.observeFindings(out.Lint.Findings)
+		case out.Fix != nil:
+			if len(out.Fix.Degraded) > 0 {
+				s.m.degraded.Add(1)
+			}
+			s.m.observeFindings(out.Fix.Findings)
+		}
+	}
+	s.writeJSON(w, http.StatusOK, cfix.NewProjectResponse(rep))
 }
 
 // observeRequest folds one finished analysis request into the metrics:

@@ -53,6 +53,11 @@ type FileResult struct {
 	// Makefile; we surface the requirement to the caller). The field
 	// name predates pluggable backends and is kept for compatibility.
 	NeedsGlib bool
+	// Edits are the raw textual edits behind NewSource, each tagged with
+	// its owning site as "site:<index into Sites>". Project mode remaps
+	// them through the preprocessor's source map instead of using
+	// NewSource. Omitted from serialized reports.
+	Edits []rewrite.Edit `json:"-"`
 }
 
 // Candidates returns the number of candidate call sites.
@@ -292,6 +297,7 @@ func (t *Transformer) apply(filter func(candidate) bool) (*FileResult, error) {
 		if filter != nil && !filter(c) {
 			continue
 		}
+		edits.SetOwner(fmt.Sprintf("site:%d", len(res.Sites)))
 		site := SiteResult{
 			Function: c.call.Callee(),
 			SafeName: c.rule.Safe,
@@ -310,6 +316,7 @@ func (t *Transformer) apply(filter func(candidate) bool) (*FileResult, error) {
 		}
 		res.Sites = append(res.Sites, site)
 	}
+	res.Edits = edits.Edits()
 	out, err := edits.Apply(t.unit.File.Src())
 	if err != nil {
 		return nil, fmt.Errorf("slr: apply edits: %w", err)

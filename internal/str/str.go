@@ -35,10 +35,17 @@ const (
 	// FailUnsupportedUse: the variable appears in an expression shape the
 	// replacement patterns do not cover (e.g. its address is taken).
 	FailUnsupportedUse
+	// FailMacroOrHeader: project mode only — a rewrite for this
+	// variable's function maps into a macro expansion or an included
+	// header, so the whole function's STR is declined rather than
+	// miswriting the user's text. Appended after the paper-derived
+	// reasons to keep their serialized values stable.
+	FailMacroOrHeader
 )
 
 var _failNames = map[FailReason]string{
 	FailNone:            "none",
+	FailMacroOrHeader:   "rewrite target inside a macro expansion or included header",
 	FailNotLocal:        "not a locally declared variable",
 	FailUnsupportedLib:  "used in unsupported C library function",
 	FailUserFnMayModify: "user-defined function may modify the buffer",
@@ -54,6 +61,9 @@ type VarResult struct {
 	// Func is the function the variable is declared in.
 	Func    string
 	Pos     ctoken.Position
+	// Extent is the source range of the variable's declaration (the
+	// anchor project mode remaps positions through).
+	Extent  ctoken.Extent
 	Applied bool
 	Reason  FailReason
 	Detail  string
@@ -71,6 +81,12 @@ type VarResult struct {
 type FileResult struct {
 	NewSource string
 	Vars      []VarResult
+	// Edits are the raw textual edits behind NewSource, tagged with
+	// their owning function as "func:<name>" (STR rewrites are
+	// all-or-nothing per function: the inserted stralloc calls and
+	// renames within one function depend on each other). Omitted from
+	// serialized reports.
+	Edits []rewrite.Edit `json:"-"`
 	// NeedsStralloc reports that the output uses the stralloc library;
 	// callers must make internal/stralloc's C header and implementation
 	// available at build time.
@@ -287,6 +303,7 @@ func (t *Transformer) apply(filter func(*candidate) bool) (*FileResult, error) {
 			Name:      c.decl.Name,
 			Func:      c.fn.Name,
 			Pos:       t.unit.File.Position(c.decl.Extent().Pos),
+			Extent:    c.decl.Extent(),
 			IsPointer: ctype.IsCharPointer(c.decl.Type),
 		}
 		if t.targets[c.decl.Sym] {
@@ -309,8 +326,10 @@ func (t *Transformer) apply(filter func(*candidate) bool) (*FileResult, error) {
 	// Phase 2: rewrite every statement that touches a target.
 	var edits rewrite.Set
 	for _, fn := range t.unit.Funcs {
+		edits.SetOwner("func:" + fn.Name)
 		t.renderFunc(fn, &edits)
 	}
+	res.Edits = edits.Edits()
 	out, err := edits.Apply(t.unit.File.Src())
 	if err != nil {
 		return nil, fmt.Errorf("str: apply edits: %w", err)

@@ -97,6 +97,17 @@ func (c *Client) Batch(ctx context.Context, req BatchRequest) (*BatchResponse, e
 	return &resp, nil
 }
 
+// Project processes a whole project (sources inline) through
+// POST /v1/project: built-in preprocessing, cross-file seeding, and
+// repairs remapped into the original text.
+func (c *Client) Project(ctx context.Context, req ProjectRequest) (*ProjectResponse, error) {
+	var resp ProjectResponse
+	if err := c.call(ctx, "/v1/project", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Healthz reports whether the service answers its liveness probe.
 func (c *Client) Healthz(ctx context.Context) error {
 	return c.get(ctx, "/healthz", nil)
